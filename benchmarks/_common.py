@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artefact (DESIGN.md section 5): it
+prints the paper-style rows, persists them under ``benchmarks/results/``
+so the harness output survives pytest's capture, and asserts the *shape*
+claims (who wins, what's bounded, what converges). Timings come from
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def write_report(experiment_id: str, text: str) -> None:
+    """Print a report block and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+def hexdump(data: bytes, limit: int = 24) -> str:
+    """Short hex rendering used by the Figure 1 byte-image report."""
+    shown = data[:limit]
+    suffix = "..." if len(data) > limit else ""
+    return shown.hex(" ") + suffix

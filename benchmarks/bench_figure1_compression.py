@@ -1,0 +1,108 @@
+"""Experiment `fig1` — Figure 1: the two compression techniques.
+
+Regenerates the paper's illustration at byte level:
+
+* Figure 1.a: the CHAR(20) value ``'abc'`` occupies 20 bytes
+  uncompressed and ``3 + 1`` bytes under null suppression (body plus
+  length header), and a zero-padded value collapses under the run
+  variant;
+* Figure 1.b: repeated ``'abcdefghij'`` values are stored once in the
+  page dictionary with a pointer per row.
+
+Also measures compression/decompression throughput of both techniques
+on a realistic page workload (the quantity a physical-design tool pays
+when it estimates by actually compressing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.record import encode_record
+from repro.storage.schema import single_char_schema
+from repro.compression.dictionary import DictionaryCompression
+from repro.compression.null_suppression import NullSuppression
+from repro.experiments.report import format_table
+from repro.workloads.generators import make_histogram
+
+from _common import hexdump, write_report
+
+K = 20
+SCHEMA = single_char_schema(K)
+
+
+def _page_workload() -> list[bytes]:
+    histogram = make_histogram(n=10_000, d=200, k=K, seed=101)
+    return [encode_record(SCHEMA, (value,))
+            for value in histogram.expand("sorted")]
+
+
+@pytest.fixture(scope="module")
+def page_records() -> list[bytes]:
+    return _page_workload()
+
+
+def test_fig1a_null_suppression(benchmark, page_records):
+    algorithm = NullSuppression()
+    block = benchmark(algorithm.compress, page_records, SCHEMA)
+    assert algorithm.decompress(block, SCHEMA) == page_records
+
+    # The figure's literal example.
+    abc = encode_record(SCHEMA, ("abc",))
+    abc_block = algorithm.compress([abc], SCHEMA)
+    assert len(abc) == 20
+    assert abc_block.payload_size == 3 + 1
+
+    zero_padded = encode_record(SCHEMA, ("00000000000000000abc",))
+    runs_block = NullSuppression(mode="runs").compress([zero_padded],
+                                                       SCHEMA)
+    rows = [
+        ["'abc' uncompressed", 20, hexdump(abc)],
+        ["'abc' null-suppressed", abc_block.payload_size,
+         hexdump(abc_block.columns[0].blob)],
+        ["'0...0abc' trailing NS",
+         NullSuppression().compress([zero_padded],
+                                    SCHEMA).payload_size, "(no gain)"],
+        ["'0...0abc' run NS", runs_block.payload_size,
+         hexdump(runs_block.columns[0].blob)],
+    ]
+    report = format_table(
+        ["value (char(20))", "bytes", "stored image"], rows,
+        title="Figure 1.a — null suppression, byte level")
+    report += (f"\npage workload: {len(page_records)} records, "
+               f"NS CF = "
+               f"{algorithm.compress(page_records, SCHEMA).payload_size / (len(page_records) * K):.4f}")
+    write_report("fig1_null_suppression", report)
+
+
+def test_fig1b_dictionary(benchmark, page_records):
+    algorithm = DictionaryCompression()
+    block = benchmark(algorithm.compress, page_records, SCHEMA)
+    assert algorithm.decompress(block, SCHEMA) == page_records
+
+    repeated = [encode_record(SCHEMA, ("abcdefghij",)) for _ in range(4)]
+    fig_block = algorithm.compress(repeated, SCHEMA)
+    # One 20-byte entry + four 2-byte pointers.
+    assert fig_block.payload_size == K + 4 * 2
+
+    rows = [
+        ["4 x 'abcdefghij' uncompressed", 4 * K],
+        ["dictionary entry (stored once)", K],
+        ["4 pointers (2 B each)", 4 * 2],
+        ["total compressed", fig_block.payload_size],
+    ]
+    report = format_table(
+        ["component", "bytes"], rows,
+        title="Figure 1.b — dictionary compression, byte level")
+    cf = block.payload_size / (len(page_records) * K)
+    report += (f"\npage workload: {len(page_records)} records, "
+               f"dictionary CF = {cf:.4f}")
+    write_report("fig1_dictionary", report)
+
+
+def test_fig1_decompression_throughput(benchmark, page_records):
+    """Decompression is the CPU cost Section I says must be paid."""
+    algorithm = NullSuppression()
+    block = algorithm.compress(page_records, SCHEMA)
+    restored = benchmark(algorithm.decompress, block, SCHEMA)
+    assert restored == page_records

@@ -1,0 +1,116 @@
+"""Experiment `fig2` — Figure 2: the SampleCF algorithm, end to end.
+
+Runs the published pseudocode stage by stage against the storage
+engine — (1) uniform sample with replacement, (2) bulk-load an index on
+the sample, (3) compress it, (4) return the sample's CF — timing each
+stage and checking the estimate against the full-index truth.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.sampling.rng import make_rng
+from repro.sampling.row_samplers import WithReplacementSampler
+from repro.storage.index import Index, IndexKind
+from repro.storage.table import Table
+from repro.compression.dictionary import DictionaryCompression
+from repro.compression.null_suppression import NullSuppression
+from repro.core.metrics import ratio_error
+from repro.core.samplecf import SampleCF, true_cf_table
+from repro.experiments.report import format_table
+from repro.workloads.generators import make_table
+
+from _common import write_report
+
+N = 100_000
+PAGE = 8192
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    return make_table(n=N, d=2_000, k=20, page_size=PAGE, seed=202)
+
+
+def _staged_samplecf(table: Table, fraction: float, seed: int) -> dict:
+    """The four pseudocode steps, individually timed."""
+    rng = make_rng(seed)
+    timings: dict[str, float] = {}
+
+    start = time.perf_counter()
+    sampler = WithReplacementSampler()
+    r = max(1, round(fraction * table.num_rows))
+    positions = sampler.sample_positions(table.num_rows, r, rng)
+    rows = table.rows_at([int(p) for p in positions])
+    timings["1. sample"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sample_index = Index("fig2", table.schema, ["a"],
+                         kind=IndexKind.CLUSTERED, page_size=PAGE)
+    sample_index.build([(row, None) for row in rows])
+    timings["2. build index"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = sample_index.compress(NullSuppression())
+    timings["3. compress"] = time.perf_counter() - start
+
+    timings["4. return CF"] = 0.0
+    return {"cf": result.compression_fraction, "rows": r,
+            "timings": timings}
+
+
+def test_fig2_staged_pipeline(benchmark, table):
+    staged = benchmark.pedantic(_staged_samplecf, args=(table, 0.01, 7),
+                                rounds=3, iterations=1)
+    truth = true_cf_table(table, ["a"], NullSuppression(), page_size=PAGE)
+    assert ratio_error(truth, staged["cf"]) < 1.1
+
+    rows = [[stage, f"{seconds * 1e3:.2f} ms"]
+            for stage, seconds in staged["timings"].items()]
+    rows.append(["estimate CF'", f"{staged['cf']:.4f}"])
+    rows.append(["true CF", f"{truth:.4f}"])
+    rows.append(["ratio error", f"{ratio_error(truth, staged['cf']):.4f}"])
+    write_report("fig2_staged", format_table(
+        ["SampleCF stage (f=1%, n=100k)", "value"], rows,
+        title="Figure 2 — SampleCF pseudocode, staged"))
+
+
+@pytest.mark.parametrize("fraction", [0.01, 0.05])
+def test_fig2_accuracy_both_algorithms(benchmark, table, fraction):
+    ns = SampleCF(NullSuppression(), page_size=PAGE)
+    estimate = benchmark.pedantic(
+        ns.estimate_table, args=(table, fraction, ["a"]),
+        kwargs={"seed": 11}, rounds=3, iterations=1)
+    ns_truth = true_cf_table(table, ["a"], NullSuppression(),
+                             page_size=PAGE)
+    assert ratio_error(ns_truth, estimate.estimate) < 1.1
+
+    dictionary = SampleCF(DictionaryCompression(), page_size=PAGE)
+    dict_estimate = dictionary.estimate_table(table, fraction, ["a"],
+                                              seed=11)
+    dict_truth = true_cf_table(table, ["a"], DictionaryCompression(),
+                               page_size=PAGE)
+    rows = [
+        ["null_suppression", f"{estimate.estimate:.4f}",
+         f"{ns_truth:.4f}",
+         f"{ratio_error(ns_truth, estimate.estimate):.4f}"],
+        ["dictionary", f"{dict_estimate.estimate:.4f}",
+         f"{dict_truth:.4f}",
+         f"{ratio_error(dict_truth, dict_estimate.estimate):.4f}"],
+    ]
+    write_report(f"fig2_accuracy_f{fraction}", format_table(
+        ["algorithm", "CF' (sample)", "CF (true)", "ratio error"], rows,
+        title=f"Figure 2 — estimate vs truth at f={fraction:.0%}"))
+
+
+def test_fig2_index_sampling_variant(benchmark, table):
+    """Section II-C: sampling an existing index is cheaper; same answer."""
+    index = table.create_index("fig2_ix", ["a"], kind=IndexKind.CLUSTERED)
+    estimator = SampleCF(NullSuppression(), page_size=PAGE)
+    estimate = benchmark.pedantic(
+        estimator.estimate_index, args=(index, 0.01),
+        kwargs={"seed": 13}, rounds=3, iterations=1)
+    truth = true_cf_table(table, ["a"], NullSuppression(), page_size=PAGE)
+    assert ratio_error(truth, estimate.estimate) < 1.1

@@ -1,0 +1,10 @@
+"""Benchmark-suite fixtures (module-scoped workloads shared per file)."""
+
+from __future__ import annotations
+
+import sys
+import pathlib
+
+# Make `benchmarks/_common.py` importable when pytest is invoked from
+# the repository root (benchmarks/ is intentionally not a package).
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

@@ -1,0 +1,61 @@
+"""Quickstart: estimate an index's compression fraction from a sample.
+
+Builds a realistic single-column table in the bundled storage engine,
+runs the paper's SampleCF estimator (Figure 2) for both compression
+techniques the paper analyses, and compares against the exact answer
+obtained by actually compressing the full index.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (DictionaryCompression, NullSuppression, SampleCF,
+                   make_table, ns_confidence_interval, ratio_error,
+                   true_cf_table)
+
+
+def main() -> None:
+    # A 50k-row table with 1,000 distinct CHAR(20) values, Zipf-skewed —
+    # the kind of warehouse dimension column compression loves.
+    print("building a 50,000-row table (char(20), d=1000, zipf) ...")
+    table = make_table(n=50_000, d=1_000, k=20, distribution="zipf",
+                       seed=7)
+
+    fraction = 0.02
+    for algorithm in (NullSuppression(), DictionaryCompression()):
+        estimator = SampleCF(algorithm)
+        estimate = estimator.estimate_table(table, fraction, ["a"],
+                                            seed=42)
+        truth = true_cf_table(table, ["a"], algorithm)
+        print(f"\n{algorithm.name}")
+        print(f"  sample          : {estimate.sample_rows} rows "
+              f"({fraction:.0%})")
+        print(f"  estimated CF'   : {estimate.estimate:.4f}")
+        print(f"  true CF         : {truth:.4f}")
+        print(f"  ratio error     : "
+              f"{ratio_error(truth, estimate.estimate):.4f}")
+        print(f"  space savings   : {1 - estimate.estimate:.1%} "
+              f"(estimated)")
+        if isinstance(algorithm, NullSuppression):
+            interval = ns_confidence_interval(
+                estimate.estimate, estimate.sample_rows, confidence=0.95)
+            print(f"  95% interval    : [{interval.low:.4f}, "
+                  f"{interval.high:.4f}]  (Theorem 1)")
+            inside = "yes" if interval.contains(truth) else "no"
+            print(f"  truth inside?   : {inside}")
+        else:
+            print("  note: dictionary estimates overshoot whenever the "
+                  "sample is small relative to d")
+            print("  (Section III-B ties this to distinct-value "
+                  "estimation hardness). Larger samples converge:")
+            for larger in (0.1, 0.5):
+                converged = estimator.estimate_table(
+                    table, larger, ["a"], seed=42)
+                print(f"    f={larger:>4.0%}: CF' = "
+                      f"{converged.estimate:.4f} (ratio error "
+                      f"{ratio_error(truth, converged.estimate):.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Compression-aware physical design: the paper's motivating application."""
+
+from repro.advisor.candidates import (CandidateIndex, enumerate_candidates,
+                                      uncompressed_index_bytes)
+from repro.advisor.capacity import (CapacityEntry, CapacityPlan,
+                                    plan_capacity)
+from repro.advisor.cost import (CostModel, Query, TableStats, WorkloadCost,
+                                covers, workload_cost)
+from repro.advisor.selection import (AdvisorResult, design_summary,
+                                     select_indexes)
+
+__all__ = [
+    "AdvisorResult",
+    "CandidateIndex",
+    "CapacityEntry",
+    "CapacityPlan",
+    "CostModel",
+    "Query",
+    "TableStats",
+    "WorkloadCost",
+    "covers",
+    "design_summary",
+    "enumerate_candidates",
+    "plan_capacity",
+    "select_indexes",
+    "uncompressed_index_bytes",
+    "workload_cost",
+]

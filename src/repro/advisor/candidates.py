@@ -1,0 +1,120 @@
+"""Candidate index enumeration with SampleCF-estimated sizes.
+
+For every query the advisor considers an index keyed on the query's
+columns, in both an uncompressed and a compressed variant. The
+compressed variant's size — the quantity a storage-bounded search needs
+— comes from SampleCF, exactly the role the paper assigns the estimator
+inside physical design tools. Ground-truth sizes (full compression) can
+be requested instead, which is how the `app-advisor` experiment measures
+the cost of estimation error in final decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.errors import AdvisorError
+from repro.sampling.rng import SeedLike, make_rng
+from repro.storage.index import IndexKind
+from repro.storage.rid import RID_BYTES
+from repro.storage.table import Table
+from repro.compression.base import CompressionAlgorithm
+from repro.compression.registry import get_algorithm
+from repro.core.samplecf import SampleCF, true_cf_table
+from repro.advisor.cost import Query
+
+SizeSource = Literal["samplecf", "exact"]
+
+
+@dataclass(frozen=True)
+class CandidateIndex:
+    """One possible index, sized and ready for selection."""
+
+    table: str
+    key_columns: tuple[str, ...]
+    compressed: bool
+    algorithm: str | None
+    size_bytes: float
+    size_source: str
+    estimated_cf: float | None = None
+
+    @property
+    def name(self) -> str:
+        suffix = f"__{self.algorithm}" if self.compressed else ""
+        return f"ix_{self.table}_{'_'.join(self.key_columns)}{suffix}"
+
+    def __post_init__(self) -> None:
+        if not self.key_columns:
+            raise AdvisorError("candidate needs key columns")
+        if self.size_bytes <= 0:
+            raise AdvisorError(
+                f"candidate {self.key_columns} has non-positive size")
+
+
+def uncompressed_index_bytes(table: Table,
+                             key_columns: Sequence[str]) -> int:
+    """Leaf payload of a non-clustered index on ``key_columns``.
+
+    Per entry: the fixed widths of the key columns plus an 8-byte RID.
+    """
+    width = 0
+    for column in key_columns:
+        fixed = table.schema[column].dtype.fixed_size
+        if fixed is None:
+            raise AdvisorError(
+                f"column {column!r} is variable-width; the advisor "
+                "sizes fixed-width keys only")
+        width += fixed
+    return table.num_rows * (width + RID_BYTES)
+
+
+def enumerate_candidates(tables: dict[str, Table],
+                         queries: Sequence[Query],
+                         algorithm: CompressionAlgorithm | str = "page",
+                         fraction: float = 0.01,
+                         size_source: SizeSource = "samplecf",
+                         seed: SeedLike = None) -> list[CandidateIndex]:
+    """Candidates for a workload: one (un)compressed pair per key set.
+
+    Key sets are the distinct column tuples referenced by queries.
+    Compressed sizes come from SampleCF (``size_source="samplecf"``) or
+    from actually compressing the full index (``"exact"``, the oracle
+    the ablation compares against).
+    """
+    if isinstance(algorithm, str):
+        algorithm = get_algorithm(algorithm)
+    rng = make_rng(seed)
+    key_sets: dict[tuple[str, tuple[str, ...]], None] = {}
+    for query in queries:
+        if query.table not in tables:
+            raise AdvisorError(
+                f"query {query.name!r} references unknown table "
+                f"{query.table!r}")
+        key_sets.setdefault((query.table, tuple(query.columns)), None)
+    candidates: list[CandidateIndex] = []
+    for table_name, key_columns in key_sets:
+        table = tables[table_name]
+        plain_bytes = uncompressed_index_bytes(table, key_columns)
+        candidates.append(CandidateIndex(
+            table=table_name, key_columns=key_columns, compressed=False,
+            algorithm=None, size_bytes=float(plain_bytes),
+            size_source="schema"))
+        if size_source == "samplecf":
+            estimator = SampleCF(algorithm, page_size=table.page_size)
+            estimate = estimator.estimate_table(
+                table, fraction, key_columns,
+                kind=IndexKind.NONCLUSTERED,
+                seed=int(rng.integers(0, 2**63 - 1)))
+            cf = estimate.estimate
+        elif size_source == "exact":
+            cf = true_cf_table(table, key_columns, algorithm,
+                               kind=IndexKind.NONCLUSTERED,
+                               page_size=table.page_size)
+        else:
+            raise AdvisorError(f"unknown size source {size_source!r}")
+        candidates.append(CandidateIndex(
+            table=table_name, key_columns=key_columns, compressed=True,
+            algorithm=algorithm.name, size_bytes=plain_bytes * cf,
+            size_source=size_source, estimated_cf=cf))
+    return candidates

@@ -1,0 +1,109 @@
+"""Greedy index selection under a storage bound.
+
+The classic physical-design loop: repeatedly add the candidate with the
+best cost-reduction-per-byte that still fits the remaining budget, until
+nothing helps. Compression enters purely through candidate sizes and the
+per-page CPU penalty — which is exactly why an accurate compressed-size
+estimate (SampleCF) changes which designs are feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import AdvisorError
+from repro.advisor.candidates import CandidateIndex
+from repro.advisor.cost import (CostModel, Query, TableStats,
+                                workload_cost)
+
+
+@dataclass(frozen=True)
+class AdvisorResult:
+    """Outcome of an advisor run."""
+
+    chosen: tuple[CandidateIndex, ...]
+    storage_bound_bytes: float
+    bytes_used: float
+    cost_before: float
+    cost_after: float
+    steps: tuple[str, ...] = field(default=())
+
+    @property
+    def improvement(self) -> float:
+        """Fraction of workload cost eliminated."""
+        if self.cost_before <= 0:
+            raise AdvisorError("workload cost before must be positive")
+        return 1.0 - self.cost_after / self.cost_before
+
+
+def select_indexes(candidates: Sequence[CandidateIndex],
+                   queries: Sequence[Query],
+                   tables: dict[str, TableStats],
+                   storage_bound_bytes: float,
+                   model: CostModel | None = None) -> AdvisorResult:
+    """Greedy benefit-per-byte selection under the storage bound."""
+    if storage_bound_bytes <= 0:
+        raise AdvisorError(
+            f"storage bound must be positive, got {storage_bound_bytes}")
+    model = model or CostModel()
+    chosen: list[CandidateIndex] = []
+    steps: list[str] = []
+    budget = float(storage_bound_bytes)
+    baseline = workload_cost(queries, tables, chosen, model)
+    current = baseline.total
+    remaining = [c for c in candidates if c.size_bytes <= budget]
+    while True:
+        best_candidate: CandidateIndex | None = None
+        best_cost = current
+        best_density = 0.0
+        for candidate in remaining:
+            if candidate.size_bytes > budget:
+                continue
+            trial = workload_cost(queries, tables, chosen + [candidate],
+                                  model)
+            reduction = current - trial.total
+            if reduction <= 0:
+                continue
+            density = reduction / candidate.size_bytes
+            if density > best_density:
+                best_density = density
+                best_candidate = candidate
+                best_cost = trial.total
+        if best_candidate is None:
+            break
+        chosen.append(best_candidate)
+        remaining.remove(best_candidate)
+        budget -= best_candidate.size_bytes
+        steps.append(
+            f"+{best_candidate.name} ({best_candidate.size_bytes:.0f} B, "
+            f"cost {current:.1f} -> {best_cost:.1f})")
+        current = best_cost
+    return AdvisorResult(
+        chosen=tuple(chosen),
+        storage_bound_bytes=float(storage_bound_bytes),
+        bytes_used=float(storage_bound_bytes) - budget,
+        cost_before=baseline.total,
+        cost_after=current,
+        steps=tuple(steps))
+
+
+def design_summary(result: AdvisorResult) -> str:
+    """Human-readable report of an advisor run."""
+    lines = [
+        f"storage bound : {result.storage_bound_bytes:,.0f} bytes",
+        f"bytes used    : {result.bytes_used:,.0f}",
+        f"workload cost : {result.cost_before:,.1f} -> "
+        f"{result.cost_after:,.1f} "
+        f"({result.improvement:.1%} better)",
+        "chosen indexes:",
+    ]
+    if not result.chosen:
+        lines.append("  (none fit / none helped)")
+    for candidate in result.chosen:
+        cf_note = (f", est. CF {candidate.estimated_cf:.3f}"
+                   if candidate.estimated_cf is not None else "")
+        lines.append(
+            f"  {candidate.name}: {candidate.size_bytes:,.0f} bytes"
+            f"{cf_note}")
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+The library's equivalent of SQL Server's
+``sp_estimate_data_compression_savings``: point it at a workload (a
+named scenario or explicit n/d/k parameters), pick a compression
+algorithm and a sampling fraction, and get the estimate — optionally
+with repeated trials, the exact answer, and the relevant analytic
+bounds.
+
+Examples::
+
+    python -m repro algorithms
+    python -m repro scenarios
+    python -m repro experiments
+    python -m repro estimate --scenario customer_names --fraction 0.01
+    python -m repro estimate --n 1000000 --d 500 --k 20 \
+        --algorithm global_dictionary --trials 50 --truth
+    python -m repro bounds theorem1 --n 100000000 --fraction 0.01
+    python -m repro bounds theorem2 --n 1000000 --d 1000 --k 20 --p 2 \
+        --fraction 0.01
+    python -m repro bounds theorem3 --alpha 0.5 --fraction 0.01 --k 20 \
+        --p 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.compression.registry import get_algorithm, list_algorithms
+from repro.core.bounds import (dict_large_d_bound, dict_small_d_bound,
+                               ns_stddev_bound)
+from repro.core.metrics import ErrorSummary, ratio_error
+from repro.core.samplecf import SampleCF, true_cf_histogram
+from repro.experiments.registry import list_experiments
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_trials
+from repro.workloads.generators import make_histogram
+from repro.workloads.scenarios import SCENARIOS, get_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SampleCF: estimate index compression fractions "
+                    "from samples (ICDE 2010 reproduction).")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("algorithms",
+                        help="list registered compression algorithms")
+    commands.add_parser("scenarios", help="list workload scenarios")
+    commands.add_parser("experiments",
+                        help="list registered paper experiments")
+
+    estimate = commands.add_parser(
+        "estimate", help="run SampleCF on a synthetic workload")
+    source = estimate.add_mutually_exclusive_group(required=True)
+    source.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        help="named workload scenario")
+    source.add_argument("--n", type=int, help="rows (with --d and --k)")
+    estimate.add_argument("--d", type=int, help="distinct values")
+    estimate.add_argument("--k", type=int, help="CHAR column width")
+    estimate.add_argument("--distribution", default="zipf",
+                          help="count distribution (default: zipf)")
+    estimate.add_argument("--rows", type=int, default=None,
+                          help="override a scenario's row count")
+    estimate.add_argument("--algorithm", default="null_suppression",
+                          choices=sorted(list_algorithms()))
+    estimate.add_argument("--fraction", type=float, default=0.01,
+                          help="sampling fraction f (default: 0.01)")
+    estimate.add_argument("--trials", type=int, default=1,
+                          help="independent estimation trials")
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument("--truth", action="store_true",
+                          help="also compute the exact CF and the "
+                               "ratio error")
+    estimate.add_argument("--page-size", type=int, default=8192)
+
+    bounds = commands.add_parser(
+        "bounds", help="evaluate the paper's analytic bounds")
+    which = bounds.add_subparsers(dest="theorem", required=True)
+    theorem1 = which.add_parser("theorem1",
+                                help="NS std-dev bound (Theorem 1)")
+    theorem1.add_argument("--n", type=int, required=True)
+    theorem1.add_argument("--fraction", type=float, required=True)
+    theorem2 = which.add_parser("theorem2",
+                                help="dictionary small-d bound")
+    theorem2.add_argument("--n", type=int, required=True)
+    theorem2.add_argument("--d", type=int, required=True)
+    theorem2.add_argument("--k", type=int, required=True)
+    theorem2.add_argument("--p", type=int, default=2)
+    theorem2.add_argument("--fraction", type=float, required=True)
+    theorem3 = which.add_parser("theorem3",
+                                help="dictionary large-d bound")
+    theorem3.add_argument("--alpha", type=float, required=True)
+    theorem3.add_argument("--k", type=int, required=True)
+    theorem3.add_argument("--p", type=int, default=2)
+    theorem3.add_argument("--fraction", type=float, required=True)
+    return parser
+
+
+def _cmd_algorithms() -> str:
+    rows = []
+    for name in list_algorithms():
+        algorithm = get_algorithm(name)
+        rows.append([name, algorithm.scope])
+    return format_table(["algorithm", "scope"], rows)
+
+
+def _cmd_scenarios() -> str:
+    rows = [[scenario.name, f"char({scenario.k})",
+             f"{scenario.default_n:,}", scenario.description]
+            for scenario in SCENARIOS.values()]
+    return format_table(["scenario", "type", "default n", "description"],
+                        rows)
+
+
+def _cmd_experiments() -> str:
+    rows = [[spec.id, spec.paper_ref, spec.title,
+             spec.bench_module or "(documented in EXPERIMENTS.md)"]
+            for spec in list_experiments()]
+    return format_table(["id", "paper ref", "title", "bench"], rows)
+
+
+def _cmd_estimate(args: argparse.Namespace) -> str:
+    if args.scenario is not None:
+        histogram = get_scenario(args.scenario).build(args.rows,
+                                                      seed=args.seed)
+        workload = args.scenario
+    else:
+        if args.d is None or args.k is None:
+            raise ReproError("--n needs --d and --k")
+        histogram = make_histogram(args.n, args.d, args.k,
+                                   distribution=args.distribution,
+                                   seed=args.seed)
+        workload = f"n={args.n:,} d={args.d:,} k={args.k}"
+    algorithm = get_algorithm(args.algorithm)
+    estimator = SampleCF(algorithm, page_size=args.page_size)
+    lines = [f"workload  : {workload} "
+             f"(n={histogram.n:,}, d={histogram.d:,}, "
+             f"{histogram.dtype.name})",
+             f"algorithm : {algorithm.name}",
+             f"fraction  : {args.fraction:.4%}"]
+    if args.trials <= 1:
+        estimate = estimator.estimate_histogram(histogram, args.fraction,
+                                                seed=args.seed)
+        lines.append(f"estimate  : CF' = {estimate.estimate:.6f} "
+                     f"({estimate.sample_rows:,} rows sampled, "
+                     f"d' = {estimate.sample_distinct:,})")
+        point = estimate.estimate
+    else:
+        estimates = run_trials(
+            lambda rng: estimator.estimate_histogram(
+                histogram, args.fraction, seed=rng).estimate,
+            trials=args.trials, seed=args.seed)
+        point = float(estimates.mean())
+        lines.append(f"estimate  : mean CF' = {point:.6f} over "
+                     f"{args.trials} trials "
+                     f"(std {float(estimates.std(ddof=1)):.6f})")
+    if args.truth:
+        truth = true_cf_histogram(histogram, algorithm,
+                                  page_size=args.page_size)
+        lines.append(f"truth     : CF  = {truth:.6f}")
+        lines.append(f"ratio err : {ratio_error(truth, point):.4f}")
+        if args.trials > 1:
+            summary = ErrorSummary.from_estimates(truth, estimates)
+            lines.append(f"bias      : {summary.bias:+.6f}   "
+                         f"mean ratio err {summary.mean_ratio_error:.4f}")
+    return "\n".join(lines)
+
+
+def _cmd_bounds(args: argparse.Namespace) -> str:
+    if args.theorem == "theorem1":
+        bound = ns_stddev_bound(n=args.n, f=args.fraction)
+        return (f"Theorem 1: sigma(CF'_NS) <= (1/2) sqrt(1/(f n)) = "
+                f"{bound:.6g}\n(n={args.n:,}, f={args.fraction:.4%}, "
+                f"r={round(args.fraction * args.n):,})")
+    if args.theorem == "theorem2":
+        bound = dict_small_d_bound(args.n, args.d, args.k, args.p,
+                                   args.fraction)
+        return (f"Theorem 2 (small d): ratio error <= {bound.bound:.6g}\n"
+                f"  overestimate side : {bound.overestimate:.6g}\n"
+                f"  underestimate side: {bound.underestimate:.6g}")
+    bound = dict_large_d_bound(args.alpha, args.fraction, args.k, args.p)
+    return (f"Theorem 3 (large d): expected ratio error <= "
+            f"{bound.bound:.6g}\n"
+            f"  overestimate side : {bound.overestimate:.6g}\n"
+            f"  underestimate side: {bound.underestimate:.6g}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "algorithms":
+            output = _cmd_algorithms()
+        elif args.command == "scenarios":
+            output = _cmd_scenarios()
+        elif args.command == "experiments":
+            output = _cmd_experiments()
+        elif args.command == "estimate":
+            output = _cmd_estimate(args)
+        elif args.command == "bounds":
+            output = _cmd_bounds(args)
+        else:  # pragma: no cover - argparse enforces choices
+            parser.error(f"unknown command {args.command!r}")
+            return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

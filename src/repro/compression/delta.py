@@ -1,0 +1,190 @@
+"""Delta encoding for integer columns — an extension algorithm.
+
+Clustered indexes on integer keys (order ids, timestamps) hold leaf
+records in key order, so consecutive values differ by small amounts.
+Delta encoding stores the first value at full width and every subsequent
+value as the minimal two's-complement representation of its difference
+from the predecessor (with the usual 1-byte length header). On sorted
+dense keys this approaches ~2 bytes/row regardless of the declared
+width.
+
+Non-integer columns fall back to plain null suppression, mirroring how
+real systems pick a per-column encoding.
+
+Stored size per column: ``(1 + width_first) + sum_{i>0} (1 + width(delta_i))``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import CompressionError
+from repro.storage.schema import Schema
+from repro.storage.types import (BigIntType, DataType, IntegerType,
+                                 minimal_int_bytes)
+from repro.compression.base import (CompressedBlock, CompressedColumn,
+                                    CompressionAlgorithm, PageSizeTracker)
+from repro.compression.null_suppression import NullSuppression
+
+_MODE_NS_FALLBACK = 0
+_MODE_DELTA = 1
+
+
+def _is_integer(dtype: DataType) -> bool:
+    return isinstance(dtype, (IntegerType, BigIntType))
+
+
+def delta_stored_size(previous: int | None, value: int) -> int:
+    """Bytes one value costs: header + minimal width of (value - prev)."""
+    if previous is None:
+        return 1 + minimal_int_bytes(value)
+    return 1 + minimal_int_bytes(value - previous)
+
+
+class DeltaEncoding(CompressionAlgorithm):
+    """Per-page delta encoding of integer columns."""
+
+    scope = "page"
+    name = "delta"
+
+    def __init__(self) -> None:
+        self._ns = NullSuppression()
+
+    def compress(self, records: Sequence[bytes], schema: Schema,
+                 ) -> CompressedBlock:
+        if not records:
+            raise CompressionError("cannot compress an empty record set")
+        columns = self.columnize(records, schema)
+        compressed = tuple(
+            self._compress_column(col.dtype, slices)
+            for col, slices in zip(schema.columns, columns))
+        return CompressedBlock(algorithm=self.name, row_count=len(records),
+                               columns=compressed)
+
+    def _compress_column(self, dtype: DataType, slices: list[bytes],
+                         ) -> CompressedColumn:
+        if not _is_integer(dtype):
+            inner = self._ns._compress_column(dtype, slices)
+            blob = bytes([_MODE_NS_FALLBACK]) + inner.blob
+            return CompressedColumn(blob, inner.payload_size)
+        parts: list[bytes] = [bytes([_MODE_DELTA])]
+        payload = 0
+        previous: int | None = None
+        for slice_ in slices:
+            value = dtype.decode(slice_)
+            stored = value if previous is None else value - previous
+            width = minimal_int_bytes(stored)
+            parts.append(width.to_bytes(1, "big"))
+            parts.append(stored.to_bytes(width, "big", signed=True))
+            payload += 1 + width
+            previous = value
+        return CompressedColumn(b"".join(parts), payload)
+
+    def decompress(self, block: CompressedBlock, schema: Schema,
+                   ) -> list[bytes]:
+        if len(block.columns) != len(schema):
+            raise CompressionError(
+                f"block has {len(block.columns)} columns, schema has "
+                f"{len(schema)}")
+        columns = [
+            self._decompress_column(col.dtype, comp.blob,
+                                    block.row_count)
+            for col, comp in zip(schema.columns, block.columns)]
+        return self.recordize(columns)
+
+    def _decompress_column(self, dtype: DataType, blob: bytes,
+                           count: int) -> list[bytes]:
+        if not blob:
+            raise CompressionError("empty delta blob")
+        mode = blob[0]
+        body = blob[1:]
+        if mode == _MODE_NS_FALLBACK:
+            return self._ns._decompress_column(dtype, body, count)
+        if mode != _MODE_DELTA or not _is_integer(dtype):
+            raise CompressionError(
+                f"invalid delta mode {mode} for {dtype.name}")
+        out: list[bytes] = []
+        offset = 0
+        previous: int | None = None
+        for _ in range(count):
+            if offset >= len(body):
+                raise CompressionError("truncated delta stream")
+            width = body[offset]
+            offset += 1
+            chunk = body[offset:offset + width]
+            if len(chunk) != width:
+                raise CompressionError("truncated delta value")
+            offset += width
+            stored = int.from_bytes(chunk, "big", signed=True)
+            value = stored if previous is None else previous + stored
+            out.append(dtype.encode(value))
+            previous = value
+        if offset != len(body):
+            raise CompressionError(
+                f"{len(body) - offset} trailing bytes in delta blob")
+        return out
+
+    def make_tracker(self, schema: Schema) -> PageSizeTracker:
+        return _DeltaTracker(self, schema)
+
+
+class _DeltaTracker(PageSizeTracker):
+    """Incremental delta size: remembers the previous integer per column.
+
+    Non-integer columns are tracked by a plain NS tracker over the
+    sub-schema that contains only them.
+    """
+
+    def __init__(self, algorithm: DeltaEncoding, schema: Schema) -> None:
+        self._schema = schema
+        self._previous: list[int | None] = [None] * len(schema)
+        self._fallback_positions = [
+            position for position, col in enumerate(schema.columns)
+            if not _is_integer(col.dtype)]
+        if self._fallback_positions:
+            sub_schema = Schema([schema.columns[p]
+                                 for p in self._fallback_positions])
+            self._ns_tracker = algorithm._ns.make_tracker(sub_schema)
+        else:
+            self._ns_tracker = None
+        self._size = 0
+        self._rows = 0
+
+    def _sub_slices(self, column_slices: Sequence[bytes]) -> list[bytes]:
+        return [column_slices[p] for p in self._fallback_positions]
+
+    def _integer_cost(self, column_slices: Sequence[bytes]) -> int:
+        cost = 0
+        for position, col in enumerate(self._schema.columns):
+            if _is_integer(col.dtype):
+                value = col.dtype.decode(column_slices[position])
+                cost += delta_stored_size(self._previous[position],
+                                          value)
+        return cost
+
+    def add(self, column_slices: Sequence[bytes]) -> None:
+        self._size += self._integer_cost(column_slices)
+        for position, col in enumerate(self._schema.columns):
+            if _is_integer(col.dtype):
+                self._previous[position] = col.dtype.decode(
+                    column_slices[position])
+        if self._ns_tracker is not None:
+            self._ns_tracker.add(self._sub_slices(column_slices))
+        self._rows += 1
+
+    def size_with(self, column_slices: Sequence[bytes]) -> int:
+        total = self.size + self._integer_cost(column_slices)
+        if self._ns_tracker is not None:
+            total += self._ns_tracker.size_with(
+                self._sub_slices(column_slices)) - self._ns_tracker.size
+        return total
+
+    @property
+    def size(self) -> int:
+        if self._ns_tracker is not None:
+            return self._size + self._ns_tracker.size
+        return self._size
+
+    @property
+    def row_count(self) -> int:
+        return self._rows

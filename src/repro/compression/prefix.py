@@ -1,0 +1,224 @@
+"""Per-page prefix compression — an extension algorithm.
+
+SQL Server's PAGE compression begins with a *column prefix* pass: the
+longest common prefix of a column's values on the page is stored once in
+the page's compression-information area, and each value stores only its
+remainder. We implement the same idea for CHAR columns (after pad
+stripping); other types fall back to plain null suppression, which is
+what real systems effectively do when no useful prefix exists.
+
+Stored size per CHAR column on a page with common prefix ``P``::
+
+    (c + |P|)  +  sum_i (c + l_i - |P|)
+
+where ``c`` is the NS length header and ``l_i`` the null-suppressed
+length of value *i*.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.constants import PAD_BYTE
+from repro.errors import CompressionError
+from repro.storage.schema import Schema
+from repro.storage.types import (BigIntType, CharType, DataType, IntegerType,
+                                 VarCharType, minimal_int_bytes)
+from repro.compression.base import (CompressedBlock, CompressedColumn,
+                                    CompressionAlgorithm, PageSizeTracker)
+from repro.compression.null_suppression import (NullSuppression,
+                                                ns_header_bytes)
+
+_MODE_NS_FALLBACK = 0
+_MODE_PREFIX = 1
+
+
+def common_prefix(values: Sequence[bytes]) -> bytes:
+    """Longest common prefix of a non-empty sequence of byte strings."""
+    if not values:
+        raise CompressionError("no values to take a prefix of")
+    prefix = os.path.commonprefix(list(values))
+    return bytes(prefix)
+
+
+class PrefixCompression(CompressionAlgorithm):
+    """Per-page longest-common-prefix factoring for CHAR columns."""
+
+    scope = "page"
+    name = "prefix"
+
+    def __init__(self) -> None:
+        self._ns = NullSuppression()
+
+    def compress(self, records: Sequence[bytes], schema: Schema,
+                 ) -> CompressedBlock:
+        if not records:
+            raise CompressionError("cannot compress an empty record set")
+        columns = self.columnize(records, schema)
+        compressed = tuple(
+            self._compress_column(col.dtype, slices)
+            for col, slices in zip(schema.columns, columns))
+        return CompressedBlock(algorithm=self.name, row_count=len(records),
+                               columns=compressed)
+
+    def _compress_column(self, dtype: DataType, slices: list[bytes],
+                         ) -> CompressedColumn:
+        if not isinstance(dtype, CharType):
+            inner = self._ns._compress_column(dtype, slices)
+            blob = bytes([_MODE_NS_FALLBACK]) + inner.blob
+            return CompressedColumn(blob, inner.payload_size)
+        header = ns_header_bytes(dtype)
+        stripped = [slice_.rstrip(PAD_BYTE) for slice_ in slices]
+        prefix = common_prefix(stripped)
+        parts: list[bytes] = [
+            bytes([_MODE_PREFIX]),
+            len(prefix).to_bytes(header, "big"),
+            prefix,
+        ]
+        payload = header + len(prefix)
+        for value in stripped:
+            remainder = value[len(prefix):]
+            parts.append(len(remainder).to_bytes(header, "big"))
+            parts.append(remainder)
+            payload += header + len(remainder)
+        return CompressedColumn(b"".join(parts), payload)
+
+    def decompress(self, block: CompressedBlock, schema: Schema,
+                   ) -> list[bytes]:
+        if len(block.columns) != len(schema):
+            raise CompressionError(
+                f"block has {len(block.columns)} columns, schema has "
+                f"{len(schema)}")
+        columns = [
+            self._decompress_column(col.dtype, comp.blob, block.row_count)
+            for col, comp in zip(schema.columns, block.columns)]
+        return self.recordize(columns)
+
+    def _decompress_column(self, dtype: DataType, blob: bytes, count: int,
+                           ) -> list[bytes]:
+        if not blob:
+            raise CompressionError("empty prefix blob")
+        mode = blob[0]
+        body = blob[1:]
+        if mode == _MODE_NS_FALLBACK:
+            return self._ns._decompress_column(dtype, body, count)
+        if mode != _MODE_PREFIX or not isinstance(dtype, CharType):
+            raise CompressionError(
+                f"invalid prefix mode {mode} for {dtype.name}")
+        header = ns_header_bytes(dtype)
+        prefix_len = int.from_bytes(body[0:header], "big")
+        offset = header
+        prefix = body[offset:offset + prefix_len]
+        if len(prefix) != prefix_len:
+            raise CompressionError("truncated common prefix")
+        offset += prefix_len
+        out: list[bytes] = []
+        for _ in range(count):
+            rem_len = int.from_bytes(body[offset:offset + header], "big")
+            offset += header
+            remainder = body[offset:offset + rem_len]
+            if len(remainder) != rem_len:
+                raise CompressionError("truncated prefix remainder")
+            offset += rem_len
+            out.append((prefix + remainder).ljust(dtype.k, PAD_BYTE))
+        if offset != len(body):
+            raise CompressionError(
+                f"{len(body) - offset} trailing bytes in prefix blob")
+        return out
+
+    def make_tracker(self, schema: Schema) -> PageSizeTracker:
+        return _PrefixTracker(schema)
+
+
+class _PrefixTracker(PageSizeTracker):
+    """Incremental prefix-compression size.
+
+    Maintains the running common prefix per CHAR column and the sum of
+    null-suppressed lengths; when a new record shortens the common
+    prefix, previously stored remainders grow, which the closed form
+    ``(c + |P|) + sum(c + l_i) - rows * |P|`` captures without rescanning.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._ns = NullSuppression()
+        self._prefixes: list[bytes | None] = [None] * len(schema)
+        self._length_sums = [0] * len(schema)
+        self._ns_size = 0  # fallback columns' running NS size
+        self._rows = 0
+
+    @staticmethod
+    def _merge_prefix(current: bytes | None, value: bytes) -> bytes:
+        if current is None:
+            return value
+        limit = min(len(current), len(value))
+        i = 0
+        while i < limit and current[i] == value[i]:
+            i += 1
+        return current[:i]
+
+    def _char_column_size(self, position: int, prefix: bytes | None,
+                          length_sum: int, rows: int) -> int:
+        dtype = self._schema.columns[position].dtype
+        header = ns_header_bytes(dtype)
+        prefix_len = len(prefix) if prefix is not None else 0
+        return (header + prefix_len) + rows * header \
+            + length_sum - rows * prefix_len
+
+    def _total(self, prefixes: list[bytes | None], length_sums: list[int],
+               ns_size: int, rows: int) -> int:
+        total = ns_size
+        for position, col in enumerate(self._schema.columns):
+            if isinstance(col.dtype, CharType):
+                total += self._char_column_size(
+                    position, prefixes[position], length_sums[position],
+                    rows)
+        return total
+
+    def _ns_record_size(self, column_slices: Sequence[bytes]) -> int:
+        total = 0
+        for position, col in enumerate(self._schema.columns):
+            dtype = col.dtype
+            if isinstance(dtype, CharType):
+                continue
+            slice_ = column_slices[position]
+            if isinstance(dtype, VarCharType):
+                total += len(slice_)
+            elif isinstance(dtype, (IntegerType, BigIntType)):
+                total += 1 + minimal_int_bytes(dtype.decode(slice_))
+            else:
+                raise CompressionError(
+                    f"prefix compression unsupported for {dtype.name}")
+        return total
+
+    def add(self, column_slices: Sequence[bytes]) -> None:
+        for position, col in enumerate(self._schema.columns):
+            if isinstance(col.dtype, CharType):
+                stripped = bytes(column_slices[position]).rstrip(PAD_BYTE)
+                self._prefixes[position] = self._merge_prefix(
+                    self._prefixes[position], stripped)
+                self._length_sums[position] += len(stripped)
+        self._ns_size += self._ns_record_size(column_slices)
+        self._rows += 1
+
+    def size_with(self, column_slices: Sequence[bytes]) -> int:
+        prefixes = list(self._prefixes)
+        length_sums = list(self._length_sums)
+        for position, col in enumerate(self._schema.columns):
+            if isinstance(col.dtype, CharType):
+                stripped = bytes(column_slices[position]).rstrip(PAD_BYTE)
+                prefixes[position] = self._merge_prefix(
+                    prefixes[position], stripped)
+                length_sums[position] += len(stripped)
+        ns_size = self._ns_size + self._ns_record_size(column_slices)
+        return self._total(prefixes, length_sums, ns_size, self._rows + 1)
+
+    @property
+    def size(self) -> int:
+        return self._total(self._prefixes, self._length_sums,
+                           self._ns_size, self._rows)
+
+    @property
+    def row_count(self) -> int:
+        return self._rows

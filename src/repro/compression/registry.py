@@ -1,0 +1,60 @@
+"""Name-based construction of compression algorithms.
+
+The estimator is configured with algorithm *names* in experiment specs
+and on example command lines; this registry turns names into instances.
+New algorithms register a factory at import time, which is also how a
+downstream user would plug a custom technique into SampleCF (the
+estimator is agnostic, so registration is all it takes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import CompressionError
+from repro.compression.base import CompressionAlgorithm
+from repro.compression.delta import DeltaEncoding
+from repro.compression.dictionary import DictionaryCompression
+from repro.compression.global_dictionary import GlobalDictionaryCompression
+from repro.compression.null_suppression import NullSuppression
+from repro.compression.page_compression import PageCompression
+from repro.compression.prefix import PrefixCompression
+from repro.compression.rle import RunLengthEncoding
+
+_FACTORIES: dict[str, Callable[..., CompressionAlgorithm]] = {}
+
+
+def register_algorithm(name: str,
+                       factory: Callable[..., CompressionAlgorithm],
+                       ) -> None:
+    """Register a factory under ``name`` (overwrites are rejected)."""
+    if name in _FACTORIES:
+        raise CompressionError(f"algorithm {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def get_algorithm(name: str, **kwargs) -> CompressionAlgorithm:
+    """Instantiate the algorithm registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise CompressionError(
+            f"unknown compression algorithm {name!r}; "
+            f"known: {sorted(_FACTORIES)}") from None
+    return factory(**kwargs)
+
+
+def list_algorithms() -> list[str]:
+    """Sorted names of all registered algorithms."""
+    return sorted(_FACTORIES)
+
+
+register_algorithm("null_suppression", NullSuppression)
+register_algorithm(
+    "null_suppression_runs", lambda **kw: NullSuppression(mode="runs", **kw))
+register_algorithm("dictionary", DictionaryCompression)
+register_algorithm("global_dictionary", GlobalDictionaryCompression)
+register_algorithm("rle", RunLengthEncoding)
+register_algorithm("prefix", PrefixCompression)
+register_algorithm("page", PageCompression)
+register_algorithm("delta", DeltaEncoding)

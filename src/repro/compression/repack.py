@@ -1,0 +1,98 @@
+"""Repacking records into pages *after* compression.
+
+Compressing pages in place does not reduce the number of allocated pages;
+real systems rebuild the object so each page is refilled to capacity with
+compressed data. This module performs that rebuild: records are walked in
+key order and assigned to pages greedily, using each algorithm's
+incremental :class:`~repro.compression.base.PageSizeTracker` to know the
+page's compressed payload size *if* the next record were added.
+
+The interplay matters for page-scoped dictionary compression: packing
+more rows per page lets one dictionary entry cover more occurrences,
+which is exactly the paging effect (the ``Pg(i)`` term) the paper isolates
+away in its simplified model — and which the `abl-paging` experiment
+quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constants import PAGE_HEADER_SIZE
+from repro.errors import CompressionError
+from repro.storage.schema import Schema
+from repro.compression.base import CompressionAlgorithm
+
+#: Bytes reserved in each compressed page for compression metadata
+#: (anchor/prefix info pointers, dictionary offsets) beyond the normal
+#: page header; mirrors the "CI structure" of SQL Server page compression.
+COMPRESSION_INFO_BYTES: int = 8
+
+
+@dataclass(frozen=True)
+class RepackedPage:
+    """One rebuilt page: which records landed on it and its payload size."""
+
+    record_start: int
+    record_count: int
+    payload_size: int
+
+
+@dataclass(frozen=True)
+class RepackResult:
+    """Outcome of repacking an index's records."""
+
+    pages: tuple[RepackedPage, ...]
+    page_size: int
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def payload_size(self) -> int:
+        return sum(page.payload_size for page in self.pages)
+
+    @property
+    def physical_bytes(self) -> int:
+        return self.num_pages * self.page_size
+
+
+def compressed_page_capacity(page_size: int) -> int:
+    """Payload budget of one compressed page."""
+    capacity = page_size - PAGE_HEADER_SIZE - COMPRESSION_INFO_BYTES
+    if capacity <= 0:
+        raise CompressionError(
+            f"page size {page_size} leaves no room for compressed payload")
+    return capacity
+
+
+def repack(records: Sequence[bytes], schema: Schema,
+           algorithm: CompressionAlgorithm, page_size: int,
+           ) -> RepackResult:
+    """Greedily refill pages with compressed records in the given order.
+
+    Each page holds as many records as keep the algorithm's incremental
+    compressed size within :func:`compressed_page_capacity`. A record
+    whose solo compressed size exceeds the capacity still gets its own
+    page (the engine-level analogue of a jumbo record).
+    """
+    if not records:
+        raise CompressionError("cannot repack an empty record set")
+    capacity = compressed_page_capacity(page_size)
+    pages: list[RepackedPage] = []
+    tracker = algorithm.make_tracker(schema)
+    start = 0
+    for position, record in enumerate(records):
+        slices = algorithm.columnize([record], schema)
+        column_slices = [column[0] for column in slices]
+        if tracker.row_count > 0 \
+                and tracker.size_with(column_slices) > capacity:
+            pages.append(RepackedPage(start, tracker.row_count,
+                                      tracker.size))
+            start = position
+            tracker = algorithm.make_tracker(schema)
+        tracker.add(column_slices)
+    pages.append(RepackedPage(start, tracker.row_count, tracker.size))
+    return RepackResult(tuple(pages), page_size)

@@ -1,0 +1,339 @@
+"""Value histograms and closed-form compression-fraction models.
+
+The paper's analysis (Section III) works entirely in terms of the value
+*multiset* of the indexed column: ``n`` rows, ``d`` distinct values,
+null-suppressed lengths ``l_i``. A :class:`ColumnHistogram` captures that
+multiset exactly — distinct values plus their counts — and scales to the
+paper's 100-million-row Example 1, because sampling from a table under
+uniform row sampling is distributionally identical to a multinomial (or
+hypergeometric) draw over its histogram.
+
+The closed forms implemented here:
+
+* :func:`ns_cf` — Section III-A:
+  ``CF_NS = sum_i cnt_i * (l_i + c) / (n * k)``
+* :func:`global_dictionary_cf` — Section III-B's simplified model:
+  ``CF_D = (d * k + n * p) / (n * k) = d/n + p/k``
+* :func:`paged_dictionary_cf` — Section III-B's full model with paging:
+  ``CF_D = (sum_i Pg(i) * k + n * p) / (n * k)`` where ``Pg(i)`` is the
+  number of leaf pages value *i* occupies in the sorted clustered layout
+* :func:`paged_rle_cf` — the RLE extension's analogue (one run per value
+  per page it spans).
+
+In ``payload`` accounting these models agree *exactly* with compressing
+the real index built by :mod:`repro.storage` — the integration tests
+assert byte equality, which is what lets theorem-level results verified
+against the models transfer to the engine.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, Literal, Mapping, Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_PAGE_SIZE, DEFAULT_POINTER_BYTES
+from repro.errors import EstimationError
+from repro.sampling.rng import SeedLike, make_rng
+from repro.storage.page import records_per_page
+from repro.storage.types import DataType
+from repro.compression.dictionary import (EntryStorage, _entry_stored_size,
+                                          pointer_bytes_for)
+from repro.compression.null_suppression import NSMode, ns_header_bytes
+from repro.compression.rle import RUN_COUNT_BYTES
+
+Order = Literal["sorted", "shuffled"]
+
+
+class ColumnHistogram:
+    """Exact value multiset of one column: distinct values and counts."""
+
+    def __init__(self, dtype: DataType, values: Sequence[Any],
+                 counts: Sequence[int] | np.ndarray) -> None:
+        values = tuple(values)
+        counts_array = np.asarray(counts, dtype=np.int64)
+        if len(values) != counts_array.shape[0]:
+            raise EstimationError(
+                f"{len(values)} values but {counts_array.shape[0]} counts")
+        if len(values) == 0:
+            raise EstimationError("a histogram needs at least one value")
+        if len(set(values)) != len(values):
+            raise EstimationError("histogram values must be distinct")
+        if np.any(counts_array <= 0):
+            raise EstimationError("histogram counts must be positive")
+        for value in values:
+            dtype.validate(value)
+        self.dtype = dtype
+        self.values = values
+        self.counts = counts_array
+        self._sorted_cache: "ColumnHistogram | None" = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, dtype: DataType, values: Iterable[Any],
+                    ) -> "ColumnHistogram":
+        """Histogram of an explicit value sequence (e.g. a table column)."""
+        counter = Counter(values)
+        if not counter:
+            raise EstimationError("no values supplied")
+        distinct = list(counter)
+        return cls(dtype, distinct, [counter[v] for v in distinct])
+
+    @classmethod
+    def from_counts(cls, dtype: DataType,
+                    items: Mapping[Any, int] | Iterable[tuple[Any, int]],
+                    ) -> "ColumnHistogram":
+        """Histogram from ``value -> count`` pairs."""
+        if isinstance(items, Mapping):
+            pairs = list(items.items())
+        else:
+            pairs = list(items)
+        if not pairs:
+            raise EstimationError("no counts supplied")
+        values = [value for value, _ in pairs]
+        counts = [count for _, count in pairs]
+        return cls(dtype, values, counts)
+
+    def with_counts(self, counts: Sequence[int] | np.ndarray,
+                    ) -> "ColumnHistogram":
+        """Same distinct values with new counts; zero-count values drop.
+
+        This is how samplers express "the histogram of the sample".
+        """
+        counts_array = np.asarray(counts, dtype=np.int64)
+        if counts_array.shape[0] != len(self.values):
+            raise EstimationError(
+                f"expected {len(self.values)} counts, "
+                f"got {counts_array.shape[0]}")
+        keep = counts_array > 0
+        if not np.any(keep):
+            raise EstimationError("sample histogram would be empty")
+        values = [value for value, kept in zip(self.values, keep) if kept]
+        return ColumnHistogram(self.dtype, values, counts_array[keep])
+
+    # ------------------------------------------------------------------
+    # Basic statistics
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total number of rows."""
+        return int(self.counts.sum())
+
+    @property
+    def d(self) -> int:
+        """Number of distinct values."""
+        return len(self.values)
+
+    def frequency_of_frequencies(self) -> dict[int, int]:
+        """``f_j``: how many distinct values occur exactly ``j`` times."""
+        unique, tallies = np.unique(self.counts, return_counts=True)
+        return {int(j): int(t) for j, t in zip(unique, tallies)}
+
+    # ------------------------------------------------------------------
+    # Size vectors
+    # ------------------------------------------------------------------
+    def uncompressed_value_sizes(self) -> np.ndarray:
+        """Uncompressed stored bytes of each distinct value."""
+        return np.asarray(
+            [self.dtype.encoded_size(value) for value in self.values],
+            dtype=np.int64)
+
+    @property
+    def total_bytes(self) -> int:
+        """Uncompressed bytes of the whole column (the CF denominator)."""
+        return int((self.uncompressed_value_sizes() * self.counts).sum())
+
+    def ns_stored_sizes(self, mode: NSMode = "trailing") -> np.ndarray:
+        """Per-distinct-value stored size under null suppression."""
+        from repro.compression.null_suppression import ns_stored_size
+
+        return np.asarray(
+            [ns_stored_size(self.dtype, value, mode)
+             for value in self.values],
+            dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Ordering and materialisation
+    # ------------------------------------------------------------------
+    def sorted_by_value(self) -> "ColumnHistogram":
+        """Histogram with values in index-key order (cached).
+
+        Python-value order equals encoded-byte order for every supported
+        type (latin-1 CHAR and sign-flipped integers), so this is the
+        order a clustered index lays rows out in.
+        """
+        if self._sorted_cache is None:
+            order = sorted(range(self.d), key=lambda i: self.values[i])
+            histogram = ColumnHistogram(
+                self.dtype, [self.values[i] for i in order],
+                self.counts[order])
+            histogram._sorted_cache = histogram
+            self._sorted_cache = histogram
+        return self._sorted_cache
+
+    def expand(self, order: Order = "sorted",
+               seed: SeedLike = None) -> list[Any]:
+        """Materialise the multiset as a list of values.
+
+        ``sorted`` gives the clustered layout; ``shuffled`` a random heap
+        layout (used by the block-sampling ablation).
+        """
+        source = self.sorted_by_value()
+        expanded: list[Any] = []
+        for value, count in zip(source.values, source.counts):
+            expanded.extend([value] * int(count))
+        if order == "sorted":
+            return expanded
+        if order == "shuffled":
+            rng = make_rng(seed)
+            permutation = rng.permutation(len(expanded))
+            return [expanded[int(i)] for i in permutation]
+        raise EstimationError(f"unknown expansion order {order!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ColumnHistogram(dtype={self.dtype.name}, n={self.n}, "
+                f"d={self.d})")
+
+
+# ----------------------------------------------------------------------
+# Closed-form CF models
+# ----------------------------------------------------------------------
+def uncompressed_bytes(histogram: ColumnHistogram) -> int:
+    """Uncompressed column size in bytes (``n * k`` for CHAR columns)."""
+    return histogram.total_bytes
+
+
+def ns_cf(histogram: ColumnHistogram, mode: NSMode = "trailing") -> float:
+    """Section III-A: ``CF_NS = sum cnt * (l + c) / (n * k)``."""
+    stored = histogram.ns_stored_sizes(mode)
+    return float((stored * histogram.counts).sum()) / histogram.total_bytes
+
+
+def _entry_sizes(histogram: ColumnHistogram,
+                 entry_storage: EntryStorage) -> np.ndarray:
+    """Dictionary entry bytes per distinct value."""
+    return np.asarray(
+        [_entry_stored_size(histogram.dtype,
+                            histogram.dtype.encode(value), entry_storage)
+         for value in histogram.values],
+        dtype=np.int64)
+
+
+def global_dictionary_cf(histogram: ColumnHistogram,
+                         pointer_bytes: int | None = DEFAULT_POINTER_BYTES,
+                         entry_storage: EntryStorage = "fixed") -> float:
+    """Section III-B simplified model: ``(d*k + n*p) / (n*k)``.
+
+    With ``entry_storage="fixed"`` and a CHAR(k) column this is literally
+    ``d/n + p/k``; the general form supports NS'd entries and other
+    types.
+    """
+    width = pointer_bytes if pointer_bytes is not None \
+        else pointer_bytes_for(histogram.d)
+    entries = int(_entry_sizes(histogram, entry_storage).sum())
+    compressed = entries + histogram.n * width
+    return compressed / histogram.total_bytes
+
+
+def pages_spanned(histogram: ColumnHistogram, rows_per_page: int,
+                  ) -> np.ndarray:
+    """The paper's ``Pg(i)``: pages each value occupies, sorted layout."""
+    if rows_per_page <= 0:
+        raise EstimationError(
+            f"rows per page must be positive, got {rows_per_page}")
+    ordered = histogram.sorted_by_value()
+    ends = np.cumsum(ordered.counts)
+    starts = ends - ordered.counts
+    return (ends - 1) // rows_per_page - starts // rows_per_page + 1
+
+
+def layout_rows_per_page(histogram: ColumnHistogram,
+                         page_size: int = DEFAULT_PAGE_SIZE,
+                         record_bytes: int | None = None,
+                         fill_factor: float = 1.0) -> int:
+    """Rows per leaf page for the index layout being modelled.
+
+    ``record_bytes`` defaults to the column's own width (single-column
+    clustered index, the paper's canonical setting); pass the full leaf
+    record width for multi-column or non-clustered indexes.
+    """
+    if record_bytes is None:
+        fixed = histogram.dtype.fixed_size
+        if fixed is None:
+            raise EstimationError(
+                "paged models need a fixed record size; pass record_bytes")
+        record_bytes = fixed
+    return records_per_page(int(fill_factor * page_size), record_bytes)
+
+
+def paged_dictionary_cf(histogram: ColumnHistogram,
+                        pointer_bytes: int | None = DEFAULT_POINTER_BYTES,
+                        entry_storage: EntryStorage = "fixed",
+                        page_size: int = DEFAULT_PAGE_SIZE,
+                        record_bytes: int | None = None,
+                        fill_factor: float = 1.0) -> float:
+    """Section III-B full model: ``(sum Pg(i)*k + n*p) / (n*k)``.
+
+    Each distinct value is stored once in every page it occupies (the
+    in-lined per-page dictionary), and every row stores a pointer.
+    Requires a fixed ``pointer_bytes``: with a derived width the pointer
+    size would vary per page, which is exactly the complication the
+    paper's simplified model avoids.
+    """
+    if pointer_bytes is None:
+        raise EstimationError(
+            "the paged dictionary model needs a fixed pointer width")
+    rows_per_page = layout_rows_per_page(
+        histogram, page_size, record_bytes, fill_factor)
+    ordered = histogram.sorted_by_value()
+    spans = pages_spanned(ordered, rows_per_page)
+    entries = _entry_sizes(ordered, entry_storage)
+    compressed = int((spans * entries).sum()) + ordered.n * pointer_bytes
+    return compressed / ordered.total_bytes
+
+
+def paged_rle_cf(histogram: ColumnHistogram,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 record_bytes: int | None = None,
+                 fill_factor: float = 1.0) -> float:
+    """RLE on a sorted clustered layout: one run per value per page."""
+    rows_per_page = layout_rows_per_page(
+        histogram, page_size, record_bytes, fill_factor)
+    ordered = histogram.sorted_by_value()
+    spans = pages_spanned(ordered, rows_per_page)
+    header = ns_header_bytes(ordered.dtype)
+    bodies = ordered.ns_stored_sizes("trailing") - header
+    run_sizes = RUN_COUNT_BYTES + header + bodies
+    compressed = int((spans * run_sizes).sum())
+    return compressed / ordered.total_bytes
+
+
+def expected_distinct_in_sample(histogram: ColumnHistogram, r: int,
+                                with_replacement: bool = True) -> float:
+    """``E[d']`` for a uniform sample of ``r`` rows.
+
+    With replacement: ``sum_i 1 - (1 - cnt_i/n)^r``; without:
+    ``sum_i 1 - C(n - cnt_i, r) / C(n, r)``.
+    """
+    if r <= 0:
+        raise EstimationError(f"sample size must be positive, got {r}")
+    n = histogram.n
+    counts = histogram.counts.astype(np.float64)
+    if with_replacement:
+        log_miss = r * np.log1p(-counts / n)
+        return float((1.0 - np.exp(log_miss)).sum())
+    if r > n:
+        raise EstimationError(
+            f"cannot draw {r} rows from {n} without replacement")
+    from scipy.special import gammaln  # local: scipy optional elsewhere
+
+    log_total = gammaln(n + 1) - gammaln(r + 1) - gammaln(n - r + 1)
+    remaining = n - counts
+    with np.errstate(invalid="ignore"):
+        log_miss = (gammaln(remaining + 1) - gammaln(r + 1)
+                    - gammaln(remaining - r + 1) - log_total)
+    miss = np.where(remaining >= r, np.exp(log_miss), 0.0)
+    return float((1.0 - miss).sum())

@@ -1,0 +1,146 @@
+"""Confidence intervals for compression-fraction estimates.
+
+Two complementary constructions:
+
+* :func:`ns_confidence_interval` — distribution-free normal interval for
+  null suppression, powered by Theorem 1's standard-deviation bound.
+  Because the bound is worst-case, the interval is conservative (its
+  actual coverage exceeds the nominal level), which the tests verify.
+* :func:`bootstrap_cf_ci` — percentile bootstrap over the *sample
+  histogram*: resample ``r`` rows from the sample with replacement,
+  recompute the plug-in CF, take percentiles. Works for any algorithm
+  with a histogram model (including dictionary compression, where no
+  clean parametric interval exists).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import ndtri
+
+from repro.errors import EstimationError
+from repro.sampling.rng import SeedLike, make_rng
+from repro.sampling.row_samplers import WithReplacementSampler
+from repro.compression.base import CompressionAlgorithm
+from repro.core.bounds import ns_stddev_bound_range
+from repro.core.cf_models import ColumnHistogram
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval around a point estimate."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    method: str
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.estimate <= self.high:
+            raise EstimationError(
+                f"malformed interval [{self.low}, {self.high}] around "
+                f"{self.estimate}")
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def _z_value(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError(
+            f"confidence must be in (0, 1), got {confidence}")
+    return float(ndtri(0.5 + confidence / 2.0))
+
+
+def ns_confidence_interval(estimate: float, r: int,
+                           confidence: float = 0.95,
+                           stored_fraction_range: tuple[float, float] =
+                           (0.0, 1.0)) -> ConfidenceInterval:
+    """Conservative normal interval for a null-suppression estimate.
+
+    Theorem 1 bounds the estimator's standard deviation by
+    ``(b - a) / (2 sqrt(r))`` where ``[a, b]`` contains the per-tuple
+    stored fraction (``[0, 1]`` with no further knowledge); the interval
+    is ``estimate ± z * bound`` clipped to the feasible CF range.
+    """
+    if r <= 0:
+        raise EstimationError(f"sample size must be positive, got {r}")
+    low_fraction, high_fraction = stored_fraction_range
+    sigma = ns_stddev_bound_range(r, low_fraction, high_fraction)
+    z = _z_value(confidence)
+    half = z * sigma
+    return ConfidenceInterval(
+        estimate=estimate,
+        low=max(0.0, estimate - half),
+        high=min(1.0, max(estimate, estimate + half)),
+        confidence=confidence,
+        method="normal_theorem1")
+
+
+def bootstrap_cf_ci(sample: ColumnHistogram,
+                    algorithm: CompressionAlgorithm,
+                    confidence: float = 0.95,
+                    n_boot: int = 200,
+                    seed: SeedLike = None,
+                    **layout) -> ConfidenceInterval:
+    """Percentile bootstrap interval from a sampled histogram.
+
+    Resamples the observed sample (with replacement, same size), so it
+    captures the sampling variability of the plug-in CF without any
+    distributional assumption. Note that for dictionary compression the
+    plug-in is *biased* (Section III-B) and the bootstrap inherits that
+    bias — the interval is about variability, not about correcting bias.
+    """
+    if n_boot < 10:
+        raise EstimationError(
+            f"need at least 10 bootstrap replicates, got {n_boot}")
+    rng = make_rng(seed)
+    sampler = WithReplacementSampler()
+    point = float(algorithm.cf_from_histogram(sample, **layout))
+    replicates = np.empty(n_boot, dtype=np.float64)
+    for b in range(n_boot):
+        resample = sampler.sample_histogram(sample, sample.n, rng)
+        replicates[b] = algorithm.cf_from_histogram(resample, **layout)
+    tail = (1.0 - confidence) / 2.0
+    low = float(np.quantile(replicates, tail))
+    high = float(np.quantile(replicates, 1.0 - tail))
+    return ConfidenceInterval(
+        estimate=point,
+        low=min(low, point),
+        high=max(high, point),
+        confidence=confidence,
+        method="bootstrap_percentile")
+
+
+def ns_sample_size_for_width(target_halfwidth: float,
+                             confidence: float = 0.95,
+                             stored_fraction_range: tuple[float, float] =
+                             (0.0, 1.0)) -> int:
+    """Smallest ``r`` whose Theorem 1 interval half-width meets a target.
+
+    Inverts ``z (b - a) / (2 sqrt(r)) <= target``: the planning question
+    a physical-design tool asks before paying for a sample scan.
+    """
+    if target_halfwidth <= 0:
+        raise EstimationError(
+            f"target half-width must be positive, got {target_halfwidth}")
+    low_fraction, high_fraction = stored_fraction_range
+    if not 0.0 <= low_fraction <= high_fraction:
+        raise EstimationError(
+            f"invalid stored-fraction range [{low_fraction}, "
+            f"{high_fraction}]")
+    z = _z_value(confidence)
+    spread = high_fraction - low_fraction
+    if spread == 0.0:
+        return 1
+    needed = (z * spread / (2.0 * target_halfwidth)) ** 2
+    return max(1, math.ceil(needed))

@@ -1,0 +1,162 @@
+"""Distinct-value estimators (the hardness connection, paper ref [1]).
+
+Section III-B shows that estimating the dictionary-compression fraction
+reduces to estimating the number of distinct values ``d``, which Charikar
+et al. (PODS 2000) proved cannot be done from a uniform sample without a
+ratio error of ``Omega(sqrt(n/r))`` in the worst case. SampleCF
+side-steps the issue by *implicitly* using the plug-in ``d_hat = d'``
+scaled by the sample size (``d'/r`` against ``d/n``).
+
+This module implements the classical estimators from that literature so
+the `abl-distinct` ablation can ask: *would a better distinct-value
+estimator beat SampleCF's implicit one?*
+
+All estimators consume the sample's frequency-of-frequencies ``f_j``
+(how many distinct values occur exactly ``j`` times in the sample),
+``r`` (sample rows) and ``n`` (table rows).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from repro.errors import EstimationError
+from repro.core.cf_models import ColumnHistogram
+
+
+def _validate_inputs(freqs: Mapping[int, int], r: int, n: int) -> None:
+    if r <= 0 or n <= 0:
+        raise EstimationError(f"need positive r and n, got r={r}, n={n}")
+    if r > n:
+        raise EstimationError(f"sample of {r} exceeds population {n}")
+    if not freqs:
+        raise EstimationError("empty frequency-of-frequencies")
+    total = sum(j * count for j, count in freqs.items())
+    if total != r:
+        raise EstimationError(
+            f"frequency-of-frequencies sums to {total}, expected r={r}")
+    if any(j <= 0 or count < 0 for j, count in freqs.items()):
+        raise EstimationError("invalid frequency-of-frequencies entries")
+
+
+class DistinctValueEstimator(ABC):
+    """Estimates the table's distinct count ``d`` from a sample."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def estimate(self, freqs: Mapping[int, int], r: int, n: int) -> float:
+        """Estimate ``d`` given sample frequency-of-frequencies."""
+
+    def estimate_from_histogram(self, sample: ColumnHistogram,
+                                n: int) -> float:
+        """Convenience: consume a sampled histogram directly."""
+        return self.estimate(sample.frequency_of_frequencies(),
+                             sample.n, n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SampleDistinct(DistinctValueEstimator):
+    """SampleCF's implicit estimator: ``d_hat = d' * n / r``.
+
+    Plugging this into ``d_hat/n + p/k`` recovers exactly the SampleCF
+    dictionary estimate ``d'/r + p/k``, so this is the baseline the
+    other estimators are compared against.
+    """
+
+    name = "scale_up"
+
+    def estimate(self, freqs: Mapping[int, int], r: int, n: int) -> float:
+        _validate_inputs(freqs, r, n)
+        d_sample = sum(freqs.values())
+        return d_sample * n / r
+
+
+class Chao84(DistinctValueEstimator):
+    """Chao's 1984 lower-bound estimator: ``d' + f1^2 / (2 f2)``.
+
+    With no doubletons (``f2 = 0``) the bias-corrected form
+    ``d' + f1 (f1 - 1) / 2`` is used.
+    """
+
+    name = "chao84"
+
+    def estimate(self, freqs: Mapping[int, int], r: int, n: int) -> float:
+        _validate_inputs(freqs, r, n)
+        d_sample = sum(freqs.values())
+        f1 = freqs.get(1, 0)
+        f2 = freqs.get(2, 0)
+        if f2 > 0:
+            estimate = d_sample + (f1 * f1) / (2.0 * f2)
+        else:
+            estimate = d_sample + f1 * (f1 - 1) / 2.0
+        return min(estimate, float(n))
+
+
+class GEE(DistinctValueEstimator):
+    """Guaranteed-Error Estimator of Charikar et al. (PODS 2000).
+
+    ``d_hat = sqrt(n/r) * f1 + sum_{j >= 2} f_j`` — achieves the optimal
+    worst-case ratio error ``O(sqrt(n/r))`` matching their lower bound.
+    """
+
+    name = "gee"
+
+    def estimate(self, freqs: Mapping[int, int], r: int, n: int) -> float:
+        _validate_inputs(freqs, r, n)
+        f1 = freqs.get(1, 0)
+        higher = sum(count for j, count in freqs.items() if j >= 2)
+        estimate = math.sqrt(n / r) * f1 + higher
+        return min(max(estimate, float(sum(freqs.values()))), float(n))
+
+
+class Shlosser(DistinctValueEstimator):
+    """Shlosser's estimator (good under skew when ``f`` is small).
+
+    ``d_hat = d' + f1 * sum_i (1-q)^i f_i / sum_i i q (1-q)^{i-1} f_i``
+    with ``q = r/n``.
+    """
+
+    name = "shlosser"
+
+    def estimate(self, freqs: Mapping[int, int], r: int, n: int) -> float:
+        _validate_inputs(freqs, r, n)
+        d_sample = sum(freqs.values())
+        q = r / n
+        if q >= 1.0:
+            return float(d_sample)
+        numerator = sum(((1 - q) ** j) * count
+                        for j, count in freqs.items())
+        denominator = sum(j * q * ((1 - q) ** (j - 1)) * count
+                          for j, count in freqs.items())
+        if denominator <= 0:
+            return float(d_sample)
+        f1 = freqs.get(1, 0)
+        estimate = d_sample + f1 * numerator / denominator
+        return min(estimate, float(n))
+
+
+#: All estimators, keyed by name (used by the ablation bench).
+DISTINCT_ESTIMATORS: dict[str, DistinctValueEstimator] = {
+    estimator.name: estimator
+    for estimator in (SampleDistinct(), Chao84(), GEE(), Shlosser())
+}
+
+
+def dictionary_cf_from_distinct(d_hat: float, n: int, k: int,
+                                p: int) -> float:
+    """Plug a distinct-count estimate into the simplified dictionary model.
+
+    ``CF_hat = min(d_hat, n)/n + p/k`` — the bridge from any distinct
+    estimator to a compression-fraction estimator.
+    """
+    if n <= 0 or k <= 0 or p <= 0:
+        raise EstimationError(
+            f"need positive n, k, p; got n={n}, k={k}, p={p}")
+    if d_hat < 0:
+        raise EstimationError(f"distinct estimate must be >= 0, got {d_hat}")
+    return min(d_hat, float(n)) / n + p / k

@@ -1,0 +1,117 @@
+"""Compression-fraction and estimator-accuracy metrics.
+
+Definitions follow Section II of the paper:
+
+* **Compression fraction**: ``CF = size(compressed) / size(uncompressed)``
+  — between 0 and 1 outside degenerate cases; lower is better.
+* **Ratio error** of an estimate ``CF'`` against the truth ``CF``:
+  ``max(CF/CF', CF'/CF)`` — always >= 1, with 1 meaning exact.
+
+:class:`ErrorSummary` aggregates repeated estimation trials into the
+quantities the paper's results are stated in (bias, variance/std-dev,
+expected ratio error) plus the usual extras (RMSE, quantiles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+def compression_fraction(compressed_bytes: int | float,
+                         uncompressed_bytes: int | float) -> float:
+    """``CF = compressed / uncompressed``; denominator must be positive."""
+    if uncompressed_bytes <= 0:
+        raise EstimationError(
+            f"uncompressed size must be positive, got {uncompressed_bytes}")
+    if compressed_bytes < 0:
+        raise EstimationError(
+            f"compressed size must be non-negative, got {compressed_bytes}")
+    return compressed_bytes / uncompressed_bytes
+
+
+def space_savings(cf: float) -> float:
+    """``1 - CF``: fraction of storage reclaimed by compressing."""
+    return 1.0 - cf
+
+
+def ratio_error(true_cf: float, estimated_cf: float) -> float:
+    """``max(CF/CF', CF'/CF)``; >= 1, equality iff the estimate is exact."""
+    if true_cf <= 0 or estimated_cf <= 0:
+        raise EstimationError(
+            f"ratio error needs positive fractions, got true={true_cf}, "
+            f"estimate={estimated_cf}")
+    return max(true_cf / estimated_cf, estimated_cf / true_cf)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Accuracy of an estimator over repeated independent trials."""
+
+    true_value: float
+    trials: int
+    mean: float
+    std: float
+    bias: float
+    mse: float
+    mean_ratio_error: float
+    max_ratio_error: float
+    q05: float
+    q50: float
+    q95: float
+
+    @property
+    def variance(self) -> float:
+        return self.std ** 2
+
+    @property
+    def rmse(self) -> float:
+        return math.sqrt(self.mse)
+
+    @property
+    def relative_bias(self) -> float:
+        """Bias as a fraction of the true value."""
+        if self.true_value == 0:
+            raise EstimationError("relative bias undefined for truth 0")
+        return self.bias / self.true_value
+
+    @classmethod
+    def from_estimates(cls, true_value: float,
+                       estimates: Sequence[float] | np.ndarray,
+                       ) -> "ErrorSummary":
+        """Summarise raw estimates from repeated trials."""
+        data = np.asarray(estimates, dtype=np.float64)
+        if data.size == 0:
+            raise EstimationError("no estimates to summarise")
+        if true_value <= 0:
+            raise EstimationError(
+                f"true value must be positive, got {true_value}")
+        if np.any(data <= 0):
+            raise EstimationError("estimates must be positive")
+        ratio_errors = np.maximum(true_value / data, data / true_value)
+        std = float(data.std(ddof=1)) if data.size > 1 else 0.0
+        return cls(
+            true_value=float(true_value),
+            trials=int(data.size),
+            mean=float(data.mean()),
+            std=std,
+            bias=float(data.mean() - true_value),
+            mse=float(((data - true_value) ** 2).mean()),
+            mean_ratio_error=float(ratio_errors.mean()),
+            max_ratio_error=float(ratio_errors.max()),
+            q05=float(np.quantile(data, 0.05)),
+            q50=float(np.quantile(data, 0.50)),
+            q95=float(np.quantile(data, 0.95)),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"truth={self.true_value:.6f} mean={self.mean:.6f} "
+                f"bias={self.bias:+.6f} std={self.std:.6f} "
+                f"ratio_err(mean={self.mean_ratio_error:.4f}, "
+                f"max={self.max_ratio_error:.4f}) trials={self.trials}")

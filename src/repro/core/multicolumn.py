@@ -1,0 +1,172 @@
+"""Multi-column index support for the histogram fast path.
+
+Section II-A: "In the case of multi-column indexes, each column is
+compressed independently", and Section III notes the analysis "extends
+for the case of multi-column indexes in a straightforward manner". This
+module is that straightforward extension, made precise:
+
+* a :class:`TableHistogram` holds one :class:`ColumnHistogram` per
+  column (plus the fixed leaf-record width so paged models know the
+  rows-per-page);
+* the CF of the index is the byte-weighted combination of the
+  per-column CFs::
+
+      CF = sum_c compressed_c / sum_c uncompressed_c
+
+* SampleCF over a table histogram draws one sample size ``r`` and
+  applies the column-level model to each column's sampled histogram.
+
+Modelling note: the columns of one sampled row are drawn together, so
+per-column sampled histograms are *marginally* exact but jointly
+correlated. Since each column's compressed size depends only on its own
+marginal, the combined estimate has exactly the right expectation; only
+the trial-to-trial variance of the *sum* can differ from the
+independent-columns approximation used here when population columns are
+correlated. The integration tests compare against the storage path on
+real multi-column tables to validate the approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constants import DEFAULT_PAGE_SIZE
+from repro.errors import EstimationError
+from repro.sampling.base import RowSampler, rows_for_fraction
+from repro.sampling.rng import SeedLike, make_rng
+from repro.sampling.row_samplers import WithReplacementSampler
+from repro.compression.base import CompressionAlgorithm
+from repro.compression.registry import get_algorithm
+from repro.core.cf_models import ColumnHistogram
+
+
+class TableHistogram:
+    """Per-column value histograms of one index's leaf records."""
+
+    def __init__(self, columns: Sequence[ColumnHistogram],
+                 names: Sequence[str] | None = None) -> None:
+        columns = list(columns)
+        if not columns:
+            raise EstimationError("need at least one column histogram")
+        sizes = {histogram.n for histogram in columns}
+        if len(sizes) != 1:
+            raise EstimationError(
+                f"column histograms disagree on row count: {sizes}")
+        for histogram in columns:
+            if histogram.dtype.fixed_size is None:
+                raise EstimationError(
+                    "multi-column models need fixed-width columns")
+        if names is None:
+            names = [f"c{i}" for i in range(len(columns))]
+        names = list(names)
+        if len(names) != len(columns):
+            raise EstimationError(
+                f"{len(names)} names for {len(columns)} columns")
+        self.columns = tuple(columns)
+        self.names = tuple(names)
+
+    @property
+    def n(self) -> int:
+        """Rows in the index."""
+        return self.columns[0].n
+
+    @property
+    def record_bytes(self) -> int:
+        """Fixed leaf-record width: the sum of the column widths."""
+        return sum(histogram.dtype.fixed_size
+                   for histogram in self.columns)
+
+    @property
+    def total_bytes(self) -> int:
+        """Uncompressed leaf payload: ``n * record_bytes``."""
+        return self.n * self.record_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{name}:{histogram.dtype.name}"
+            for name, histogram in zip(self.names, self.columns))
+        return f"TableHistogram(n={self.n}, [{inner}])"
+
+
+def multicolumn_cf(table: TableHistogram,
+                   algorithm: CompressionAlgorithm | str,
+                   page_size: int = DEFAULT_PAGE_SIZE,
+                   fill_factor: float = 1.0) -> float:
+    """Exact CF of a multi-column index under the given algorithm.
+
+    Each column contributes its own compressed bytes; paged algorithms
+    see the *full record width* when computing rows per page, exactly
+    as the engine packs leaves.
+
+    Paged-model caveat: a clustered multi-column index sorts rows by the
+    full key, so only the **leading** column is guaranteed to form
+    contiguous runs. For trailing columns the paged dictionary/RLE
+    models are upper approximations; the layout-free models (NS, global
+    dictionary) are exact regardless. The integration tests quantify
+    this against the engine.
+    """
+    if isinstance(algorithm, str):
+        algorithm = get_algorithm(algorithm)
+    record_bytes = table.record_bytes
+    compressed = 0.0
+    for histogram in table.columns:
+        column_cf = algorithm.cf_from_histogram(
+            histogram, page_size=page_size, record_bytes=record_bytes,
+            fill_factor=fill_factor)
+        compressed += column_cf * histogram.total_bytes
+    return compressed / table.total_bytes
+
+
+@dataclass(frozen=True)
+class MultiColumnEstimate:
+    """Outcome of a multi-column SampleCF run on the histogram path."""
+
+    estimate: float
+    sample_rows: int
+    sampling_fraction: float
+    algorithm: str
+    per_column: dict
+
+
+def sample_multicolumn_cf(table: TableHistogram, fraction: float,
+                          algorithm: CompressionAlgorithm | str,
+                          sampler: RowSampler | None = None,
+                          page_size: int = DEFAULT_PAGE_SIZE,
+                          fill_factor: float = 1.0,
+                          seed: SeedLike = None) -> MultiColumnEstimate:
+    """SampleCF for a multi-column index, column-independent model."""
+    if isinstance(algorithm, str):
+        algorithm = get_algorithm(algorithm)
+    sampler = sampler if sampler is not None else WithReplacementSampler()
+    rng = make_rng(seed)
+    r = rows_for_fraction(table.n, fraction)
+    record_bytes = table.record_bytes
+    compressed = 0.0
+    uncompressed = 0
+    per_column: dict = {}
+    for name, histogram in zip(table.names, table.columns):
+        sample = sampler.sample_histogram(histogram, r, rng)
+        column_cf = algorithm.cf_from_histogram(
+            sample, page_size=page_size, record_bytes=record_bytes,
+            fill_factor=fill_factor)
+        per_column[name] = column_cf
+        compressed += column_cf * sample.total_bytes
+        uncompressed += sample.total_bytes
+    return MultiColumnEstimate(
+        estimate=compressed / uncompressed,
+        sample_rows=r,
+        sampling_fraction=fraction,
+        algorithm=algorithm.name,
+        per_column=per_column)
+
+
+def table_histogram_from_table(table, columns: Sequence[str],
+                               ) -> TableHistogram:
+    """Build a :class:`TableHistogram` from a storage-engine table."""
+    histograms = []
+    for column in columns:
+        dtype = table.schema[column].dtype
+        histograms.append(ColumnHistogram.from_values(
+            dtype, table.column_values(column)))
+    return TableHistogram(histograms, names=columns)

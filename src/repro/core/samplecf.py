@@ -1,0 +1,297 @@
+"""The SampleCF estimator — Figure 2 of the paper.
+
+::
+
+    Algorithm SampleCF (T, f, S, C)
+      // Table T, sampling fraction f, index columns S, compression C
+      1. T' = uniform random sample of f*n rows from T
+      2. Build index I'(S) on T'
+      3. Compress index I' using C
+      4. Return CF for index I'
+
+Three execution paths share the same estimator object:
+
+* :meth:`SampleCF.estimate_table` — the literal algorithm against the
+  storage engine: draw rows, bulk-load a real index on them, compress
+  its leaf pages, report the sample's CF. Supports every sampler,
+  including block sampling, and every registered algorithm.
+* :meth:`SampleCF.estimate_index` — sample the leaves of an *existing*
+  index instead of the base table (Section II-C notes this cheaper
+  variant).
+* :meth:`SampleCF.estimate_histogram` — the closed-form fast path over a
+  :class:`~repro.core.cf_models.ColumnHistogram`; distributionally
+  identical to the storage path for model-able algorithms and fast
+  enough for the paper's 100M-row Example 1.
+
+Ground truth comes from :func:`true_cf_table` / :func:`true_cf_histogram`
+(compress everything, no sampling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.constants import DEFAULT_PAGE_SIZE
+from repro.errors import EstimationError, SamplingError
+from repro.sampling.base import RowSampler, rows_for_fraction
+from repro.sampling.block import BlockSampler
+from repro.sampling.rng import SeedLike, make_rng
+from repro.sampling.row_samplers import WithReplacementSampler
+from repro.storage.index import Accounting, Index, IndexKind
+from repro.storage.record import decode_record
+from repro.storage.table import Table
+from repro.compression.base import CompressionAlgorithm
+from repro.compression.registry import get_algorithm
+from repro.core.cf_models import ColumnHistogram
+
+
+@dataclass(frozen=True)
+class SampleCFEstimate:
+    """Outcome of one SampleCF run."""
+
+    #: The estimate CF' — the compression fraction observed on the sample.
+    estimate: float
+    #: Rows actually sampled (``r``; random for Bernoulli/block designs).
+    sample_rows: int
+    #: The requested sampling fraction ``f``.
+    sampling_fraction: float
+    #: Compression algorithm name (``C`` in the paper's pseudocode).
+    algorithm: str
+    #: Size accounting used (``payload`` reproduces the paper's model).
+    accounting: str
+    #: Which execution path produced the estimate.
+    path: str
+    #: Uncompressed bytes of the sampled index (CF' denominator).
+    uncompressed_sample_bytes: int
+    #: Compressed bytes of the sampled index (CF' numerator).
+    compressed_sample_bytes: int
+    #: Distinct key values observed in the sample (``d'``), if tracked.
+    sample_distinct: int | None = None
+    #: Extra path-specific diagnostics.
+    details: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.estimate <= 0:
+            raise EstimationError(
+                f"SampleCF produced a non-positive estimate "
+                f"{self.estimate}")
+
+
+class SampleCF:
+    """The sampling-based compression-fraction estimator.
+
+    Parameters
+    ----------
+    algorithm:
+        A :class:`CompressionAlgorithm` instance or registered name.
+    sampler:
+        Sampling design; defaults to the paper's uniform-with-replacement
+        tuple sampler. :class:`BlockSampler` is accepted on the table
+        path only (block sampling has no layout-free histogram model).
+    accounting:
+        ``payload`` (paper model, default) or ``physical``.
+    repack:
+        Whether compressed pages are repacked to capacity (``physical``
+        realism knob; see :meth:`Index.compress`).
+    page_size / fill_factor:
+        Layout of the index built on the sample.
+    """
+
+    def __init__(self, algorithm: CompressionAlgorithm | str,
+                 sampler: RowSampler | BlockSampler | None = None,
+                 accounting: Accounting = "payload",
+                 repack: bool = False,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 fill_factor: float = 1.0) -> None:
+        if isinstance(algorithm, str):
+            algorithm = get_algorithm(algorithm)
+        self.algorithm = algorithm
+        self.sampler = sampler if sampler is not None \
+            else WithReplacementSampler()
+        self.accounting: Accounting = accounting
+        self.repack = repack
+        self.page_size = page_size
+        self.fill_factor = fill_factor
+
+    # ------------------------------------------------------------------
+    # Storage path (the literal Figure 2 algorithm)
+    # ------------------------------------------------------------------
+    def estimate_table(self, table: Table, fraction: float,
+                       key_columns: Sequence[str],
+                       kind: IndexKind = IndexKind.CLUSTERED,
+                       seed: SeedLike = None) -> SampleCFEstimate:
+        """Run SampleCF against a real table."""
+        if table.num_rows == 0:
+            raise EstimationError("cannot estimate over an empty table")
+        rng = make_rng(seed)
+        r = rows_for_fraction(table.num_rows, fraction)
+        if isinstance(self.sampler, BlockSampler):
+            block = self.sampler.sample_records(list(table.pages()), r, rng)
+            rows = [decode_record(table.schema, record)
+                    for record in block.records]
+            rids = list(block.rids)
+            path = "block"
+            extra = {"pages_sampled": len(block.page_ids),
+                     "pages_available": block.pages_available}
+        else:
+            positions = self.sampler.sample_positions(
+                table.num_rows, r, rng)
+            rows = table.rows_at([int(p) for p in positions])
+            rids = [table.rid_at(int(p)) for p in positions]
+            path = "storage"
+            extra = {}
+        sample_index = Index(
+            "samplecf_sample", table.schema, key_columns, kind=kind,
+            page_size=self.page_size, fill_factor=self.fill_factor)
+        sample_index.build(list(zip(rows, rids)))
+        result = sample_index.compress(
+            self.algorithm, accounting=self.accounting,
+            repack_pages=self.repack)
+        distinct = len({sample_index.key_of(row) for row in rows})
+        return SampleCFEstimate(
+            estimate=result.compression_fraction,
+            sample_rows=len(rows),
+            sampling_fraction=fraction,
+            algorithm=self.algorithm.name,
+            accounting=self.accounting,
+            path=path,
+            uncompressed_sample_bytes=result.uncompressed_bytes,
+            compressed_sample_bytes=result.compressed_bytes,
+            sample_distinct=distinct,
+            details={"pages_before": result.pages_before,
+                     "pages_after": result.pages_after, **extra})
+
+    def estimate_index(self, index: Index, fraction: float,
+                       seed: SeedLike = None) -> SampleCFEstimate:
+        """Run SampleCF by sampling an existing index's leaf entries."""
+        if index.num_entries == 0:
+            raise EstimationError("cannot estimate over an empty index")
+        if isinstance(self.sampler, BlockSampler):
+            return self._estimate_index_blocks(index, fraction, seed)
+        rng = make_rng(seed)
+        records = list(index.leaf_records())
+        r = rows_for_fraction(len(records), fraction)
+        positions = self.sampler.sample_positions(len(records), r, rng)
+        sampled = [records[int(p)] for p in positions]
+        return self._finish_index_sample(index, sampled, fraction,
+                                         path="index")
+
+    def _estimate_index_blocks(self, index: Index, fraction: float,
+                               seed: SeedLike) -> SampleCFEstimate:
+        rng = make_rng(seed)
+        pages = list(index.leaf_pages())
+        r = rows_for_fraction(index.num_entries, fraction)
+        block = self.sampler.sample_records(pages, r, rng)
+        estimate = self._finish_index_sample(
+            index, list(block.records), fraction, path="index_block")
+        estimate.details.update(pages_sampled=len(block.page_ids),
+                                pages_available=block.pages_available)
+        return estimate
+
+    def _finish_index_sample(self, index: Index, sampled: list[bytes],
+                             fraction: float, path: str,
+                             ) -> SampleCFEstimate:
+        sample_index = index.clone_with_records(sampled)
+        result = sample_index.compress(
+            self.algorithm, accounting=self.accounting,
+            repack_pages=self.repack)
+        distinct = len({index.leaf_record_key(record)
+                        for record in sampled})
+        return SampleCFEstimate(
+            estimate=result.compression_fraction,
+            sample_rows=len(sampled),
+            sampling_fraction=fraction,
+            algorithm=self.algorithm.name,
+            accounting=self.accounting,
+            path=path,
+            uncompressed_sample_bytes=result.uncompressed_bytes,
+            compressed_sample_bytes=result.compressed_bytes,
+            sample_distinct=distinct,
+            details={"pages_before": result.pages_before,
+                     "pages_after": result.pages_after})
+
+    # ------------------------------------------------------------------
+    # Histogram fast path
+    # ------------------------------------------------------------------
+    def estimate_histogram(self, histogram: ColumnHistogram,
+                           fraction: float, seed: SeedLike = None,
+                           record_bytes: int | None = None,
+                           ) -> SampleCFEstimate:
+        """Run SampleCF in closed form over a value histogram.
+
+        Distributionally identical to the storage path under ``payload``
+        accounting (integration tests verify this), and the only
+        practical path at the paper's Example 1 scale.
+        """
+        if isinstance(self.sampler, BlockSampler):
+            raise SamplingError(
+                "block sampling depends on the physical layout; use "
+                "estimate_table/estimate_index")
+        if self.accounting != "payload":
+            raise EstimationError(
+                "the histogram path models payload accounting only")
+        rng = make_rng(seed)
+        r = rows_for_fraction(histogram.n, fraction)
+        sample = self.sampler.sample_histogram(histogram, r, rng)
+        estimate = self.algorithm.cf_from_histogram(
+            sample, page_size=self.page_size,
+            record_bytes=record_bytes, fill_factor=self.fill_factor)
+        uncompressed = sample.total_bytes
+        return SampleCFEstimate(
+            estimate=estimate,
+            sample_rows=sample.n,
+            sampling_fraction=fraction,
+            algorithm=self.algorithm.name,
+            accounting=self.accounting,
+            path="histogram",
+            uncompressed_sample_bytes=uncompressed,
+            compressed_sample_bytes=round(estimate * uncompressed),
+            sample_distinct=sample.d,
+            details={})
+
+
+# ----------------------------------------------------------------------
+# Figure 2 convenience wrapper and ground truth
+# ----------------------------------------------------------------------
+def sample_cf(table: Table, fraction: float, columns: Sequence[str],
+              algorithm: CompressionAlgorithm | str,
+              kind: IndexKind = IndexKind.CLUSTERED,
+              seed: SeedLike = None) -> float:
+    """The paper's ``SampleCF(T, f, S, C)`` as a one-call function."""
+    estimator = SampleCF(algorithm)
+    return estimator.estimate_table(
+        table, fraction, columns, kind=kind, seed=seed).estimate
+
+
+def true_cf_table(table: Table, key_columns: Sequence[str],
+                  algorithm: CompressionAlgorithm | str,
+                  kind: IndexKind = IndexKind.CLUSTERED,
+                  accounting: Accounting = "payload",
+                  repack: bool = False,
+                  page_size: int = DEFAULT_PAGE_SIZE,
+                  fill_factor: float = 1.0) -> float:
+    """Exact CF: build the full index and compress all of it."""
+    if isinstance(algorithm, str):
+        algorithm = get_algorithm(algorithm)
+    index = Index("truth", table.schema, key_columns, kind=kind,
+                  page_size=page_size, fill_factor=fill_factor)
+    pairs = [(row, table.rid_at(position))
+             for position, row in enumerate(table.rows())]
+    index.build(pairs)
+    result = index.compress(algorithm, accounting=accounting,
+                            repack_pages=repack)
+    return result.compression_fraction
+
+
+def true_cf_histogram(histogram: ColumnHistogram,
+                      algorithm: CompressionAlgorithm | str,
+                      page_size: int = DEFAULT_PAGE_SIZE,
+                      record_bytes: int | None = None,
+                      fill_factor: float = 1.0) -> float:
+    """Exact CF in closed form over the full histogram."""
+    if isinstance(algorithm, str):
+        algorithm = get_algorithm(algorithm)
+    return algorithm.cf_from_histogram(
+        histogram, page_size=page_size, record_bytes=record_bytes,
+        fill_factor=fill_factor)

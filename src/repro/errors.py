@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class. Subsystems raise the most specific
+subclass that applies; constructors accept a human-readable message and
+optionally attach structured context as attributes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or a row does not satisfy schema constraints."""
+
+
+class EncodingError(ReproError):
+    """A value cannot be encoded to, or decoded from, its on-page bytes."""
+
+
+class PageError(ReproError):
+    """Base class for page-level storage errors."""
+
+
+class PageFullError(PageError):
+    """A record does not fit into the remaining free space of a page."""
+
+    def __init__(self, message: str, *, record_bytes: int | None = None,
+                 free_bytes: int | None = None) -> None:
+        super().__init__(message)
+        self.record_bytes = record_bytes
+        self.free_bytes = free_bytes
+
+
+class PageFormatError(PageError):
+    """A serialized page image is malformed and cannot be parsed."""
+
+
+class RecordNotFoundError(ReproError, LookupError):
+    """A RID or key does not resolve to a stored record."""
+
+
+class IndexError_(ReproError):
+    """An index operation failed (build, insert, or scan).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class CompressionError(ReproError):
+    """A compression algorithm could not process the given records."""
+
+
+class SamplingError(ReproError):
+    """A sampler received invalid parameters or an empty population."""
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce an estimate (degenerate input)."""
+
+
+class AdvisorError(ReproError):
+    """The physical-design advisor received an infeasible problem."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification or run is invalid."""

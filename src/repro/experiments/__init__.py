@@ -1,0 +1,26 @@
+"""Experiment harness: trial running, reporting, and the artefact registry."""
+
+from repro.experiments.registry import (EXPERIMENTS, ExperimentSpec,
+                                        get_experiment, list_experiments)
+from repro.experiments.report import (banner, fmt_bytes, fmt_float,
+                                      format_markdown_table, format_table)
+from repro.experiments.runner import (SweepPoint, Timed, run_trials,
+                                      summarize_trials, sweep, timed)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "SweepPoint",
+    "Timed",
+    "banner",
+    "fmt_bytes",
+    "fmt_float",
+    "format_markdown_table",
+    "format_table",
+    "get_experiment",
+    "list_experiments",
+    "run_trials",
+    "summarize_trials",
+    "sweep",
+    "timed",
+]

@@ -1,0 +1,77 @@
+"""Paper-style table and series formatting.
+
+Benches print the rows a paper table would contain and the series a
+figure would plot; this module renders them as aligned ASCII so the
+harness output is directly comparable to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ExperimentError
+
+
+def fmt_float(value: float, digits: int = 4) -> str:
+    """Fixed-point rendering used throughout reports."""
+    return f"{value:.{digits}f}"
+
+
+def fmt_bytes(size: float) -> str:
+    """Human-readable byte count (binary units)."""
+    magnitude = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(magnitude) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(magnitude)} B"
+            return f"{magnitude:.1f} {unit}"
+        magnitude /= 1024.0
+    raise ExperimentError("unreachable")  # pragma: no cover
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ExperimentError("a table needs headers")
+    cells = [[str(cell) for cell in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(header.ljust(width)
+                            for header, width in zip(headers, widths)))
+    lines.append(rule)
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[Any]]) -> str:
+    """Render a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    if not headers:
+        raise ExperimentError("a table needs headers")
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def banner(title: str, width: int = 72) -> str:
+    """Section banner used between bench outputs."""
+    bar = "=" * width
+    return f"\n{bar}\n{title}\n{bar}"

@@ -1,0 +1,84 @@
+"""Multi-trial experiment execution with reproducible seeding.
+
+An estimation experiment is "run the estimator T times with independent
+randomness, compare against the truth". The runner owns the seeding
+discipline (one master seed spawns independent child generators, so any
+trial can be replayed) and returns :class:`ErrorSummary` objects ready
+for the report formatter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.sampling.rng import SeedLike, spawn_rngs
+from repro.core.metrics import ErrorSummary
+
+#: A trial function: receives a dedicated Generator, returns an estimate.
+TrialFn = Callable[[np.random.Generator], float]
+
+
+def run_trials(trial: TrialFn, trials: int,
+               seed: SeedLike = None) -> np.ndarray:
+    """Run ``trial`` with ``trials`` independent generators."""
+    if trials <= 0:
+        raise ExperimentError(f"need a positive trial count, got {trials}")
+    generators = spawn_rngs(seed, trials)
+    return np.asarray([trial(rng) for rng in generators],
+                      dtype=np.float64)
+
+
+def summarize_trials(true_value: float, trial: TrialFn, trials: int,
+                     seed: SeedLike = None) -> ErrorSummary:
+    """Run trials and fold them into an :class:`ErrorSummary`."""
+    estimates = run_trials(trial, trials, seed)
+    return ErrorSummary.from_estimates(true_value, estimates)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    parameter: Any
+    summary: ErrorSummary
+    extra: dict
+
+
+def sweep(parameters: Iterable[Any],
+          make_truth_and_trial: Callable[[Any], tuple[float, TrialFn, dict]],
+          trials: int, seed: SeedLike = None) -> list[SweepPoint]:
+    """Evaluate an estimator across a parameter grid.
+
+    ``make_truth_and_trial(parameter)`` returns ``(truth, trial_fn,
+    extra)``; each grid point runs ``trials`` independent trials. Used
+    by the theorem benches (sweep over ``f``, ``n``, or ``alpha``).
+    """
+    points: list[SweepPoint] = []
+    parameters = list(parameters)
+    generators = spawn_rngs(seed, len(parameters))
+    for parameter, rng in zip(parameters, generators):
+        truth, trial, extra = make_truth_and_trial(parameter)
+        summary = summarize_trials(truth, trial, trials, rng)
+        points.append(SweepPoint(parameter=parameter, summary=summary,
+                                 extra=dict(extra)))
+    return points
+
+
+@dataclass(frozen=True)
+class Timed:
+    """Result of a timed call."""
+
+    value: Any
+    seconds: float
+
+
+def timed(fn: Callable[[], Any]) -> Timed:
+    """Wall-clock a callable (used for throughput rows in benches)."""
+    start = time.perf_counter()
+    value = fn()
+    return Timed(value=value, seconds=time.perf_counter() - start)

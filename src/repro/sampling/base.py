@@ -1,0 +1,74 @@
+"""Sampler interfaces.
+
+The paper's analysis assumes *uniform random sampling over all tuples
+with replacement* (Section II-C). Commercial systems use other designs
+(notably block-level sampling), so the sampler is a strategy object:
+every sampler can produce
+
+* **row positions** into a table of ``n`` rows (the storage path), and
+* a **sampled histogram** directly from a value histogram (the fast
+  path), using the exact distributional equivalent — multinomial for
+  with-replacement, multivariate hypergeometric for without-replacement,
+  binomial thinning for Bernoulli.
+
+Keeping both paths on one object is what makes the integration tests
+able to check that they agree.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cf_models import ColumnHistogram
+
+
+def rows_for_fraction(n: int, fraction: float) -> int:
+    """Sample size ``r`` for a sampling fraction ``f`` over ``n`` rows.
+
+    At least one row is always drawn (a zero-row sample cannot be
+    compressed), and the paper's ``r = f * n`` is rounded to nearest.
+    """
+    if n <= 0:
+        raise SamplingError(f"population must be positive, got {n}")
+    if not 0.0 < fraction <= 1.0:
+        raise SamplingError(
+            f"sampling fraction must be in (0, 1], got {fraction}")
+    return max(1, round(fraction * n))
+
+
+class RowSampler(ABC):
+    """Strategy for drawing a row sample."""
+
+    #: Identifier used in experiment configurations and reports.
+    name: str = "abstract"
+
+    #: Whether a row can appear more than once in the sample.
+    with_replacement: bool = False
+
+    @abstractmethod
+    def sample_positions(self, n: int, r: int,
+                         rng: np.random.Generator) -> np.ndarray:
+        """Draw ``r`` row positions from ``range(n)``."""
+
+    @abstractmethod
+    def sample_histogram(self, histogram: "ColumnHistogram", r: int,
+                         rng: np.random.Generator) -> "ColumnHistogram":
+        """Draw the histogram of an ``r``-row sample directly."""
+
+    def _check(self, n: int, r: int) -> None:
+        if n <= 0:
+            raise SamplingError(f"population must be positive, got {n}")
+        if r <= 0:
+            raise SamplingError(f"sample size must be positive, got {r}")
+        if not self.with_replacement and r > n:
+            raise SamplingError(
+                f"cannot draw {r} rows from {n} without replacement")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

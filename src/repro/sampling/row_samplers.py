@@ -1,0 +1,108 @@
+"""Row-level sampling designs.
+
+* :class:`WithReplacementSampler` — the paper's model (Section II-C):
+  uniform over all tuples, with replacement. Histogram equivalent: a
+  multinomial draw over the value counts.
+* :class:`WithoutReplacementSampler` — simple random sampling without
+  replacement, what ``TABLESAMPLE``-style row sampling approximates.
+  Histogram equivalent: multivariate hypergeometric.
+* :class:`BernoulliSampler` — each row kept independently with
+  probability ``f`` (the sample size is random). Histogram equivalent:
+  binomial thinning per distinct value.
+
+All samplers are exact distributional equivalents on both paths, which
+the property tests exploit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.sampling.base import RowSampler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cf_models import ColumnHistogram
+
+
+class WithReplacementSampler(RowSampler):
+    """Uniform tuple sampling with replacement (the paper's model)."""
+
+    name = "with_replacement"
+    with_replacement = True
+
+    def sample_positions(self, n: int, r: int,
+                         rng: np.random.Generator) -> np.ndarray:
+        self._check(n, r)
+        return rng.integers(0, n, size=r)
+
+    def sample_histogram(self, histogram: "ColumnHistogram", r: int,
+                         rng: np.random.Generator) -> "ColumnHistogram":
+        self._check(histogram.n, r)
+        probabilities = histogram.counts / histogram.n
+        sampled = rng.multinomial(r, probabilities)
+        return histogram.with_counts(sampled)
+
+
+class WithoutReplacementSampler(RowSampler):
+    """Simple random sampling without replacement."""
+
+    name = "without_replacement"
+    with_replacement = False
+
+    def sample_positions(self, n: int, r: int,
+                         rng: np.random.Generator) -> np.ndarray:
+        self._check(n, r)
+        return rng.choice(n, size=r, replace=False)
+
+    def sample_histogram(self, histogram: "ColumnHistogram", r: int,
+                         rng: np.random.Generator) -> "ColumnHistogram":
+        self._check(histogram.n, r)
+        counts = histogram.counts.astype(np.int64)
+        sampled = rng.multivariate_hypergeometric(counts, r)
+        return histogram.with_counts(sampled)
+
+
+class BernoulliSampler(RowSampler):
+    """Independent per-row coin flips with probability ``fraction``.
+
+    ``sample_positions`` ignores the requested ``r`` beyond using it to
+    recover the intended fraction when none was given at construction;
+    prefer constructing with an explicit fraction.
+    """
+
+    name = "bernoulli"
+    with_replacement = False
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise SamplingError(
+                f"Bernoulli fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def sample_positions(self, n: int, r: int,
+                         rng: np.random.Generator) -> np.ndarray:
+        if n <= 0:
+            raise SamplingError(f"population must be positive, got {n}")
+        keep = rng.random(n) < self.fraction
+        positions = np.flatnonzero(keep)
+        if positions.size == 0:
+            # A compressible sample needs at least one row; degenerate
+            # empty draws resample one row uniformly (measure-zero event
+            # for realistic n * f).
+            positions = rng.integers(0, n, size=1)
+        return positions
+
+    def sample_histogram(self, histogram: "ColumnHistogram", r: int,
+                         rng: np.random.Generator) -> "ColumnHistogram":
+        counts = histogram.counts.astype(np.int64)
+        sampled = rng.binomial(counts, self.fraction)
+        if sampled.sum() == 0:
+            position = int(rng.integers(0, len(counts)))
+            sampled[position] = 1
+        return histogram.with_counts(sampled)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BernoulliSampler(fraction={self.fraction})"

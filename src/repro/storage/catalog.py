@@ -1,0 +1,197 @@
+"""Database catalog: a named collection of tables with the estimator
+wired in.
+
+This is the outermost facade a downstream user touches — the library's
+equivalent of a database with `sp_estimate_data_compression_savings`:
+
+    db = Database("warehouse")
+    db.create_table("orders", status="char(10)", customer="char(24)")
+    ... insert rows ...
+    report = db.estimate_compression_savings(
+        "orders", ["status"], algorithm="page", fraction=0.01)
+
+It also persists and restores every table through
+:mod:`repro.storage.filestore`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constants import DEFAULT_PAGE_SIZE
+from repro.errors import SchemaError
+from repro.sampling.rng import SeedLike
+from repro.storage.filestore import load_table, save_table
+from repro.storage.index import IndexKind
+from repro.storage.rid import RID_BYTES
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class CompressionSavingsReport:
+    """What `sp_estimate_data_compression_savings` returns, in spirit."""
+
+    table: str
+    key_columns: tuple[str, ...]
+    kind: IndexKind
+    algorithm: str
+    sampling_fraction: float
+    sample_rows: int
+    current_size_bytes: int
+    estimated_cf: float
+
+    @property
+    def estimated_compressed_bytes(self) -> float:
+        return self.estimated_cf * self.current_size_bytes
+
+    @property
+    def estimated_savings_bytes(self) -> float:
+        return self.current_size_bytes - self.estimated_compressed_bytes
+
+    def describe(self) -> str:
+        """One-paragraph human-readable report."""
+        return (
+            f"{self.table}({', '.join(self.key_columns)}) "
+            f"[{self.kind.value}, {self.algorithm}]: "
+            f"{self.current_size_bytes:,} B now, estimated CF "
+            f"{self.estimated_cf:.3f} => "
+            f"{self.estimated_compressed_bytes:,.0f} B "
+            f"(saves {self.estimated_savings_bytes:,.0f} B; "
+            f"{self.sample_rows:,}-row sample, "
+            f"f={self.sampling_fraction:.2%})")
+
+
+class Database:
+    """A named collection of tables sharing a page size."""
+
+    def __init__(self, name: str,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if not name:
+            raise SchemaError("a database needs a non-empty name")
+        self.name = name
+        self.page_size = page_size
+        self.tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, schema: Schema | None = None,
+                     **column_specs: str) -> Table:
+        """Create and register a table.
+
+        Pass an explicit :class:`Schema` or keyword column specs::
+
+            db.create_table("orders", status="char(10)", qty="integer")
+        """
+        if name in self.tables:
+            raise SchemaError(f"table {name!r} already exists")
+        if schema is None:
+            if not column_specs:
+                raise SchemaError("need a schema or column specs")
+            schema = Schema.of(**column_specs)
+        elif column_specs:
+            raise SchemaError("pass a schema or column specs, not both")
+        table = Table(name, schema, page_size=self.page_size)
+        self.tables[name] = table
+        return table
+
+    def attach(self, table: Table) -> Table:
+        """Register an existing table object."""
+        if table.name in self.tables:
+            raise SchemaError(f"table {table.name!r} already exists")
+        self.tables[table.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self.tables:
+            raise SchemaError(f"no table {name!r} in {self.name!r}")
+        del self.tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"no table {name!r} in database {self.name!r}; "
+                f"known: {sorted(self.tables)}") from None
+
+    # ------------------------------------------------------------------
+    # The headline feature
+    # ------------------------------------------------------------------
+    def estimate_compression_savings(
+            self, table_name: str, key_columns: Sequence[str],
+            algorithm="page", fraction: float = 0.01,
+            kind: IndexKind = IndexKind.NONCLUSTERED,
+            seed: SeedLike = None) -> CompressionSavingsReport:
+        """Estimate how much compressing an index would save.
+
+        Runs SampleCF (Figure 2 of the paper) against the named table
+        and reports current vs estimated compressed size, the way
+        `sp_estimate_data_compression_savings` does.
+        """
+        from repro.core.samplecf import SampleCF
+
+        table = self.table(table_name)
+        estimator = SampleCF(algorithm, page_size=self.page_size)
+        estimate = estimator.estimate_table(table, fraction,
+                                            key_columns, kind=kind,
+                                            seed=seed)
+        current = self._uncompressed_bytes(table, key_columns, kind)
+        return CompressionSavingsReport(
+            table=table_name,
+            key_columns=tuple(key_columns),
+            kind=kind,
+            algorithm=estimate.algorithm,
+            sampling_fraction=fraction,
+            sample_rows=estimate.sample_rows,
+            current_size_bytes=current,
+            estimated_cf=estimate.estimate)
+
+    @staticmethod
+    def _uncompressed_bytes(table: Table, key_columns: Sequence[str],
+                            kind: IndexKind) -> int:
+        if kind is IndexKind.CLUSTERED:
+            width = table.schema.fixed_row_size
+            if width is None:
+                raise SchemaError(
+                    "clustered estimates need fixed-width rows")
+            return table.num_rows * width
+        width = 0
+        for column in key_columns:
+            fixed = table.schema[column].dtype.fixed_size
+            if fixed is None:
+                raise SchemaError(
+                    f"column {column!r} is variable-width")
+            width += fixed
+        return table.num_rows * (width + RID_BYTES)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | pathlib.Path) -> None:
+        """Persist every table as ``<directory>/<table>.rpr``."""
+        target = pathlib.Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        for name, table in self.tables.items():
+            save_table(table, target / f"{name}.rpr")
+
+    @classmethod
+    def load(cls, name: str, directory: str | pathlib.Path,
+             page_size: int = DEFAULT_PAGE_SIZE) -> "Database":
+        """Restore a database saved with :meth:`save`."""
+        database = cls(name, page_size=page_size)
+        source = pathlib.Path(directory)
+        for path in sorted(source.glob("*.rpr")):
+            table = load_table(path)
+            database.page_size = table.page_size
+            database.tables[table.name] = table
+        return database
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Database({self.name!r}, "
+                f"tables={sorted(self.tables)})")

@@ -1,0 +1,106 @@
+"""Heap files: unordered collections of pages.
+
+A :class:`HeapFile` is the primary storage for a table's rows. Records are
+appended to the last page and a new page is allocated when the current one
+fills. The heap exposes page-level iteration (needed by block-level
+sampling) as well as record-level scans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.constants import DEFAULT_PAGE_SIZE
+from repro.errors import PageFullError, RecordNotFoundError
+from repro.storage.page import Page, PageType
+from repro.storage.rid import RID
+
+
+class HeapFile:
+    """An append-only sequence of slotted data pages."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self._pages: list[Page] = []
+        self._record_count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, record: bytes) -> RID:
+        """Append a record, allocating a new page if needed."""
+        if not self._pages or not self._pages[-1].fits(record):
+            self._pages.append(
+                Page(self.page_size, page_id=len(self._pages),
+                     page_type=PageType.DATA))
+        page = self._pages[-1]
+        try:
+            slot = page.insert(record)
+        except PageFullError:  # pragma: no cover - fits() guards this
+            raise
+        self._record_count += 1
+        return RID(page.page_id, slot)
+
+    def insert_many(self, records: Iterator[bytes] | list[bytes],
+                    ) -> list[RID]:
+        """Append many records; returns their RIDs in order."""
+        return [self.insert(record) for record in records]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, rid: RID) -> bytes:
+        """Record bytes at ``rid``."""
+        if not 0 <= rid.page_id < len(self._pages):
+            raise RecordNotFoundError(f"no page {rid.page_id} in heap")
+        return self._pages[rid.page_id].get(rid.slot)
+
+    def scan(self) -> Iterator[tuple[RID, bytes]]:
+        """Iterate ``(rid, record)`` over all records in physical order."""
+        for page in self._pages:
+            for slot, record in enumerate(page.records()):
+                yield RID(page.page_id, slot), record
+
+    def records(self) -> Iterator[bytes]:
+        """Iterate record payloads in physical order."""
+        for page in self._pages:
+            yield from page.records()
+
+    def pages(self) -> Iterator[Page]:
+        """Iterate the underlying pages (for block sampling)."""
+        return iter(self._pages)
+
+    def page(self, page_id: int) -> Page:
+        """The page with the given id."""
+        if not 0 <= page_id < len(self._pages):
+            raise RecordNotFoundError(f"no page {page_id} in heap")
+        return self._pages[page_id]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        return self._record_count
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total record bytes across all pages."""
+        return sum(page.payload_bytes for page in self._pages)
+
+    @property
+    def physical_bytes(self) -> int:
+        """Total allocated bytes: ``num_pages * page_size``."""
+        return len(self._pages) * self.page_size
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"HeapFile(pages={self.num_pages}, "
+                f"records={self.num_records}, "
+                f"page_size={self.page_size})")

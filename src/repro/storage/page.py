@@ -1,0 +1,221 @@
+"""Slotted pages with byte-accurate space accounting.
+
+A :class:`Page` models one fixed-size block of storage: a 16-byte header,
+a slot directory that grows from the front, and record payloads that grow
+from the back — the classic slotted-page organisation. The implementation
+keeps records as Python ``bytes`` for convenience but tracks offsets and
+free space *exactly* as the on-disk layout would, and it can round-trip
+through a full ``page_size``-byte image (:meth:`to_bytes` /
+:meth:`from_bytes`), which the tests use to prove the accounting honest.
+
+Two size views matter for compression-fraction work:
+
+* ``payload_bytes`` — the record bytes only. Dividing compressed payload
+  by uncompressed payload reproduces the paper's analytical model with no
+  structural noise.
+* ``used_bytes`` — header + slot directory + payload: what the page really
+  consumes. This powers the engine's ``physical`` accounting mode.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+from typing import Iterator
+
+from repro.constants import (MIN_PAGE_SIZE, PAGE_HEADER_SIZE, SLOT_SIZE)
+from repro.errors import PageFormatError, PageFullError, RecordNotFoundError
+
+
+class PageType(IntEnum):
+    """Role a page plays in the engine."""
+
+    DATA = 0
+    INDEX_LEAF = 1
+    INDEX_INTERNAL = 2
+    COMPRESSED = 3
+
+
+_HEADER_STRUCT = struct.Struct(">IBHHBxxxxxx")  # id, type, slots, free, flags
+
+
+class Page:
+    """One slotted page.
+
+    Parameters
+    ----------
+    page_size:
+        Total size of the page in bytes (header included).
+    page_id:
+        Identifier recorded in the page header.
+    page_type:
+        Role marker stored in the header; informational.
+    """
+
+    def __init__(self, page_size: int, page_id: int = 0,
+                 page_type: PageType = PageType.DATA) -> None:
+        if page_size < MIN_PAGE_SIZE:
+            raise PageFormatError(
+                f"page size {page_size} below minimum {MIN_PAGE_SIZE}")
+        if page_size > 0xFFFF:
+            raise PageFormatError(
+                f"page size {page_size} exceeds 65535 (2-byte slot offsets)")
+        self.page_size = page_size
+        self.page_id = page_id
+        self.page_type = PageType(page_type)
+        self._records: list[bytes] = []
+        self._payload_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        """Number of records stored on this page."""
+        return len(self._records)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total record bytes (no header, no slot directory)."""
+        return self._payload_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        """Header + slot directory + record payload."""
+        return PAGE_HEADER_SIZE + SLOT_SIZE * self.slot_count \
+            + self._payload_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available for new records (and their slots)."""
+        return self.page_size - self.used_bytes
+
+    @staticmethod
+    def usable_bytes(page_size: int) -> int:
+        """Payload capacity of an empty page of ``page_size`` bytes.
+
+        This is an upper bound that ignores the slot directory; use
+        :func:`records_per_page` for the exact fixed-width row count.
+        """
+        return page_size - PAGE_HEADER_SIZE
+
+    def fits(self, record: bytes) -> bool:
+        """Whether ``record`` (plus its slot entry) fits in free space."""
+        return len(record) + SLOT_SIZE <= self.free_bytes
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
+    def insert(self, record: bytes) -> int:
+        """Append a record; returns its slot number.
+
+        Raises :class:`PageFullError` if the record does not fit, and
+        :class:`PageFormatError` for records that could never fit on any
+        page of this size.
+        """
+        needed = len(record) + SLOT_SIZE
+        if len(record) + SLOT_SIZE + PAGE_HEADER_SIZE > self.page_size:
+            raise PageFormatError(
+                f"record of {len(record)} bytes can never fit a "
+                f"{self.page_size}-byte page")
+        if needed > self.free_bytes:
+            raise PageFullError(
+                f"record of {len(record)} bytes does not fit "
+                f"({self.free_bytes} bytes free)",
+                record_bytes=len(record), free_bytes=self.free_bytes)
+        self._records.append(bytes(record))
+        self._payload_bytes += len(record)
+        return len(self._records) - 1
+
+    def get(self, slot: int) -> bytes:
+        """Record bytes stored at ``slot``."""
+        if not 0 <= slot < len(self._records):
+            raise RecordNotFoundError(
+                f"slot {slot} not in page {self.page_id} "
+                f"({len(self._records)} slots)")
+        return self._records[slot]
+
+    def records(self) -> Iterator[bytes]:
+        """Iterate over record payloads in slot order."""
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Page(id={self.page_id}, type={self.page_type.name}, "
+                f"slots={self.slot_count}, used={self.used_bytes}/"
+                f"{self.page_size})")
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialise to a full ``page_size``-byte on-disk image.
+
+        Layout: header, then the slot directory (offset, length per
+        record), free space, then record payloads packed at the page tail
+        in reverse slot order (the classic layout where payload grows
+        backwards toward the directory).
+        """
+        image = bytearray(self.page_size)
+        free_offset = self.page_size
+        directory: list[tuple[int, int]] = []
+        for record in self._records:
+            free_offset -= len(record)
+            image[free_offset:free_offset + len(record)] = record
+            directory.append((free_offset, len(record)))
+        _HEADER_STRUCT.pack_into(
+            image, 0, self.page_id, int(self.page_type),
+            len(self._records), free_offset, 0)
+        cursor = PAGE_HEADER_SIZE
+        for offset, length in directory:
+            struct.pack_into(">HH", image, cursor, offset, length)
+            cursor += SLOT_SIZE
+        return bytes(image)
+
+    @classmethod
+    def from_bytes(cls, image: bytes) -> "Page":
+        """Parse a page image produced by :meth:`to_bytes`."""
+        if len(image) < MIN_PAGE_SIZE:
+            raise PageFormatError(
+                f"page image of {len(image)} bytes is too small")
+        page_id, raw_type, slots, free_offset, _flags = \
+            _HEADER_STRUCT.unpack_from(image, 0)
+        try:
+            page_type = PageType(raw_type)
+        except ValueError as exc:
+            raise PageFormatError(f"unknown page type {raw_type}") from exc
+        page = cls(len(image), page_id=page_id, page_type=page_type)
+        cursor = PAGE_HEADER_SIZE
+        for _ in range(slots):
+            if cursor + SLOT_SIZE > len(image):
+                raise PageFormatError("slot directory overruns page")
+            offset, length = struct.unpack_from(">HH", image, cursor)
+            cursor += SLOT_SIZE
+            if offset + length > len(image) or offset < PAGE_HEADER_SIZE:
+                raise PageFormatError(
+                    f"slot points outside page: offset={offset}, "
+                    f"length={length}")
+            page._records.append(bytes(image[offset:offset + length]))
+            page._payload_bytes += length
+        if page.used_bytes > page.page_size:
+            raise PageFormatError("page image overflows its declared size")
+        return page
+
+
+def records_per_page(page_size: int, record_size: int) -> int:
+    """Exact number of fixed-width records a page can hold.
+
+    Accounts for the header and one slot entry per record. This is the
+    quantity the paged-dictionary model needs to translate a sorted value
+    histogram into page runs (the paper's ``Pg(i)``).
+    """
+    if record_size <= 0:
+        raise PageFormatError(f"record size must be positive, got {record_size}")
+    capacity = (page_size - PAGE_HEADER_SIZE) // (record_size + SLOT_SIZE)
+    if capacity <= 0:
+        raise PageFormatError(
+            f"a {record_size}-byte record does not fit a "
+            f"{page_size}-byte page")
+    return capacity

@@ -1,0 +1,99 @@
+"""Row <-> bytes codecs.
+
+Uncompressed records are stored in *row format*: the encodings of the
+columns concatenated in schema order. Fixed-width columns occupy their
+declared width; variable-width columns carry their own length prefix (see
+:class:`repro.storage.types.VarCharType`). This is the representation the
+compression algorithms take as input, and the representation whose total
+size defines the denominator of the compression fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import EncodingError
+from repro.storage.schema import Schema
+from repro.storage.types import VarCharType
+
+
+def encode_record(schema: Schema, row: Sequence[Any]) -> bytes:
+    """Encode ``row`` to its uncompressed record bytes."""
+    schema.validate_row(row)
+    parts = [col.dtype.encode(value)
+             for col, value in zip(schema.columns, row)]
+    return b"".join(parts)
+
+
+def decode_record(schema: Schema, data: bytes) -> tuple[Any, ...]:
+    """Decode record bytes produced by :func:`encode_record`."""
+    values: list[Any] = []
+    offset = 0
+    for col in schema.columns:
+        dtype = col.dtype
+        if dtype.fixed_size is not None:
+            end = offset + dtype.fixed_size
+            chunk = data[offset:end]
+            if len(chunk) != dtype.fixed_size:
+                raise EncodingError(
+                    f"record truncated in column {col.name!r}")
+            values.append(dtype.decode(chunk))
+            offset = end
+        elif isinstance(dtype, VarCharType):
+            if offset + VarCharType.LENGTH_PREFIX_BYTES > len(data):
+                raise EncodingError(
+                    f"record truncated in column {col.name!r}")
+            length = int.from_bytes(
+                data[offset:offset + VarCharType.LENGTH_PREFIX_BYTES], "big")
+            end = offset + VarCharType.LENGTH_PREFIX_BYTES + length
+            chunk = data[offset:end]
+            values.append(dtype.decode(chunk))
+            offset = end
+        else:  # pragma: no cover - no other variable types exist
+            raise EncodingError(
+                f"cannot decode variable-width type {dtype.name}")
+    if offset != len(data):
+        raise EncodingError(
+            f"{len(data) - offset} trailing bytes after decoding record")
+    return tuple(values)
+
+
+def split_record(schema: Schema, data: bytes) -> list[bytes]:
+    """Split record bytes into per-column byte slices, in schema order.
+
+    Compression algorithms compress each column independently (Section
+    II-A: "In the case of multi-column indexes, each column is compressed
+    independently"), so they consume records in this split form.
+    """
+    slices: list[bytes] = []
+    offset = 0
+    for col in schema.columns:
+        dtype = col.dtype
+        if dtype.fixed_size is not None:
+            end = offset + dtype.fixed_size
+        elif isinstance(dtype, VarCharType):
+            if offset + VarCharType.LENGTH_PREFIX_BYTES > len(data):
+                raise EncodingError(
+                    f"record truncated in column {col.name!r}")
+            length = int.from_bytes(
+                data[offset:offset + VarCharType.LENGTH_PREFIX_BYTES], "big")
+            end = offset + VarCharType.LENGTH_PREFIX_BYTES + length
+        else:  # pragma: no cover
+            raise EncodingError(
+                f"cannot split variable-width type {dtype.name}")
+        chunk = data[offset:end]
+        if len(chunk) != end - offset:
+            raise EncodingError(f"record truncated in column {col.name!r}")
+        slices.append(chunk)
+        offset = end
+    if offset != len(data):
+        raise EncodingError(
+            f"{len(data) - offset} trailing bytes after splitting record")
+    return slices
+
+
+def record_key(schema: Schema, data: bytes, key_positions: Sequence[int],
+               ) -> tuple[Any, ...]:
+    """Extract the key tuple at ``key_positions`` from record bytes."""
+    row = decode_record(schema, data)
+    return tuple(row[i] for i in key_positions)

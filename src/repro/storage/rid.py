@@ -1,0 +1,36 @@
+"""Row identifiers.
+
+A :class:`RID` names a record's physical location: the page that holds it
+and the slot within that page. RIDs are what non-clustered index leaves
+point at, and they are 8 bytes on disk (4-byte page id + 4-byte slot).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple
+
+#: On-disk size of an encoded RID in bytes.
+RID_BYTES: int = 8
+
+_RID_STRUCT = struct.Struct(">II")
+
+
+class RID(NamedTuple):
+    """Physical address of a record: ``(page_id, slot)``."""
+
+    page_id: int
+    slot: int
+
+    def encode(self) -> bytes:
+        """Serialise this RID to its fixed 8-byte representation."""
+        return _RID_STRUCT.pack(self.page_id, self.slot)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RID":
+        """Parse a RID from exactly :data:`RID_BYTES` bytes."""
+        page_id, slot = _RID_STRUCT.unpack(data)
+        return cls(page_id, slot)
+
+    def __str__(self) -> str:
+        return f"({self.page_id}:{self.slot})"

@@ -1,0 +1,151 @@
+"""Column and schema definitions.
+
+A :class:`Schema` is an ordered list of named, typed columns. It knows how
+to validate rows, compute uncompressed row widths, and project subsets of
+columns (used when building index key schemas). Row byte encoding lives in
+:mod:`repro.storage.record`; the schema supplies the layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.storage.types import DataType, parse_type
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    Columns are NOT NULL: the paper's compression model (and its null
+    suppression terminology) concerns blank/zero padding inside stored
+    values, not SQL NULLs, so the engine keeps rows total.
+    """
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+    @classmethod
+    def of(cls, name: str, type_spec: str) -> "Column":
+        """Build a column from a SQL-ish type string, e.g. ``char(20)``."""
+        return cls(name, parse_type(type_spec))
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.dtype.name}"
+
+
+class Schema:
+    """An ordered collection of :class:`Column` objects."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        columns = list(columns)
+        if not columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [col.name for col in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self._columns = columns
+        self._by_name = {col.name: i for i, col in enumerate(columns)}
+
+    @classmethod
+    def of(cls, **column_specs: str) -> "Schema":
+        """Build a schema from ``name="type"`` keyword pairs.
+
+        Example::
+
+            Schema.of(name="char(20)", qty="integer")
+        """
+        return cls([Column.of(name, spec)
+                    for name, spec in column_specs.items()])
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return tuple(self._columns)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __getitem__(self, key: int | str) -> Column:
+        if isinstance(key, str):
+            return self._columns[self.index_of(key)]
+        return self._columns[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._columns))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(col) for col in self._columns)
+        return f"Schema({inner})"
+
+    def index_of(self, name: str) -> int:
+        """Position of column ``name``; raises :class:`SchemaError`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r} in schema {self.names}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A new schema with only the given columns, in the given order."""
+        return Schema([self[name] for name in names])
+
+    @property
+    def is_fixed(self) -> bool:
+        """Whether all columns are fixed width."""
+        return all(col.dtype.is_fixed for col in self._columns)
+
+    @property
+    def fixed_row_size(self) -> int | None:
+        """Uncompressed row width in bytes, or ``None`` if variable."""
+        total = 0
+        for col in self._columns:
+            size = col.dtype.fixed_size
+            if size is None:
+                return None
+            total += size
+        return total
+
+    def row_size(self, row: Sequence[Any]) -> int:
+        """Uncompressed encoded size in bytes of one validated row."""
+        self.validate_row(row)
+        return sum(col.dtype.encoded_size(value)
+                   for col, value in zip(self._columns, row))
+
+    def validate_row(self, row: Sequence[Any]) -> None:
+        """Raise if ``row`` does not match this schema."""
+        if len(row) != len(self._columns):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has "
+                f"{len(self._columns)} columns")
+        for col, value in zip(self._columns, row):
+            col.dtype.validate(value)
+
+
+def single_char_schema(k: int, name: str = "a") -> Schema:
+    """The paper's canonical schema: one ``char(k)`` column.
+
+    Section III fixes "a table T that has a single column A which is a
+    character field of k bytes"; most experiments use this shape.
+    """
+    return Schema([Column.of(name, f"char({k})")])

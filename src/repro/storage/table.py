@@ -1,0 +1,126 @@
+"""Tables: schema + heap storage + indexes.
+
+A :class:`Table` owns a heap file of encoded rows and any number of
+indexes. It also provides the two access paths the estimator needs:
+
+* positional row access (uniform row sampling draws row positions),
+* page iteration (block-level sampling draws whole pages).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.constants import DEFAULT_PAGE_SIZE
+from repro.errors import SchemaError
+from repro.storage.heap import HeapFile
+from repro.storage.index import Index, IndexKind
+from repro.storage.page import Page
+from repro.storage.record import decode_record, encode_record
+from repro.storage.rid import RID
+from repro.storage.schema import Schema
+
+
+class Table:
+    """A named relation stored in a heap file."""
+
+    def __init__(self, name: str, schema: Schema,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if not name:
+            raise SchemaError("a table needs a non-empty name")
+        self.name = name
+        self.schema = schema
+        self.page_size = page_size
+        self.heap = HeapFile(page_size=page_size)
+        self.indexes: dict[str, Index] = {}
+        self._rids: list[RID] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, name: str, schema: Schema,
+                  rows: Sequence[Sequence[Any]],
+                  page_size: int = DEFAULT_PAGE_SIZE) -> "Table":
+        """Create a table and load ``rows`` into it."""
+        table = cls(name, schema, page_size=page_size)
+        table.insert_many(rows)
+        return table
+
+    def insert(self, row: Sequence[Any]) -> RID:
+        """Insert one row; updates all existing indexes."""
+        record = encode_record(self.schema, row)
+        rid = self.heap.insert(record)
+        self._rids.append(rid)
+        for index in self.indexes.values():
+            index.insert(row, rid)
+        return rid
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> list[RID]:
+        """Insert many rows; returns their RIDs in order."""
+        return [self.insert(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.heap.num_records
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        """Decode and iterate all rows in physical order."""
+        for record in self.heap.records():
+            yield decode_record(self.schema, record)
+
+    def row_at(self, position: int) -> tuple[Any, ...]:
+        """The ``position``-th row ever inserted (0-based)."""
+        rid = self._rids[position]
+        return decode_record(self.schema, self.heap.get(rid))
+
+    def rows_at(self, positions: Sequence[int]) -> list[tuple[Any, ...]]:
+        """Rows at the given positions (the row-sampling access path)."""
+        return [self.row_at(position) for position in positions]
+
+    def rid_at(self, position: int) -> RID:
+        """RID of the ``position``-th row."""
+        return self._rids[position]
+
+    def column_values(self, column: str) -> list[Any]:
+        """All values of one column, in physical row order."""
+        position = self.schema.index_of(column)
+        return [row[position] for row in self.rows()]
+
+    def pages(self) -> Iterator[Page]:
+        """Heap pages (the block-sampling access path)."""
+        return self.heap.pages()
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, key_columns: Sequence[str],
+                     kind: IndexKind = IndexKind.NONCLUSTERED,
+                     fill_factor: float = 1.0) -> Index:
+        """Build an index over the current rows and register it."""
+        if name in self.indexes:
+            raise SchemaError(f"index {name!r} already exists on "
+                              f"table {self.name!r}")
+        index = Index(name, self.schema, key_columns, kind=kind,
+                      page_size=self.page_size, fill_factor=fill_factor)
+        pairs = [(decode_record(self.schema, record), rid)
+                 for rid, record in self.heap.scan()]
+        index.build(pairs)
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        """Remove a registered index."""
+        if name not in self.indexes:
+            raise SchemaError(f"no index {name!r} on table {self.name!r}")
+        del self.indexes[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Table({self.name!r}, rows={self.num_rows}, "
+                f"indexes={sorted(self.indexes)})")

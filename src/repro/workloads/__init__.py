@@ -1,0 +1,37 @@
+"""Synthetic workload generation with exact n / d / length control."""
+
+from repro.workloads.distributions import (DISTRIBUTIONS,
+                                           all_singleton_counts,
+                                           exact_counts_from_weights,
+                                           geometric_counts, make_counts,
+                                           singleton_heavy_counts,
+                                           uniform_counts, zipf_counts)
+from repro.workloads.generators import (histogram_to_table, make_histogram,
+                                        make_multicolumn_table, make_table)
+from repro.workloads.scenarios import SCENARIOS, Scenario, get_scenario
+from repro.workloads.strings import (comment_strings, distinct_strings,
+                                     fixed_length_strings, prefixed_names,
+                                     zero_padded_ids)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "SCENARIOS",
+    "Scenario",
+    "all_singleton_counts",
+    "comment_strings",
+    "distinct_strings",
+    "exact_counts_from_weights",
+    "fixed_length_strings",
+    "geometric_counts",
+    "get_scenario",
+    "histogram_to_table",
+    "make_counts",
+    "make_histogram",
+    "make_multicolumn_table",
+    "make_table",
+    "prefixed_names",
+    "singleton_heavy_counts",
+    "uniform_counts",
+    "zero_padded_ids",
+    "zipf_counts",
+]

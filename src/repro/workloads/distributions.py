@@ -1,0 +1,107 @@
+"""Count distributions over distinct values.
+
+The paper's theorems are parameterised by ``n`` (rows) and ``d``
+(distinct values); the *shape* of the counts (uniform, Zipf-skewed,
+singleton-heavy) determines how hard distinct-value estimation is in
+practice. These helpers produce exact integer count vectors: every
+distribution sums to exactly ``n`` with all ``d`` values present at
+least once (largest-remainder apportionment), so experiments control
+``n`` and ``d`` precisely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+def exact_counts_from_weights(weights: np.ndarray, n: int) -> np.ndarray:
+    """Integer counts proportional to ``weights`` summing exactly ``n``.
+
+    Every entry receives at least 1 (all distinct values must exist);
+    the remaining ``n - d`` rows are apportioned by largest remainder.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    d = weights.shape[0]
+    if d == 0:
+        raise ExperimentError("need at least one weight")
+    if np.any(weights <= 0):
+        raise ExperimentError("weights must be positive")
+    if n < d:
+        raise ExperimentError(
+            f"cannot place {d} distinct values in {n} rows")
+    spare = n - d
+    shares = weights / weights.sum() * spare
+    base = np.floor(shares).astype(np.int64)
+    remainder = spare - int(base.sum())
+    fractional = shares - base
+    order = np.argsort(-fractional, kind="stable")
+    extra = np.zeros(d, dtype=np.int64)
+    extra[order[:remainder]] = 1
+    counts = 1 + base + extra
+    if int(counts.sum()) != n:  # pragma: no cover - arithmetic guard
+        raise ExperimentError("apportionment failed to sum to n")
+    return counts
+
+
+def uniform_counts(n: int, d: int) -> np.ndarray:
+    """As equal as possible: every value gets ``n // d`` or one more."""
+    return exact_counts_from_weights(np.ones(d), n)
+
+
+def zipf_counts(n: int, d: int, s: float = 1.0) -> np.ndarray:
+    """Zipf-distributed counts: value ``i`` has weight ``1 / i^s``."""
+    if s < 0:
+        raise ExperimentError(f"Zipf exponent must be >= 0, got {s}")
+    ranks = np.arange(1, d + 1, dtype=np.float64)
+    return exact_counts_from_weights(ranks ** (-s), n)
+
+
+def geometric_counts(n: int, d: int, ratio: float = 0.5) -> np.ndarray:
+    """Geometrically decaying counts with the given ratio."""
+    if not 0.0 < ratio < 1.0:
+        raise ExperimentError(f"ratio must be in (0, 1), got {ratio}")
+    weights = ratio ** np.arange(d, dtype=np.float64)
+    return exact_counts_from_weights(weights, n)
+
+
+def singleton_heavy_counts(n: int, d: int) -> np.ndarray:
+    """``d - 1`` singletons plus one heavy value with the rest.
+
+    This is the adversarial shape behind Theorem 3's worst case: almost
+    all distinct values occur exactly once, so a sample misses as many
+    of them as uniform sampling possibly can.
+    """
+    if n < d:
+        raise ExperimentError(
+            f"cannot place {d} distinct values in {n} rows")
+    counts = np.ones(d, dtype=np.int64)
+    counts[0] = n - (d - 1)
+    return counts
+
+
+def all_singleton_counts(n: int) -> np.ndarray:
+    """Every value unique (``d = n``): the hardest large-d instance."""
+    if n <= 0:
+        raise ExperimentError(f"need positive n, got {n}")
+    return np.ones(n, dtype=np.int64)
+
+
+DISTRIBUTIONS = {
+    "uniform": uniform_counts,
+    "zipf": zipf_counts,
+    "geometric": geometric_counts,
+    "singleton_heavy": singleton_heavy_counts,
+}
+
+
+def make_counts(distribution: str, n: int, d: int, **params) -> np.ndarray:
+    """Dispatch by distribution name (see :data:`DISTRIBUTIONS`)."""
+    try:
+        factory = DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown distribution {distribution!r}; known: "
+            f"{sorted(DISTRIBUTIONS)}") from None
+    return factory(n, d, **params)

@@ -1,0 +1,85 @@
+"""Property tests: estimator-level invariants for arbitrary multisets."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling.row_samplers import WithoutReplacementSampler
+from repro.storage.types import CharType
+from repro.core.cf_models import ColumnHistogram, ns_cf
+from repro.core.metrics import ratio_error
+from repro.core.samplecf import SampleCF
+from repro.compression.global_dictionary import GlobalDictionaryCompression
+from repro.compression.null_suppression import NullSuppression
+
+K = 12
+
+distinct_values = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=K),
+    min_size=1, max_size=25, unique=True)
+
+
+@st.composite
+def histograms(draw):
+    values = draw(distinct_values)
+    counts = draw(st.lists(st.integers(1, 200), min_size=len(values),
+                           max_size=len(values)))
+    return ColumnHistogram(CharType(K), values, counts)
+
+
+@settings(max_examples=50, deadline=None)
+@given(histogram=histograms(), seed=st.integers(0, 2**31))
+def test_full_sample_without_replacement_is_exact(histogram, seed):
+    estimator = SampleCF(NullSuppression(),
+                         sampler=WithoutReplacementSampler())
+    estimate = estimator.estimate_histogram(histogram, 1.0, seed=seed)
+    assert estimate.estimate == ns_cf(histogram)
+
+
+@settings(max_examples=50, deadline=None)
+@given(histogram=histograms(), seed=st.integers(0, 2**31),
+       fraction=st.floats(0.05, 1.0))
+def test_estimates_stay_in_feasible_range(histogram, seed, fraction):
+    ns = SampleCF(NullSuppression()).estimate_histogram(
+        histogram, fraction, seed=seed)
+    assert 0 < ns.estimate <= (K + 1) / K
+    dictionary = SampleCF(GlobalDictionaryCompression()).estimate_histogram(
+        histogram, fraction, seed=seed)
+    assert 0 < dictionary.estimate <= 1 + 2 / K
+
+
+@settings(max_examples=50, deadline=None)
+@given(histogram=histograms(), seed=st.integers(0, 2**31),
+       fraction=st.floats(0.05, 1.0))
+def test_deterministic_small_d_bound_holds_always(histogram, seed,
+                                                  fraction):
+    """The Theorem 2 bound is deterministic: no sample can break it."""
+    from repro.core.bounds import dict_small_d_bound
+    from repro.core.cf_models import global_dictionary_cf
+
+    estimator = SampleCF(GlobalDictionaryCompression())
+    estimate = estimator.estimate_histogram(histogram, fraction,
+                                            seed=seed)
+    truth = global_dictionary_cf(histogram)
+    bound = dict_small_d_bound(histogram.n, histogram.d, K, 2,
+                               fraction).bound
+    assert ratio_error(truth, estimate.estimate) <= bound + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(histogram=histograms(), seed=st.integers(0, 2**31))
+def test_sample_distinct_never_exceeds_population(histogram, seed):
+    estimator = SampleCF(GlobalDictionaryCompression())
+    estimate = estimator.estimate_histogram(histogram, 0.5, seed=seed)
+    assert 1 <= estimate.sample_distinct <= histogram.d
+
+
+@settings(max_examples=30, deadline=None)
+@given(histogram=histograms(), seed=st.integers(0, 2**31))
+def test_ratio_error_symmetric_and_at_least_one(histogram, seed):
+    estimator = SampleCF(NullSuppression())
+    estimate = estimator.estimate_histogram(histogram, 0.3, seed=seed)
+    truth = ns_cf(histogram)
+    error = ratio_error(truth, estimate.estimate)
+    assert error >= 1.0
+    assert error == ratio_error(estimate.estimate, truth)

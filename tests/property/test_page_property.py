@@ -1,0 +1,61 @@
+"""Property tests: slotted-page serialisation and accounting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import PAGE_HEADER_SIZE, SLOT_SIZE
+from repro.storage.page import Page, PageType
+
+records = st.lists(st.binary(min_size=0, max_size=40), min_size=0,
+                   max_size=20)
+
+
+def fill_page(page: Page, data: list[bytes]) -> list[bytes]:
+    stored = []
+    for record in data:
+        if page.fits(record):
+            page.insert(record)
+            stored.append(record)
+    return stored
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=records)
+def test_accounting_invariant(data):
+    page = Page(256)
+    stored = fill_page(page, data)
+    assert page.slot_count == len(stored)
+    assert page.payload_bytes == sum(len(record) for record in stored)
+    assert page.used_bytes == PAGE_HEADER_SIZE \
+        + SLOT_SIZE * len(stored) + page.payload_bytes
+    assert page.free_bytes >= 0
+    assert page.used_bytes + page.free_bytes == 256
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=records,
+       page_id=st.integers(0, 2**32 - 1),
+       page_type=st.sampled_from(list(PageType)))
+def test_serialisation_roundtrip(data, page_id, page_type):
+    page = Page(512, page_id=page_id, page_type=page_type)
+    stored = fill_page(page, data)
+    parsed = Page.from_bytes(page.to_bytes())
+    assert parsed.page_id == page_id
+    assert parsed.page_type is page_type
+    assert list(parsed.records()) == stored
+    assert parsed.used_bytes == page.used_bytes
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=records)
+def test_image_always_page_sized(data):
+    page = Page(256)
+    fill_page(page, data)
+    assert len(page.to_bytes()) == 256
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=records)
+def test_slot_order_is_insert_order(data):
+    page = Page(512)
+    stored = fill_page(page, data)
+    assert [page.get(slot) for slot in range(len(stored))] == stored

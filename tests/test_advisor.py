@@ -1,0 +1,221 @@
+"""Unit tests for the physical-design advisor (cost, candidates,
+selection, capacity)."""
+
+import pytest
+
+from repro.errors import AdvisorError
+from repro.workloads.generators import make_multicolumn_table, make_table
+from repro.advisor.candidates import (CandidateIndex, enumerate_candidates,
+                                      uncompressed_index_bytes)
+from repro.advisor.capacity import plan_capacity
+from repro.advisor.cost import (CostModel, Query, TableStats, covers,
+                                workload_cost)
+from repro.advisor.selection import design_summary, select_indexes
+
+PAGE = 1024
+
+
+@pytest.fixture(scope="module")
+def tables():
+    orders = make_multicolumn_table(
+        "orders", 2000, [("status", 10, 5), ("customer", 24, 200)],
+        page_size=PAGE, seed=5)
+    parts = make_multicolumn_table(
+        "parts", 1000, [("sku", 24, 100)], page_size=PAGE, seed=6)
+    return {"orders": orders, "parts": parts}
+
+
+@pytest.fixture(scope="module")
+def stats(tables):
+    return {name: TableStats(name, t.num_rows, t.heap.num_pages)
+            for name, t in tables.items()}
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return [
+        Query("q_status", "orders", ("status",), selectivity=0.2,
+              weight=10),
+        Query("q_customer", "orders", ("customer",), selectivity=0.05,
+              weight=5),
+        Query("q_sku", "parts", ("sku",), selectivity=0.1, weight=2),
+    ]
+
+
+class TestCostModel:
+    def test_query_validation(self):
+        with pytest.raises(AdvisorError):
+            Query("q", "t", ())
+        with pytest.raises(AdvisorError):
+            Query("q", "t", ("a",), selectivity=0.0)
+        with pytest.raises(AdvisorError):
+            Query("q", "t", ("a",), weight=-1)
+
+    def test_table_stats_validation(self):
+        with pytest.raises(AdvisorError):
+            TableStats("t", 0, 1)
+
+    def test_covers(self):
+        query = Query("q", "t", ("a", "b"))
+        assert covers(("a", "b", "c"), query)
+        assert covers(("b", "a"), query)
+        assert not covers(("a",), query)
+
+    def test_pages_for_bytes(self):
+        model = CostModel(page_size=1000)
+        assert model.pages_for_bytes(1) == 1
+        assert model.pages_for_bytes(1000) == 1
+        assert model.pages_for_bytes(1001) == 2
+
+    def test_compressed_pays_cpu(self):
+        model = CostModel(decompression_cpu_factor=0.5)
+        query = Query("q", "t", ("a",), selectivity=1.0)
+        plain = model.index_access_cost(query, 100, compressed=False)
+        packed = model.index_access_cost(query, 100, compressed=True)
+        assert packed == pytest.approx(plain * 1.5)
+
+    def test_workload_cost_falls_back_to_scan(self, queries, stats):
+        result = workload_cost(queries, stats, [], CostModel(PAGE))
+        expected = sum(q.weight * stats[q.table].heap_pages
+                       for q in queries)
+        assert result.total == pytest.approx(expected)
+
+    def test_workload_cost_uses_best_index(self, queries, stats):
+        candidate = CandidateIndex(
+            table="orders", key_columns=("status",), compressed=False,
+            algorithm=None, size_bytes=4.0 * PAGE, size_source="schema")
+        with_index = workload_cost(queries, stats, [candidate],
+                                   CostModel(PAGE))
+        without = workload_cost(queries, stats, [], CostModel(PAGE))
+        assert with_index.total < without.total
+        assert with_index.per_query["q_status"] < \
+            without.per_query["q_status"]
+
+    def test_unknown_table_rejected(self, stats):
+        bad = Query("q", "ghost", ("a",))
+        with pytest.raises(AdvisorError):
+            workload_cost([bad], stats, [], CostModel(PAGE))
+
+
+class TestCandidates:
+    def test_uncompressed_bytes_formula(self, tables):
+        table = tables["orders"]
+        assert uncompressed_index_bytes(table, ["status"]) == \
+            2000 * (10 + 8)
+        assert uncompressed_index_bytes(table, ["status", "customer"]) \
+            == 2000 * (10 + 24 + 8)
+
+    def test_enumeration_has_both_variants(self, tables, queries):
+        candidates = enumerate_candidates(tables, queries,
+                                          fraction=0.05, seed=1)
+        assert len(candidates) == 2 * 3  # 3 key sets x 2 variants
+        compressed = [c for c in candidates if c.compressed]
+        assert all(c.estimated_cf is not None for c in compressed)
+        assert all(0 < c.estimated_cf <= 1.5 for c in compressed)
+
+    def test_compressed_smaller_than_plain(self, tables, queries):
+        candidates = enumerate_candidates(tables, queries,
+                                          fraction=0.05, seed=1)
+        by_key = {}
+        for candidate in candidates:
+            by_key.setdefault(
+                (candidate.table, candidate.key_columns), []).append(
+                    candidate)
+        for pair in by_key.values():
+            plain = next(c for c in pair if not c.compressed)
+            packed = next(c for c in pair if c.compressed)
+            assert packed.size_bytes < plain.size_bytes
+
+    def test_exact_source(self, tables, queries):
+        candidates = enumerate_candidates(tables, queries,
+                                          size_source="exact")
+        compressed = [c for c in candidates if c.compressed]
+        assert all(c.size_source == "exact" for c in compressed)
+
+    def test_bad_source_rejected(self, tables, queries):
+        with pytest.raises(AdvisorError):
+            enumerate_candidates(tables, queries, size_source="vibes")
+
+    def test_unknown_table_rejected(self, tables):
+        ghost = Query("q", "ghost", ("a",))
+        with pytest.raises(AdvisorError):
+            enumerate_candidates(tables, [ghost])
+
+    def test_candidate_name(self):
+        candidate = CandidateIndex(
+            table="t", key_columns=("a", "b"), compressed=True,
+            algorithm="page", size_bytes=10.0, size_source="samplecf",
+            estimated_cf=0.5)
+        assert candidate.name == "ix_t_a_b__page"
+
+
+class TestSelection:
+    def test_respects_storage_bound(self, tables, queries, stats):
+        candidates = enumerate_candidates(tables, queries,
+                                          fraction=0.05, seed=2)
+        bound = 50_000
+        result = select_indexes(candidates, queries, stats, bound,
+                                CostModel(PAGE))
+        assert result.bytes_used <= bound
+        assert sum(c.size_bytes for c in result.chosen) == \
+            pytest.approx(result.bytes_used)
+
+    def test_improves_cost(self, tables, queries, stats):
+        candidates = enumerate_candidates(tables, queries,
+                                          fraction=0.05, seed=2)
+        result = select_indexes(candidates, queries, stats, 10**6,
+                                CostModel(PAGE))
+        assert result.cost_after <= result.cost_before
+        assert result.improvement >= 0
+
+    def test_tight_bound_prefers_compressed(self, tables, queries, stats):
+        candidates = enumerate_candidates(tables, queries,
+                                          fraction=0.05, seed=2)
+        plain_status = next(c for c in candidates
+                            if c.key_columns == ("status",)
+                            and not c.compressed)
+        # A bound below the uncompressed size forces the compressed pick.
+        bound = plain_status.size_bytes * 0.9
+        result = select_indexes(candidates, queries, stats, bound,
+                                CostModel(PAGE))
+        assert any(c.compressed for c in result.chosen)
+
+    def test_zero_bound_rejected(self, tables, queries, stats):
+        with pytest.raises(AdvisorError):
+            select_indexes([], queries, stats, 0)
+
+    def test_summary_readable(self, tables, queries, stats):
+        candidates = enumerate_candidates(tables, queries,
+                                          fraction=0.05, seed=2)
+        result = select_indexes(candidates, queries, stats, 10**6,
+                                CostModel(PAGE))
+        text = design_summary(result)
+        assert "storage bound" in text
+        assert "workload cost" in text
+
+
+class TestCapacity:
+    def test_plan_totals(self, tables):
+        plan = plan_capacity(list(tables.values()), fraction=0.05, seed=3)
+        assert len(plan.entries) == 2
+        assert plan.total_compressed_bytes < plan.total_uncompressed_bytes
+        assert plan.total_high_bytes >= plan.total_compressed_bytes
+
+    def test_ns_entries_have_intervals(self, tables):
+        plan = plan_capacity(list(tables.values()), fraction=0.05, seed=3)
+        assert all(entry.interval is not None for entry in plan.entries)
+
+    def test_other_algorithms_no_interval(self, tables):
+        plan = plan_capacity(list(tables.values()), algorithm="dictionary",
+                             fraction=0.05, seed=3)
+        assert all(entry.interval is None for entry in plan.entries)
+
+    def test_describe(self, tables):
+        plan = plan_capacity(list(tables.values()), fraction=0.05, seed=3)
+        text = plan.describe()
+        assert "TOTAL" in text
+        assert "orders" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(AdvisorError):
+            plan_capacity([])

@@ -1,0 +1,74 @@
+"""Unit tests for repro.sampling.block."""
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.block import BlockSampler
+from repro.sampling.rng import make_rng
+from repro.storage.page import Page
+
+
+def make_pages(num_pages: int, rows_per_page: int) -> list[Page]:
+    pages = []
+    for page_id in range(num_pages):
+        page = Page(256, page_id=page_id)
+        for slot in range(rows_per_page):
+            page.insert(f"p{page_id}r{slot}".encode().ljust(10))
+        pages.append(page)
+    return pages
+
+
+class TestBlockSampler:
+    def test_whole_pages_kept(self):
+        pages = make_pages(10, 8)
+        sample = BlockSampler().sample_records(pages, 20, make_rng(0))
+        assert sample.rows % 8 == 0
+        assert sample.rows >= 20
+        assert len(sample.page_ids) == sample.rows // 8
+
+    def test_rids_match_records(self):
+        pages = make_pages(5, 4)
+        sample = BlockSampler().sample_records(pages, 6, make_rng(1))
+        for rid, record in zip(sample.rids, sample.records):
+            assert record.startswith(f"p{rid.page_id}r{rid.slot}".encode())
+
+    def test_pages_distinct(self):
+        pages = make_pages(10, 5)
+        sample = BlockSampler().sample_records(pages, 50, make_rng(2))
+        assert len(set(sample.page_ids)) == len(sample.page_ids)
+
+    def test_requesting_everything_returns_everything(self):
+        pages = make_pages(4, 3)
+        sample = BlockSampler().sample_records(pages, 12, make_rng(0))
+        assert sample.rows == 12
+        assert sample.pages_available == 4
+
+    def test_requesting_more_than_available_returns_all(self):
+        pages = make_pages(3, 2)
+        sample = BlockSampler().sample_records(pages, 100, make_rng(0))
+        assert sample.rows == 6
+
+    def test_no_pages_rejected(self):
+        with pytest.raises(SamplingError):
+            BlockSampler().sample_records([], 5, make_rng(0))
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(SamplingError):
+            BlockSampler().sample_records(make_pages(2, 2), 0, make_rng(0))
+
+    def test_sample_fraction(self):
+        pages = make_pages(10, 10)
+        sample = BlockSampler().sample_fraction(pages, 0.25, 100,
+                                                make_rng(3))
+        assert sample.rows >= 25
+
+    def test_sample_fraction_validation(self):
+        with pytest.raises(SamplingError):
+            BlockSampler().sample_fraction(make_pages(2, 2), 0.0, 4,
+                                           make_rng(0))
+
+    def test_different_seeds_pick_different_pages(self):
+        pages = make_pages(20, 2)
+        first = BlockSampler().sample_records(pages, 4, make_rng(0))
+        second = BlockSampler().sample_records(pages, 4, make_rng(1))
+        assert first.page_ids != second.page_ids

@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.bounds (Theorems 1-3, Example 1)."""
+
+import math
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.core.bounds import (dict_large_d_bound, dict_small_d_bound,
+                               example1, ns_stddev_bound,
+                               ns_stddev_bound_range, ns_variance_bound,
+                               resolve_sample_size, theorem2_minimum_n)
+
+
+class TestResolveSampleSize:
+    def test_explicit_r(self):
+        assert resolve_sample_size(r=100) == 100
+
+    def test_n_and_f(self):
+        assert resolve_sample_size(n=1000, f=0.01) == 10
+
+    def test_minimum_one(self):
+        assert resolve_sample_size(n=10, f=0.001) == 1
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(EstimationError):
+            resolve_sample_size(n=10, f=1.5)
+
+    def test_underspecified_rejected(self):
+        with pytest.raises(EstimationError):
+            resolve_sample_size(n=10)
+        with pytest.raises(EstimationError):
+            resolve_sample_size(f=0.5)
+
+
+class TestTheorem1:
+    def test_variance_bound_formula(self):
+        assert ns_variance_bound(r=100) == 1 / 400
+
+    def test_stddev_is_sqrt_of_variance(self):
+        assert ns_stddev_bound(r=100) == math.sqrt(ns_variance_bound(r=100))
+
+    def test_paper_statement_form(self):
+        """sigma <= (1/2) sqrt(1/(f n))."""
+        n, f = 10**6, 0.01
+        assert ns_stddev_bound(n=n, f=f) == \
+            pytest.approx(0.5 * math.sqrt(1 / (f * n)))
+
+    def test_bound_shrinks_with_r(self):
+        assert ns_stddev_bound(r=10_000) < ns_stddev_bound(r=100)
+
+    def test_range_bound_tighter(self):
+        loose = ns_stddev_bound_range(100, 0.0, 1.0)
+        tight = ns_stddev_bound_range(100, 0.3, 0.5)
+        assert tight < loose
+        assert loose == ns_stddev_bound(r=100)
+
+    def test_range_validation(self):
+        with pytest.raises(EstimationError):
+            ns_stddev_bound_range(100, 0.8, 0.2)
+        with pytest.raises(EstimationError):
+            ns_stddev_bound_range(0, 0.0, 1.0)
+
+
+class TestExample1:
+    def test_paper_numbers(self):
+        example = example1()
+        assert example["n"] == 100_000_000
+        assert example["r"] == 1_000_000
+        assert example["f"] == 0.01
+        assert example["stddev_bound"] == pytest.approx(0.0005)
+
+
+class TestTheorem2:
+    def test_bound_components(self):
+        bound = dict_small_d_bound(n=10**6, d=100, k=20, p=2, f=0.01)
+        assert bound.underestimate == pytest.approx(
+            1 + 100 * 20 / (10**6 * 2))
+        assert bound.overestimate == pytest.approx(
+            1 + 100 * 20 / (0.01 * 10**6 * 2))
+        assert bound.bound == bound.overestimate
+
+    def test_bound_approaches_one_for_small_d(self):
+        small = dict_small_d_bound(n=10**8, d=100, k=20, p=2, f=0.01)
+        assert small.bound < 1.01
+
+    def test_bound_grows_with_d(self):
+        low = dict_small_d_bound(n=10**6, d=10, k=20, p=2, f=0.01)
+        high = dict_small_d_bound(n=10**6, d=10**4, k=20, p=2, f=0.01)
+        assert high.bound > low.bound
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            dict_small_d_bound(n=0, d=1, k=1, p=1, f=0.5)
+        with pytest.raises(EstimationError):
+            dict_small_d_bound(n=10, d=1, k=1, p=1, f=1.5)
+
+    def test_minimum_n_search(self):
+        minimum = theorem2_minimum_n(
+            lambda n: math.isqrt(n), k=20, p=2, f=0.01, epsilon=0.1)
+        bound = dict_small_d_bound(minimum, math.isqrt(minimum), 20, 2,
+                                   0.01)
+        assert bound.bound <= 1.1
+
+    def test_minimum_n_diverges_for_linear_d(self):
+        with pytest.raises(EstimationError):
+            theorem2_minimum_n(lambda n: n, k=2, p=2, f=0.01,
+                               epsilon=0.01, n_limit=10**6)
+
+
+class TestTheorem3:
+    def test_constant_in_n(self):
+        """The bound depends only on alpha, f, p/k — not on n."""
+        bound = dict_large_d_bound(alpha=0.5, f=0.01, k=20, p=2)
+        assert bound.bound > 1.0
+        assert bound.bound < 15.0
+
+    def test_decreases_with_alpha(self):
+        low = dict_large_d_bound(alpha=0.1, f=0.01, k=20, p=2)
+        high = dict_large_d_bound(alpha=0.9, f=0.01, k=20, p=2)
+        assert high.bound < low.bound
+
+    def test_alpha_one_small_bound(self):
+        bound = dict_large_d_bound(alpha=1.0, f=0.1, k=20, p=2)
+        assert bound.bound < 1.3
+
+    def test_underestimate_dominates(self):
+        bound = dict_large_d_bound(alpha=0.5, f=0.01, k=20, p=2)
+        assert bound.bound == bound.underestimate
+        assert bound.underestimate >= bound.overestimate
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            dict_large_d_bound(alpha=1.5, f=0.01, k=20, p=2)
+        with pytest.raises(EstimationError):
+            dict_large_d_bound(alpha=0.5, f=0.0, k=20, p=2)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.storage.catalog."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.catalog import CompressionSavingsReport, Database
+from repro.storage.index import IndexKind
+from repro.storage.schema import Schema
+from repro.workloads.generators import make_multicolumn_table
+
+PAGE = 1024
+
+
+@pytest.fixture
+def database() -> Database:
+    db = Database("warehouse", page_size=PAGE)
+    table = make_multicolumn_table(
+        "orders", 2000, [("status", 10, 5), ("customer", 24, 200)],
+        page_size=PAGE, seed=21)
+    db.attach(table)
+    return db
+
+
+class TestDDL:
+    def test_create_with_specs(self):
+        db = Database("d", page_size=PAGE)
+        table = db.create_table("t", status="char(10)", qty="integer")
+        assert table.schema.names == ("status", "qty")
+        assert db.table("t") is table
+
+    def test_create_with_schema(self):
+        db = Database("d", page_size=PAGE)
+        schema = Schema.of(a="char(4)")
+        assert db.create_table("t", schema).schema is schema
+
+    def test_create_requires_exactly_one_source(self):
+        db = Database("d", page_size=PAGE)
+        with pytest.raises(SchemaError):
+            db.create_table("t")
+        with pytest.raises(SchemaError):
+            db.create_table("t", Schema.of(a="char(4)"), b="integer")
+
+    def test_duplicate_rejected(self, database):
+        with pytest.raises(SchemaError):
+            database.create_table("orders", x="char(4)")
+        with pytest.raises(SchemaError):
+            database.attach(database.table("orders"))
+
+    def test_drop(self, database):
+        database.drop_table("orders")
+        with pytest.raises(SchemaError):
+            database.table("orders")
+        with pytest.raises(SchemaError):
+            database.drop_table("orders")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Database("")
+
+
+class TestEstimateSavings:
+    def test_nonclustered_report(self, database):
+        report = database.estimate_compression_savings(
+            "orders", ["status"], algorithm="page", fraction=0.05,
+            seed=1)
+        assert isinstance(report, CompressionSavingsReport)
+        assert report.current_size_bytes == 2000 * (10 + 8)
+        assert 0 < report.estimated_cf <= 1.5
+        assert report.estimated_compressed_bytes == pytest.approx(
+            report.estimated_cf * report.current_size_bytes)
+        assert report.estimated_savings_bytes == pytest.approx(
+            report.current_size_bytes
+            - report.estimated_compressed_bytes)
+
+    def test_clustered_report(self, database):
+        report = database.estimate_compression_savings(
+            "orders", ["status"], algorithm="null_suppression",
+            fraction=0.05, kind=IndexKind.CLUSTERED, seed=2)
+        assert report.current_size_bytes == 2000 * (10 + 24)
+        assert report.kind is IndexKind.CLUSTERED
+
+    def test_describe_readable(self, database):
+        report = database.estimate_compression_savings(
+            "orders", ["customer"], fraction=0.05, seed=3)
+        text = report.describe()
+        assert "orders(customer)" in text
+        assert "estimated CF" in text
+
+    def test_reproducible(self, database):
+        first = database.estimate_compression_savings(
+            "orders", ["status"], fraction=0.05, seed=7)
+        second = database.estimate_compression_savings(
+            "orders", ["status"], fraction=0.05, seed=7)
+        assert first.estimated_cf == second.estimated_cf
+
+    def test_unknown_table(self, database):
+        with pytest.raises(SchemaError):
+            database.estimate_compression_savings("ghost", ["a"])
+
+
+class TestPersistence:
+    def test_save_and_load(self, database, tmp_path):
+        database.save(tmp_path / "db")
+        restored = Database.load("warehouse", tmp_path / "db",
+                                 page_size=PAGE)
+        assert sorted(restored.tables) == ["orders"]
+        original = database.table("orders")
+        loaded = restored.table("orders")
+        assert list(loaded.rows()) == list(original.rows())
+
+    def test_estimates_survive_reload(self, database, tmp_path):
+        database.save(tmp_path / "db")
+        restored = Database.load("warehouse", tmp_path / "db")
+        before = database.estimate_compression_savings(
+            "orders", ["status"], fraction=0.05, seed=11)
+        after = restored.estimate_compression_savings(
+            "orders", ["status"], fraction=0.05, seed=11)
+        assert before.estimated_cf == after.estimated_cf
+
+    def test_load_empty_directory(self, tmp_path):
+        restored = Database.load("empty", tmp_path)
+        assert restored.tables == {}

@@ -1,0 +1,124 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestListings:
+    def test_algorithms(self, capsys):
+        code, out, _ = run_cli(capsys, "algorithms")
+        assert code == 0
+        assert "null_suppression" in out
+        assert "global_dictionary" in out
+        assert "index" in out and "page" in out
+
+    def test_scenarios(self, capsys):
+        code, out, _ = run_cli(capsys, "scenarios")
+        assert code == 0
+        assert "customer_names" in out
+        assert "char(40)" in out
+
+    def test_experiments(self, capsys):
+        code, out, _ = run_cli(capsys, "experiments")
+        assert code == 0
+        assert "Theorem 1" in out
+        assert "bench_table2_summary.py" in out
+
+
+class TestEstimate:
+    def test_explicit_workload(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "estimate", "--n", "10000", "--d", "100", "--k",
+            "20", "--fraction", "0.05", "--seed", "1")
+        assert code == 0
+        assert "CF' =" in out
+        assert "n=10,000" in out
+
+    def test_scenario_workload(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "estimate", "--scenario", "status_codes", "--rows",
+            "5000", "--fraction", "0.1", "--seed", "2")
+        assert code == 0
+        assert "status_codes" in out
+
+    def test_with_truth_and_trials(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "estimate", "--n", "20000", "--d", "50", "--k",
+            "20", "--fraction", "0.05", "--trials", "10", "--truth",
+            "--seed", "3")
+        assert code == 0
+        assert "mean CF'" in out
+        assert "ratio err" in out
+        assert "bias" in out
+
+    def test_algorithm_choice(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "estimate", "--n", "10000", "--d", "10", "--k",
+            "20", "--algorithm", "rle", "--fraction", "0.1", "--seed",
+            "4")
+        assert code == 0
+        assert "rle" in out
+
+    def test_missing_d_k_is_an_error(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "estimate", "--n", "1000", "--fraction", "0.1")
+        assert code == 1
+        assert "error" in err
+
+    def test_reproducible(self, capsys):
+        _, first, _ = run_cli(
+            capsys, "estimate", "--n", "10000", "--d", "100", "--k",
+            "20", "--seed", "9")
+        _, second, _ = run_cli(
+            capsys, "estimate", "--n", "10000", "--d", "100", "--k",
+            "20", "--seed", "9")
+        assert first == second
+
+
+class TestBounds:
+    def test_theorem1_paper_example(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bounds", "theorem1", "--n", "100000000",
+            "--fraction", "0.01")
+        assert code == 0
+        assert "0.0005" in out
+
+    def test_theorem2(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bounds", "theorem2", "--n", "1000000", "--d",
+            "1000", "--k", "20", "--fraction", "0.01")
+        assert code == 0
+        assert "Theorem 2" in out
+        assert "overestimate" in out
+
+    def test_theorem3(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bounds", "theorem3", "--alpha", "0.5", "--k", "20",
+            "--fraction", "0.01")
+        assert code == 0
+        assert "Theorem 3" in out
+
+    def test_invalid_alpha_reports_error(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "bounds", "theorem3", "--alpha", "1.5", "--k", "20",
+            "--fraction", "0.01")
+        assert code == 1
+        assert "error" in err
+
+
+class TestParser:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,154 @@
+"""Unit tests for repro.compression.base and registry and repack."""
+
+import pytest
+
+from repro.constants import PAGE_HEADER_SIZE
+from repro.errors import CompressionError
+from repro.storage.record import encode_record
+from repro.storage.schema import Column, Schema, single_char_schema
+from repro.compression.base import (CompressedBlock, CompressedColumn,
+                                    CompressionAlgorithm, CompressionResult)
+from repro.compression.null_suppression import NullSuppression
+from repro.compression.dictionary import DictionaryCompression
+from repro.compression.registry import (get_algorithm, list_algorithms,
+                                        register_algorithm)
+from repro.compression.repack import (COMPRESSION_INFO_BYTES,
+                                      compressed_page_capacity, repack)
+
+from tests.conftest import all_algorithms
+
+
+class TestColumnize:
+    def test_fixed_schema_roundtrip(self):
+        schema = Schema([Column.of("a", "char(4)"),
+                         Column.of("b", "integer")])
+        records = [encode_record(schema, ("ab", 7)),
+                   encode_record(schema, ("cd", -1))]
+        columns = CompressionAlgorithm.columnize(records, schema)
+        assert len(columns) == 2
+        assert CompressionAlgorithm.recordize(columns) == records
+
+    def test_mixed_schema_roundtrip(self):
+        schema = Schema([Column.of("a", "char(4)"),
+                         Column.of("v", "varchar(20)")])
+        records = [encode_record(schema, ("ab", "hello")),
+                   encode_record(schema, ("cd", ""))]
+        columns = CompressionAlgorithm.columnize(records, schema)
+        assert CompressionAlgorithm.recordize(columns) == records
+
+    def test_wrong_width_rejected(self):
+        schema = single_char_schema(4)
+        with pytest.raises(CompressionError):
+            CompressionAlgorithm.columnize([b"toolongrecord"], schema)
+
+    def test_ragged_recordize_rejected(self):
+        with pytest.raises(CompressionError):
+            CompressionAlgorithm.recordize([[b"a"], [b"b", b"c"]])
+
+    def test_empty_recordize(self):
+        assert CompressionAlgorithm.recordize([]) == []
+
+
+class TestBlockTypes:
+    def test_negative_payload_rejected(self):
+        with pytest.raises(CompressionError):
+            CompressedColumn(b"", -1)
+
+    def test_block_sizes(self):
+        block = CompressedBlock(
+            algorithm="x", row_count=2,
+            columns=(CompressedColumn(b"abcd", 3),
+                     CompressedColumn(b"xy", 2)))
+        assert block.payload_size == 5
+        assert block.serialized_size == 6
+
+    def test_result_cf_and_savings(self):
+        result = CompressionResult(
+            algorithm="x", accounting="payload", uncompressed_bytes=100,
+            compressed_bytes=25, row_count=10)
+        assert result.compression_fraction == 0.25
+        assert result.space_savings == 0.75
+
+    def test_result_empty_rejected(self):
+        result = CompressionResult(
+            algorithm="x", accounting="payload", uncompressed_bytes=0,
+            compressed_bytes=0, row_count=0)
+        with pytest.raises(CompressionError):
+            result.compression_fraction
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in list_algorithms():
+            algorithm = get_algorithm(name)
+            assert algorithm.name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CompressionError):
+            get_algorithm("zstd")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(CompressionError):
+            register_algorithm("null_suppression", NullSuppression)
+
+    def test_custom_registration(self):
+        class Custom(NullSuppression):
+            def __init__(self):
+                super().__init__()
+                self.name = "custom_ns_test"
+
+        register_algorithm("custom_ns_test", Custom)
+        try:
+            assert get_algorithm("custom_ns_test").name == "custom_ns_test"
+        finally:
+            from repro.compression import registry
+            registry._FACTORIES.pop("custom_ns_test")
+
+    def test_every_algorithm_has_scope_and_name(self):
+        for algorithm in all_algorithms():
+            assert algorithm.scope in ("page", "index")
+            assert algorithm.name
+
+
+class TestRepack:
+    def test_capacity(self):
+        assert compressed_page_capacity(1024) == \
+            1024 - PAGE_HEADER_SIZE - COMPRESSION_INFO_BYTES
+
+    def test_tiny_page_rejected(self):
+        with pytest.raises(CompressionError):
+            compressed_page_capacity(PAGE_HEADER_SIZE)
+
+    def test_repack_fills_pages(self):
+        schema = single_char_schema(20)
+        records = [encode_record(schema, (f"v{i % 5}",))
+                   for i in range(500)]
+        result = repack(records, schema, NullSuppression(), 256)
+        assert result.num_pages > 1
+        assert sum(page.record_count for page in result.pages) == 500
+        capacity = compressed_page_capacity(256)
+        for page in result.pages[:-1]:
+            assert page.payload_size <= capacity
+
+    def test_repack_payload_matches_recompression(self):
+        schema = single_char_schema(20)
+        records = [encode_record(schema, (f"v{i % 5}",))
+                   for i in range(300)]
+        algorithm = DictionaryCompression()
+        result = repack(records, schema, algorithm, 256)
+        manual = 0
+        for page in result.pages:
+            group = records[page.record_start:
+                            page.record_start + page.record_count]
+            manual += algorithm.compress(group, schema).payload_size
+        assert result.payload_size == manual
+
+    def test_repack_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            repack([], single_char_schema(8), NullSuppression(), 256)
+
+    def test_physical_bytes(self):
+        schema = single_char_schema(20)
+        records = [encode_record(schema, ("abc",)) for _ in range(100)]
+        result = repack(records, schema, NullSuppression(), 256)
+        assert result.physical_bytes == result.num_pages * 256

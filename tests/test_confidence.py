@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.confidence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.sampling.rng import make_rng
+from repro.sampling.row_samplers import WithReplacementSampler
+from repro.storage.types import CharType
+from repro.core.cf_models import ColumnHistogram, ns_cf
+from repro.core.confidence import (ConfidenceInterval, bootstrap_cf_ci,
+                                   ns_confidence_interval,
+                                   ns_sample_size_for_width)
+from repro.compression.null_suppression import NullSuppression
+
+
+class TestConfidenceInterval:
+    def test_contains(self):
+        interval = ConfidenceInterval(0.5, 0.4, 0.6, 0.95, "test")
+        assert interval.contains(0.45)
+        assert not interval.contains(0.7)
+        assert interval.width == pytest.approx(0.2)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(EstimationError):
+            ConfidenceInterval(0.9, 0.4, 0.6, 0.95, "test")
+
+
+class TestNsConfidenceInterval:
+    def test_basic_shape(self):
+        interval = ns_confidence_interval(0.5, r=10_000)
+        assert interval.low < 0.5 < interval.high
+        assert interval.method == "normal_theorem1"
+
+    def test_width_shrinks_with_r(self):
+        wide = ns_confidence_interval(0.5, r=100)
+        narrow = ns_confidence_interval(0.5, r=10_000)
+        assert narrow.width < wide.width
+
+    def test_clipping_to_feasible_range(self):
+        interval = ns_confidence_interval(0.01, r=10)
+        assert interval.low >= 0.0
+
+    def test_range_knowledge_tightens(self):
+        loose = ns_confidence_interval(0.5, r=100)
+        tight = ns_confidence_interval(
+            0.5, r=100, stored_fraction_range=(0.4, 0.6))
+        assert tight.width < loose.width
+
+    def test_invalid_r(self):
+        with pytest.raises(EstimationError):
+            ns_confidence_interval(0.5, r=0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(EstimationError):
+            ns_confidence_interval(0.5, r=10, confidence=1.5)
+
+    def test_coverage_is_conservative(self):
+        """The Theorem 1 interval should cover the truth >= nominally."""
+        dtype = CharType(20)
+        values = [f"v{i}" + "y" * (i % 9) for i in range(40)]
+        histogram = ColumnHistogram(dtype, values,
+                                    np.arange(1, 41) * 25)
+        truth = ns_cf(histogram)
+        sampler = WithReplacementSampler()
+        rng = make_rng(23)
+        covered = 0
+        trials = 200
+        r = 200
+        for _ in range(trials):
+            sample = sampler.sample_histogram(histogram, r, rng)
+            estimate = ns_cf(sample)
+            if ns_confidence_interval(estimate, r,
+                                      confidence=0.9).contains(truth):
+                covered += 1
+        assert covered / trials >= 0.9
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_point(self):
+        dtype = CharType(20)
+        histogram = ColumnHistogram(
+            dtype, [f"v{i}" + "z" * (i % 7) for i in range(30)],
+            [10] * 30)
+        sample = WithReplacementSampler().sample_histogram(
+            histogram, 150, make_rng(1))
+        interval = bootstrap_cf_ci(sample, NullSuppression(), n_boot=50,
+                                   seed=2)
+        assert interval.low <= interval.estimate <= interval.high
+        assert interval.method == "bootstrap_percentile"
+
+    def test_too_few_replicates_rejected(self):
+        dtype = CharType(8)
+        histogram = ColumnHistogram(dtype, ["a"], [10])
+        with pytest.raises(EstimationError):
+            bootstrap_cf_ci(histogram, NullSuppression(), n_boot=3)
+
+    def test_reproducible(self):
+        dtype = CharType(8)
+        histogram = ColumnHistogram(dtype, ["a", "bb", "ccc"],
+                                    [10, 20, 30])
+        first = bootstrap_cf_ci(histogram, NullSuppression(), n_boot=30,
+                                seed=9)
+        second = bootstrap_cf_ci(histogram, NullSuppression(), n_boot=30,
+                                 seed=9)
+        assert first == second
+
+
+class TestSampleSizePlanning:
+    def test_inversion(self):
+        r = ns_sample_size_for_width(0.001, confidence=0.95)
+        interval = ns_confidence_interval(0.5, r=r, confidence=0.95)
+        assert interval.width / 2 <= 0.001 * 1.01
+
+    def test_narrow_targets_need_more_rows(self):
+        assert ns_sample_size_for_width(0.0001) > \
+            ns_sample_size_for_width(0.01)
+
+    def test_zero_spread_needs_one_row(self):
+        assert ns_sample_size_for_width(
+            0.01, stored_fraction_range=(0.5, 0.5)) == 1
+
+    def test_invalid_target(self):
+        with pytest.raises(EstimationError):
+            ns_sample_size_for_width(0.0)

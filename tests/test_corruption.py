@@ -1,0 +1,164 @@
+"""Failure injection: corrupted compressed blobs must fail loudly.
+
+A storage engine must never return silently wrong data. Each test
+applies a *targeted* corruption to a structural field of a compressed
+blob (lengths, counts, pointers) and checks the decompressor raises
+:class:`CompressionError` instead of fabricating records.
+"""
+
+import pytest
+
+from repro.errors import CompressionError
+from repro.storage.record import encode_record
+from repro.storage.schema import single_char_schema
+from repro.compression.base import CompressedBlock, CompressedColumn
+from repro.compression.dictionary import DictionaryCompression
+from repro.compression.null_suppression import NullSuppression
+from repro.compression.page_compression import PageCompression
+from repro.compression.prefix import PrefixCompression
+from repro.compression.rle import RunLengthEncoding
+
+SCHEMA = single_char_schema(20)
+
+
+def records_of(values: list[str]) -> list[bytes]:
+    return [encode_record(SCHEMA, (value,)) for value in values]
+
+
+def rebuild(block: CompressedBlock, blob: bytes) -> CompressedBlock:
+    """A copy of ``block`` with its single column blob replaced."""
+    return CompressedBlock(
+        algorithm=block.algorithm, row_count=block.row_count,
+        columns=(CompressedColumn(blob, block.columns[0].payload_size),))
+
+
+class TestNullSuppressionCorruption:
+    def test_truncated_body(self):
+        algorithm = NullSuppression()
+        block = algorithm.compress(records_of(["abcdef"]), SCHEMA)
+        broken = rebuild(block, block.columns[0].blob[:-2])
+        with pytest.raises(CompressionError):
+            algorithm.decompress(broken, SCHEMA)
+
+    def test_inflated_length_header(self):
+        algorithm = NullSuppression()
+        block = algorithm.compress(records_of(["abc"]), SCHEMA)
+        blob = bytearray(block.columns[0].blob)
+        blob[0] = 200  # claims a 200-byte body that is not there
+        with pytest.raises(CompressionError):
+            algorithm.decompress(rebuild(block, bytes(blob)), SCHEMA)
+
+    def test_trailing_garbage(self):
+        algorithm = NullSuppression()
+        block = algorithm.compress(records_of(["abc"]), SCHEMA)
+        broken = rebuild(block, block.columns[0].blob + b"JUNK")
+        with pytest.raises(CompressionError):
+            algorithm.decompress(broken, SCHEMA)
+
+    def test_bad_run_token(self):
+        algorithm = NullSuppression(mode="runs")
+        block = algorithm.compress(records_of(["0000000abc"]), SCHEMA)
+        blob = bytearray(block.columns[0].blob)
+        # Byte 1 is the ESC marker, byte 2 the token type: corrupt it.
+        assert blob[1] == 0x1B
+        blob[2] = 99
+        with pytest.raises(CompressionError):
+            algorithm.decompress(rebuild(block, bytes(blob)), SCHEMA)
+
+    def test_column_count_mismatch(self):
+        algorithm = NullSuppression()
+        block = algorithm.compress(records_of(["abc"]), SCHEMA)
+        two_columns = CompressedBlock(
+            algorithm=block.algorithm, row_count=1,
+            columns=block.columns + block.columns)
+        with pytest.raises(CompressionError):
+            algorithm.decompress(two_columns, SCHEMA)
+
+
+class TestDictionaryCorruption:
+    def test_pointer_out_of_range(self):
+        algorithm = DictionaryCompression()
+        block = algorithm.compress(records_of(["aa", "bb", "aa"]),
+                                   SCHEMA)
+        blob = bytearray(block.columns[0].blob)
+        blob[-1] = 0xFF  # pointer 0xNNFF far beyond 2 entries
+        blob[-2] = 0xFF
+        with pytest.raises(CompressionError):
+            algorithm.decompress(rebuild(block, bytes(blob)), SCHEMA)
+
+    def test_truncated_dictionary_entry(self):
+        algorithm = DictionaryCompression()
+        block = algorithm.compress(records_of(["aa", "bb"]), SCHEMA)
+        broken = rebuild(block, block.columns[0].blob[:10])
+        with pytest.raises(CompressionError):
+            algorithm.decompress(broken, SCHEMA)
+
+    def test_header_too_short(self):
+        algorithm = DictionaryCompression()
+        block = algorithm.compress(records_of(["aa"]), SCHEMA)
+        broken = rebuild(block, b"\x00\x01")
+        with pytest.raises(CompressionError):
+            algorithm.decompress(broken, SCHEMA)
+
+    def test_trailing_garbage(self):
+        algorithm = DictionaryCompression()
+        block = algorithm.compress(records_of(["aa", "bb"]), SCHEMA)
+        broken = rebuild(block, block.columns[0].blob + b"??")
+        with pytest.raises(CompressionError):
+            algorithm.decompress(broken, SCHEMA)
+
+
+class TestRLECorruption:
+    def test_run_total_mismatch(self):
+        algorithm = RunLengthEncoding()
+        block = algorithm.compress(records_of(["a", "a", "b"]), SCHEMA)
+        blob = bytearray(block.columns[0].blob)
+        # First run's 4-byte count starts after the 4-byte run_count.
+        blob[7] = 9  # now expands to 10 rows, row_count says 3
+        with pytest.raises(CompressionError):
+            algorithm.decompress(rebuild(block, bytes(blob)), SCHEMA)
+
+    def test_truncated_value(self):
+        algorithm = RunLengthEncoding()
+        block = algorithm.compress(records_of(["abcdef"] * 3), SCHEMA)
+        broken = rebuild(block, block.columns[0].blob[:-3])
+        with pytest.raises(CompressionError):
+            algorithm.decompress(broken, SCHEMA)
+
+
+class TestPrefixCorruption:
+    def test_bad_mode_byte(self):
+        algorithm = PrefixCompression()
+        block = algorithm.compress(records_of(["pre-a", "pre-b"]),
+                                   SCHEMA)
+        blob = bytearray(block.columns[0].blob)
+        blob[0] = 7
+        with pytest.raises(CompressionError):
+            algorithm.decompress(rebuild(block, bytes(blob)), SCHEMA)
+
+    def test_truncated_prefix(self):
+        algorithm = PrefixCompression()
+        block = algorithm.compress(records_of(["shared-a", "shared-b"]),
+                                   SCHEMA)
+        broken = rebuild(block, block.columns[0].blob[:3])
+        with pytest.raises(CompressionError):
+            algorithm.decompress(broken, SCHEMA)
+
+
+class TestPageCompressionCorruption:
+    def test_empty_blob(self):
+        algorithm = PageCompression()
+        block = algorithm.compress(records_of(["x"]), SCHEMA)
+        broken = rebuild(block, b"")
+        with pytest.raises(CompressionError):
+            algorithm.decompress(broken, SCHEMA)
+
+    def test_pointer_out_of_range(self):
+        algorithm = PageCompression()
+        block = algorithm.compress(records_of(["px-a", "px-b", "px-a"]),
+                                   SCHEMA)
+        blob = bytearray(block.columns[0].blob)
+        blob[-1] = 0xFF
+        blob[-2] = 0xFF
+        with pytest.raises(CompressionError):
+            algorithm.decompress(rebuild(block, bytes(blob)), SCHEMA)

@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.distinct."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.sampling.rng import make_rng
+from repro.sampling.row_samplers import WithReplacementSampler
+from repro.storage.types import CharType
+from repro.core.cf_models import ColumnHistogram
+from repro.core.distinct import (DISTINCT_ESTIMATORS, Chao84, GEE,
+                                 SampleDistinct, Shlosser,
+                                 dictionary_cf_from_distinct)
+
+
+def freqs_of(counts: list[int]) -> dict[int, int]:
+    """Frequency-of-frequencies of an explicit count vector."""
+    out: dict[int, int] = {}
+    for count in counts:
+        out[count] = out.get(count, 0) + 1
+    return out
+
+
+class TestValidation:
+    @pytest.mark.parametrize("estimator", DISTINCT_ESTIMATORS.values(),
+                             ids=list(DISTINCT_ESTIMATORS))
+    def test_inconsistent_freqs_rejected(self, estimator):
+        with pytest.raises(EstimationError):
+            estimator.estimate({1: 5}, r=3, n=100)  # sums to 5, r=3
+
+    @pytest.mark.parametrize("estimator", DISTINCT_ESTIMATORS.values(),
+                             ids=list(DISTINCT_ESTIMATORS))
+    def test_bad_sizes_rejected(self, estimator):
+        with pytest.raises(EstimationError):
+            estimator.estimate({1: 1}, r=1, n=0)
+        with pytest.raises(EstimationError):
+            estimator.estimate({1: 10}, r=10, n=5)
+
+    def test_empty_freqs_rejected(self):
+        with pytest.raises(EstimationError):
+            SampleDistinct().estimate({}, r=1, n=10)
+
+
+class TestSampleDistinct:
+    def test_scale_up(self):
+        # d' = 4 distinct in a 10-row sample from 100 rows -> 40.
+        freqs = freqs_of([4, 3, 2, 1])
+        assert SampleDistinct().estimate(freqs, r=10, n=100) == 40.0
+
+    def test_full_sample(self):
+        freqs = freqs_of([5, 5])
+        assert SampleDistinct().estimate(freqs, r=10, n=10) == 2.0
+
+
+class TestChao84:
+    def test_with_doubletons(self):
+        freqs = freqs_of([1, 1, 1, 2, 2, 3])  # f1=3, f2=2, d'=6
+        expected = 6 + 9 / 4
+        assert Chao84().estimate(freqs, r=10, n=1000) == \
+            pytest.approx(expected)
+
+    def test_without_doubletons(self):
+        freqs = freqs_of([1, 1, 1, 3])  # f1=3, f2=0, d'=4
+        expected = 4 + 3 * 2 / 2
+        assert Chao84().estimate(freqs, r=6, n=1000) == \
+            pytest.approx(expected)
+
+    def test_capped_at_n(self):
+        freqs = freqs_of([1] * 10)
+        assert Chao84().estimate(freqs, r=10, n=12) <= 12
+
+
+class TestGEE:
+    def test_formula(self):
+        freqs = freqs_of([1, 1, 2, 5])  # f1=2, others=2, d'=4
+        n, r = 10_000, 9
+        expected = np.sqrt(n / r) * 2 + 2
+        assert GEE().estimate(freqs, r=r, n=n) == pytest.approx(expected)
+
+    def test_never_below_observed(self):
+        freqs = freqs_of([2, 2, 2])
+        assert GEE().estimate(freqs, r=6, n=1000) >= 3
+
+    def test_capped_at_n(self):
+        freqs = freqs_of([1] * 100)
+        assert GEE().estimate(freqs, r=100, n=150) <= 150
+
+
+class TestShlosser:
+    def test_no_singletons_returns_observed(self):
+        freqs = freqs_of([2, 2, 4])
+        assert Shlosser().estimate(freqs, r=8, n=1000) == \
+            pytest.approx(3.0)
+
+    def test_adds_mass_for_singletons(self):
+        freqs = freqs_of([1, 1, 1, 1, 6])
+        estimate = Shlosser().estimate(freqs, r=10, n=10_000)
+        assert estimate > 5
+
+    def test_full_sample_returns_observed(self):
+        freqs = freqs_of([5, 5])
+        assert Shlosser().estimate(freqs, r=10, n=10) == 2.0
+
+
+class TestAccuracyOnKnownPopulations:
+    """Estimators should rank sensibly on an easy uniform population."""
+
+    def test_uniform_population(self):
+        dtype = CharType(8)
+        d_true = 200
+        histogram = ColumnHistogram(
+            dtype, [f"v{i}" for i in range(d_true)], [50] * d_true)
+        sampler = WithReplacementSampler()
+        rng = make_rng(17)
+        sample = sampler.sample_histogram(histogram, 1000, rng)
+        freqs = sample.frequency_of_frequencies()
+        for name, estimator in DISTINCT_ESTIMATORS.items():
+            estimate = estimator.estimate(freqs, sample.n, histogram.n)
+            ratio = max(estimate / d_true, d_true / estimate)
+            assert ratio < 60, f"{name} is wildly off: {estimate}"
+
+    def test_estimate_from_histogram_convenience(self):
+        dtype = CharType(8)
+        histogram = ColumnHistogram(dtype, ["a", "b"], [5, 5])
+        estimate = SampleDistinct().estimate_from_histogram(histogram, 20)
+        assert estimate == 2 * 20 / 10
+
+
+class TestDictionaryCFBridge:
+    def test_formula(self):
+        assert dictionary_cf_from_distinct(50, n=100, k=20, p=2) == \
+            pytest.approx(0.5 + 0.1)
+
+    def test_caps_at_n(self):
+        capped = dictionary_cf_from_distinct(500, n=100, k=20, p=2)
+        assert capped == pytest.approx(1.0 + 0.1)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            dictionary_cf_from_distinct(5, n=0, k=20, p=2)
+        with pytest.raises(EstimationError):
+            dictionary_cf_from_distinct(-1, n=10, k=20, p=2)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.workloads.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.workloads.distributions import (all_singleton_counts,
+                                           exact_counts_from_weights,
+                                           geometric_counts, make_counts,
+                                           singleton_heavy_counts,
+                                           uniform_counts, zipf_counts)
+
+
+class TestExactCounts:
+    def test_sums_exactly(self):
+        weights = np.array([0.31, 0.27, 0.42])
+        counts = exact_counts_from_weights(weights, 1000)
+        assert counts.sum() == 1000
+
+    def test_all_positive(self):
+        weights = np.array([1e9, 1.0, 1.0])
+        counts = exact_counts_from_weights(weights, 100)
+        assert np.all(counts >= 1)
+
+    def test_proportionality(self):
+        counts = exact_counts_from_weights(np.array([3.0, 1.0]), 4000)
+        assert abs(counts[0] - 3 * counts[1]) <= 4
+
+    def test_n_below_d_rejected(self):
+        with pytest.raises(ExperimentError):
+            exact_counts_from_weights(np.ones(10), 5)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ExperimentError):
+            exact_counts_from_weights(np.array([1.0, -1.0]), 10)
+        with pytest.raises(ExperimentError):
+            exact_counts_from_weights(np.array([]), 10)
+
+
+class TestNamedDistributions:
+    @pytest.mark.parametrize("maker", [uniform_counts,
+                                       singleton_heavy_counts])
+    def test_exact_n_and_d(self, maker):
+        counts = maker(10_000, 37)
+        assert counts.sum() == 10_000
+        assert counts.shape == (37,)
+        assert np.all(counts >= 1)
+
+    def test_zipf_exact_and_skewed(self):
+        counts = zipf_counts(10_000, 100, s=1.2)
+        assert counts.sum() == 10_000
+        assert counts[0] > counts[-1]
+        assert counts[0] > 10 * counts[-1]
+
+    def test_zipf_zero_exponent_is_uniform(self):
+        assert np.array_equal(zipf_counts(1000, 10, s=0.0),
+                              uniform_counts(1000, 10))
+
+    def test_zipf_negative_exponent_rejected(self):
+        with pytest.raises(ExperimentError):
+            zipf_counts(100, 10, s=-1.0)
+
+    def test_geometric_decays(self):
+        counts = geometric_counts(10_000, 10, ratio=0.5)
+        assert counts.sum() == 10_000
+        assert np.all(np.diff(counts.astype(np.int64)) <= 0)
+
+    def test_geometric_ratio_validated(self):
+        with pytest.raises(ExperimentError):
+            geometric_counts(100, 5, ratio=1.0)
+
+    def test_uniform_near_equal(self):
+        counts = uniform_counts(1003, 10)
+        assert counts.max() - counts.min() <= 1
+
+    def test_singleton_heavy_shape(self):
+        counts = singleton_heavy_counts(1000, 100)
+        assert counts[0] == 901
+        assert np.all(counts[1:] == 1)
+
+    def test_all_singletons(self):
+        counts = all_singleton_counts(50)
+        assert counts.sum() == 50
+        assert np.all(counts == 1)
+        with pytest.raises(ExperimentError):
+            all_singleton_counts(0)
+
+
+class TestMakeCounts:
+    def test_dispatch(self):
+        assert np.array_equal(make_counts("uniform", 100, 4),
+                              uniform_counts(100, 4))
+        assert make_counts("zipf", 100, 4, s=2.0).sum() == 100
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_counts("pareto", 100, 4)

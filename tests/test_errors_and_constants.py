@@ -1,0 +1,57 @@
+"""Unit tests for the exception hierarchy and engine constants."""
+
+import pytest
+
+from repro import constants
+from repro.errors import (AdvisorError, CompressionError, EncodingError,
+                          EstimationError, ExperimentError, PageError,
+                          PageFormatError, PageFullError, ReproError,
+                          SamplingError, SchemaError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        SchemaError, EncodingError, PageError, PageFullError,
+        PageFormatError, CompressionError, SamplingError,
+        EstimationError, AdvisorError, ExperimentError])
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_page_errors_nest(self):
+        assert issubclass(PageFullError, PageError)
+        assert issubclass(PageFormatError, PageError)
+
+    def test_page_full_carries_context(self):
+        error = PageFullError("full", record_bytes=100, free_bytes=10)
+        assert error.record_bytes == 100
+        assert error.free_bytes == 10
+
+    def test_record_not_found_is_lookup_error(self):
+        from repro.errors import RecordNotFoundError
+
+        assert issubclass(RecordNotFoundError, LookupError)
+        assert issubclass(RecordNotFoundError, ReproError)
+
+
+class TestConstants:
+    def test_page_layout_consistent(self):
+        assert constants.PAGE_HEADER_SIZE == 16
+        assert constants.SLOT_SIZE == 4
+        assert constants.MIN_PAGE_SIZE > \
+            constants.PAGE_HEADER_SIZE + constants.SLOT_SIZE
+
+    def test_default_page_size_is_8k(self):
+        """SQL Server pages, the system whose estimator the paper
+        describes."""
+        assert constants.DEFAULT_PAGE_SIZE == 8192
+
+    def test_pad_byte_is_blank(self):
+        assert constants.PAD_BYTE == b" "
+
+    def test_pointer_default_covers_64k_entries(self):
+        assert constants.DEFAULT_POINTER_BYTES == 2
+
+    def test_fill_factor_full(self):
+        assert constants.DEFAULT_FILL_FACTOR == 1.0

@@ -1,0 +1,64 @@
+"""Unit tests for repro.core.estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.storage.types import CharType, VarCharType
+from repro.core.cf_models import ColumnHistogram
+from repro.core.estimator import (DistinctPlugInEstimator,
+                                  HistogramCFEstimator)
+from repro.core.samplecf import SampleCF
+from repro.compression.global_dictionary import GlobalDictionaryCompression
+
+
+@pytest.fixture
+def histogram() -> ColumnHistogram:
+    values = [f"v{i:03d}" for i in range(60)]
+    counts = np.arange(1, 61) * 3
+    return ColumnHistogram(CharType(20), values, counts)
+
+
+class TestDistinctPlugIn:
+    def test_by_name(self, histogram):
+        estimator = DistinctPlugInEstimator("chao84")
+        value = estimator.estimate_histogram(histogram, 0.2, seed=1)
+        assert 0 < value <= 1.0 + 2 / 20
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(EstimationError):
+            DistinctPlugInEstimator("hyperloglog")
+
+    def test_bad_pointer_rejected(self):
+        with pytest.raises(EstimationError):
+            DistinctPlugInEstimator("gee", pointer_bytes=0)
+
+    def test_scale_up_matches_samplecf(self, histogram):
+        """The scale-up plug-in IS SampleCF's dictionary estimate."""
+        plug_in = DistinctPlugInEstimator("scale_up")
+        samplecf = SampleCF(GlobalDictionaryCompression())
+        for seed in range(5):
+            a = plug_in.estimate_histogram(histogram, 0.1, seed=seed)
+            b = samplecf.estimate_histogram(histogram, 0.1,
+                                            seed=seed).estimate
+            assert a == pytest.approx(b)
+
+    def test_variable_width_rejected(self):
+        histogram = ColumnHistogram(VarCharType(20), ["a", "bb"], [1, 1])
+        estimator = DistinctPlugInEstimator("gee")
+        with pytest.raises(EstimationError):
+            estimator.estimate_histogram(histogram, 0.5)
+
+    def test_name_attribute(self):
+        assert DistinctPlugInEstimator("gee").name == "dict_cf[gee]"
+
+    def test_protocol_conformance(self, histogram):
+        estimator = DistinctPlugInEstimator("shlosser")
+        assert isinstance(estimator, HistogramCFEstimator)
+        assert isinstance(SampleCF(GlobalDictionaryCompression()),
+                          HistogramCFEstimator)
+
+    def test_reproducible(self, histogram):
+        estimator = DistinctPlugInEstimator("gee")
+        assert estimator.estimate_histogram(histogram, 0.1, seed=3) == \
+            estimator.estimate_histogram(histogram, 0.1, seed=3)

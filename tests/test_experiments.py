@@ -1,0 +1,124 @@
+"""Unit tests for repro.experiments (runner, report, registry)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import (EXPERIMENTS, get_experiment,
+                                        list_experiments)
+from repro.experiments.report import (banner, fmt_bytes, fmt_float,
+                                      format_markdown_table, format_table)
+from repro.experiments.runner import (run_trials, summarize_trials, sweep,
+                                      timed)
+
+
+class TestRunner:
+    def test_run_trials_reproducible(self):
+        trial = lambda rng: float(rng.random())  # noqa: E731
+        first = run_trials(trial, 10, seed=5)
+        second = run_trials(trial, 10, seed=5)
+        assert np.array_equal(first, second)
+        assert len(set(first.tolist())) == 10  # independent streams
+
+    def test_run_trials_validation(self):
+        with pytest.raises(ExperimentError):
+            run_trials(lambda rng: 1.0, 0)
+
+    def test_summarize_trials(self):
+        trial = lambda rng: 0.5 + 0.01 * float(rng.standard_normal())  # noqa: E731
+        summary = summarize_trials(0.5, trial, 100, seed=1)
+        assert abs(summary.bias) < 0.01
+        assert summary.trials == 100
+
+    def test_sweep_structure(self):
+        def make(parameter):
+            truth = float(parameter)
+            return truth, lambda rng: truth + 0.0 * rng.random(), \
+                {"p": parameter}
+
+        points = sweep([1, 2, 3], make, trials=5, seed=2)
+        assert [point.parameter for point in points] == [1, 2, 3]
+        assert all(point.summary.mean == point.parameter
+                   for point in points)
+        assert points[0].extra == {"p": 1}
+
+    def test_timed(self):
+        result = timed(lambda: sum(range(1000)))
+        assert result.value == 499500
+        assert result.seconds >= 0
+
+
+class TestReport:
+    def test_fmt_float(self):
+        assert fmt_float(0.123456) == "0.1235"
+        assert fmt_float(1.0, digits=2) == "1.00"
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.0 KiB"
+        assert fmt_bytes(3 * 1024**2) == "3.0 MiB"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_table_title(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_format_table_validation(self):
+        with pytest.raises(ExperimentError):
+            format_table([], [])
+        with pytest.raises(ExperimentError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_markdown_table(self):
+        text = format_markdown_table(["a", "b"], [[1, 2]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert text.splitlines()[1] == "|---|---|"
+        assert text.splitlines()[2] == "| 1 | 2 |"
+
+    def test_banner(self):
+        assert "My Section" in banner("My Section")
+
+
+class TestRegistry:
+    def test_every_paper_artefact_present(self):
+        for artefact in ("fig1", "fig2", "table1", "table2", "thm1",
+                         "thm2", "thm3", "ex1"):
+            assert artefact in EXPERIMENTS
+
+    def test_future_work_ablations_present(self):
+        assert "abl-paging" in EXPERIMENTS
+        assert "abl-block" in EXPERIMENTS
+
+    def test_get_experiment(self):
+        spec = get_experiment("thm1")
+        assert spec.paper_ref == "Theorem 1"
+        assert spec.bench_module is not None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("thm9")
+
+    def test_list_is_ordered_and_complete(self):
+        specs = list_experiments()
+        assert len(specs) == len(EXPERIMENTS)
+        assert specs[0].id == "fig1"
+
+    def test_only_table1_lacks_a_bench(self):
+        missing = [spec.id for spec in list_experiments()
+                   if spec.bench_module is None]
+        assert missing == ["table1"]
+
+    def test_bench_modules_exist_on_disk(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        for spec in list_experiments():
+            if spec.bench_module is not None:
+                assert (root / spec.bench_module).exists(), \
+                    spec.bench_module

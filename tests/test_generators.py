@@ -1,0 +1,109 @@
+"""Unit tests for repro.workloads.generators and scenarios."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.storage.types import CharType
+from repro.workloads.generators import (histogram_to_table, make_histogram,
+                                        make_multicolumn_table, make_table)
+from repro.workloads.scenarios import SCENARIOS, get_scenario
+
+
+class TestMakeHistogram:
+    def test_exact_parameters(self):
+        histogram = make_histogram(n=10_000, d=123, k=20, seed=1)
+        assert histogram.n == 10_000
+        assert histogram.d == 123
+        assert isinstance(histogram.dtype, CharType)
+        assert histogram.dtype.k == 20
+
+    def test_length_control(self):
+        histogram = make_histogram(n=1000, d=50, k=30, min_len=10,
+                                   max_len=12, seed=2)
+        lengths = [len(v) for v in histogram.values]
+        assert all(10 <= length <= 12 for length in lengths)
+
+    def test_distribution_choice(self):
+        uniform = make_histogram(n=1000, d=10, k=8,
+                                 distribution="uniform", seed=3)
+        assert uniform.counts.max() - uniform.counts.min() <= 1
+
+    def test_reproducible(self):
+        first = make_histogram(n=500, d=20, k=12, seed=9)
+        second = make_histogram(n=500, d=20, k=12, seed=9)
+        assert first.values == second.values
+        assert (first.counts == second.counts).all()
+
+
+class TestHistogramToTable:
+    def test_row_count_and_multiset(self):
+        histogram = make_histogram(n=300, d=10, k=12, seed=4)
+        table = histogram_to_table(histogram, page_size=512, seed=5)
+        assert table.num_rows == 300
+        from collections import Counter
+        table_counts = Counter(v for (v,) in table.rows())
+        hist_counts = dict(zip(histogram.values,
+                               (int(c) for c in histogram.counts)))
+        assert table_counts == Counter(hist_counts)
+
+    def test_sorted_order(self):
+        histogram = make_histogram(n=100, d=10, k=12, seed=4)
+        table = histogram_to_table(histogram, order="sorted",
+                                   page_size=512)
+        values = [v for (v,) in table.rows()]
+        assert values == sorted(values)
+
+    def test_make_table_one_call(self):
+        table = make_table(n=200, d=10, k=12, page_size=512, seed=6)
+        assert table.num_rows == 200
+
+
+class TestMultiColumnTable:
+    def test_schema_and_rows(self):
+        table = make_multicolumn_table(
+            "orders", 500, [("status", 10, 5), ("customer", 24, 50)],
+            page_size=1024, seed=7)
+        assert table.schema.names == ("status", "customer")
+        assert table.num_rows == 500
+        statuses = set(table.column_values("status"))
+        assert len(statuses) == 5
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_multicolumn_table("t", 100, [])
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_builds_at_requested_n(self, name):
+        scenario = get_scenario(name)
+        histogram = scenario.build(1500, seed=11)
+        assert histogram.n == 1500
+        assert histogram.d >= 1
+        assert histogram.dtype.k == scenario.k
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_reproducible(self, name):
+        scenario = get_scenario(name)
+        first = scenario.build(800, seed=13)
+        second = scenario.build(800, seed=13)
+        assert first.values == second.values
+
+    def test_default_n(self):
+        scenario = get_scenario("status_codes")
+        assert scenario.build(seed=1).n == scenario.default_n
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_scenario("tpch_lineitem")
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_scenario("status_codes").build(0)
+
+    def test_regimes_differ(self):
+        """Scenario d-regimes should span the paper's small/large split."""
+        small = get_scenario("status_codes").build(10_000, seed=1)
+        large = get_scenario("order_comments").build(10_000, seed=1)
+        assert small.d / small.n < 0.01
+        assert large.d / large.n > 0.5

@@ -1,0 +1,68 @@
+"""Unit tests for repro.storage.heap."""
+
+import pytest
+
+from repro.errors import RecordNotFoundError
+from repro.storage.heap import HeapFile
+from repro.storage.rid import RID
+
+
+class TestHeapFile:
+    def test_insert_returns_sequential_rids(self):
+        heap = HeapFile(page_size=128)
+        rids = [heap.insert(f"r{i}".encode().ljust(20)) for i in range(20)]
+        assert rids[0] == RID(0, 0)
+        assert len(set(rids)) == 20
+        assert heap.num_records == 20
+        assert heap.num_pages > 1
+
+    def test_get_by_rid(self):
+        heap = HeapFile(page_size=128)
+        rid = heap.insert(b"hello")
+        assert heap.get(rid) == b"hello"
+
+    def test_get_missing_page(self):
+        heap = HeapFile(page_size=128)
+        with pytest.raises(RecordNotFoundError):
+            heap.get(RID(5, 0))
+
+    def test_scan_order_matches_insert_order(self):
+        heap = HeapFile(page_size=128)
+        records = [f"rec-{i:03d}".encode() for i in range(30)]
+        inserted = heap.insert_many(records)
+        scanned = list(heap.scan())
+        assert [record for _, record in scanned] == records
+        assert [rid for rid, _ in scanned] == inserted
+
+    def test_records_iterator(self):
+        heap = HeapFile(page_size=128)
+        heap.insert_many([b"a", b"b", b"c"])
+        assert list(heap.records()) == [b"a", b"b", b"c"]
+
+    def test_pages_and_page_access(self):
+        heap = HeapFile(page_size=128)
+        heap.insert_many([b"x" * 30 for _ in range(10)])
+        pages = list(heap.pages())
+        assert len(pages) == heap.num_pages
+        assert heap.page(0) is pages[0]
+        with pytest.raises(RecordNotFoundError):
+            heap.page(heap.num_pages)
+
+    def test_byte_accounting(self):
+        heap = HeapFile(page_size=128)
+        heap.insert_many([b"x" * 10 for _ in range(12)])
+        assert heap.payload_bytes == 120
+        assert heap.physical_bytes == heap.num_pages * 128
+
+    def test_len(self):
+        heap = HeapFile(page_size=128)
+        assert len(heap) == 0
+        heap.insert(b"a")
+        assert len(heap) == 1
+
+    def test_records_spanning_many_pages_stay_ordered(self):
+        heap = HeapFile(page_size=128)
+        records = [bytes([i % 251]) * 40 for i in range(50)]
+        heap.insert_many(records)
+        assert list(heap.records()) == records
+        assert heap.num_pages >= 25  # 2 records of 40B + slots per page

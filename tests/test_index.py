@@ -1,0 +1,174 @@
+"""Unit tests for repro.storage.index."""
+
+import pytest
+
+from repro.errors import CompressionError, IndexError_
+from repro.storage.index import Index, IndexKind, RID_COLUMN
+from repro.storage.rid import RID
+from repro.storage.schema import Column, Schema, single_char_schema
+from repro.compression.null_suppression import NullSuppression
+from repro.compression.global_dictionary import GlobalDictionaryCompression
+from repro.compression.dictionary import DictionaryCompression
+
+PAGE = 256
+
+
+def rows_with_rids(values: list[str]) -> list:
+    return [((value,), RID(0, slot)) for slot, value in enumerate(values)]
+
+
+def build_clustered(values: list[str], k: int = 20) -> Index:
+    index = Index("ix", single_char_schema(k), ["a"],
+                  kind=IndexKind.CLUSTERED, page_size=PAGE)
+    return index.build(rows_with_rids(values))
+
+
+def build_nonclustered(values: list[str], k: int = 20) -> Index:
+    index = Index("ix", single_char_schema(k), ["a"],
+                  kind=IndexKind.NONCLUSTERED, page_size=PAGE)
+    return index.build(rows_with_rids(values))
+
+
+class TestIndexConstruction:
+    def test_requires_key_columns(self):
+        with pytest.raises(IndexError_):
+            Index("ix", single_char_schema(8), [])
+
+    def test_clustered_leaf_schema_is_table_schema(self):
+        index = Index("ix", single_char_schema(8), ["a"])
+        assert index.leaf_schema == index.table_schema
+
+    def test_nonclustered_leaf_schema_appends_rid(self):
+        index = Index("ix", single_char_schema(8), ["a"],
+                      kind=IndexKind.NONCLUSTERED)
+        assert index.leaf_schema.names == ("a", RID_COLUMN)
+
+    def test_multi_column_key(self):
+        schema = Schema([Column.of("a", "char(6)"),
+                         Column.of("b", "integer")])
+        index = Index("ix", schema, ["b", "a"], page_size=PAGE)
+        index.build([(("x", 2), None), (("y", 1), None)])
+        assert [entry for entry in index.range_scan()] == [
+            ("y", 1), ("x", 2)]
+
+    def test_build_from_rows_clustered_only(self):
+        index = Index("ix", single_char_schema(8), ["a"],
+                      kind=IndexKind.NONCLUSTERED)
+        with pytest.raises(IndexError_):
+            index.build_from_rows([("x",)])
+
+    def test_nonclustered_requires_rids(self):
+        index = Index("ix", single_char_schema(8), ["a"],
+                      kind=IndexKind.NONCLUSTERED)
+        with pytest.raises(IndexError_):
+            index.build([(("x",), None)])
+
+
+class TestLookup:
+    def test_clustered_search_returns_rows(self):
+        index = build_clustered(["b", "a", "c", "a"])
+        assert index.search(("a",)) == [("a",), ("a",)]
+
+    def test_nonclustered_search_rids(self):
+        index = build_nonclustered(["b", "a", "c", "a"])
+        rids = index.search_rids(("a",))
+        assert sorted(rids) == [RID(0, 1), RID(0, 3)]
+
+    def test_clustered_search_rids_rejected(self):
+        index = build_clustered(["a"])
+        with pytest.raises(IndexError_):
+            index.search_rids(("a",))
+
+    def test_range_scan_sorted(self):
+        index = build_clustered(["d", "b", "a", "c"])
+        assert [row[0] for row in index.range_scan()] == list("abcd")
+
+    def test_insert_after_build(self):
+        index = build_clustered(["a", "c"])
+        index.insert(("b",))
+        assert [row[0] for row in index.range_scan()] == list("abc")
+        index.validate()
+
+    def test_leaf_record_key(self):
+        clustered = build_clustered(["x"])
+        record = next(clustered.leaf_records())
+        assert clustered.leaf_record_key(record) == ("x",)
+        nonclustered = build_nonclustered(["x"])
+        record = next(nonclustered.leaf_records())
+        assert nonclustered.leaf_record_key(record) == ("x",)
+
+
+class TestSizes:
+    def test_clustered_payload_is_rows_times_k(self):
+        index = build_clustered(["val%d" % i for i in range(100)], k=20)
+        assert index.uncompressed_size("payload") == 100 * 20
+
+    def test_nonclustered_payload_adds_rid_bytes(self):
+        index = build_nonclustered(["val%d" % i for i in range(100)], k=20)
+        assert index.uncompressed_size("payload") == 100 * (20 + 8)
+
+    def test_physical_is_pages_times_size(self):
+        index = build_clustered(["v%d" % i for i in range(100)])
+        size = index.size()
+        assert size.physical_bytes == size.leaf_pages * PAGE
+        assert size.entries == 100
+
+    def test_unknown_accounting_rejected(self):
+        index = build_clustered(["a"])
+        with pytest.raises(CompressionError):
+            index.uncompressed_size("weird")
+
+
+class TestCompress:
+    def test_empty_index_rejected(self):
+        index = Index("ix", single_char_schema(8), ["a"], page_size=PAGE)
+        with pytest.raises(CompressionError):
+            index.compress(NullSuppression())
+
+    def test_payload_cf_below_one_for_padded_values(self):
+        index = build_clustered(["ab"] * 50 + ["cdef"] * 50)
+        result = index.compress(NullSuppression())
+        assert 0 < result.compression_fraction < 0.5
+        assert result.row_count == 100
+        assert result.accounting == "payload"
+
+    def test_physical_in_place_keeps_pages(self):
+        index = build_clustered(["ab"] * 200)
+        result = index.compress(NullSuppression(), accounting="physical")
+        assert result.pages_before == result.pages_after
+        assert result.compression_fraction == 1.0
+
+    def test_physical_repack_frees_pages(self):
+        index = build_clustered(["ab"] * 200)
+        result = index.compress(NullSuppression(), accounting="physical",
+                                repack_pages=True)
+        assert result.pages_after < result.pages_before
+        assert result.compression_fraction < 1.0
+
+    def test_index_scope_algorithm(self):
+        index = build_clustered(["a", "b"] * 100)
+        result = index.compress(GlobalDictionaryCompression())
+        # 2 entries * 20 bytes + 200 pointers * 2 bytes over 200*20.
+        assert result.compressed_bytes == 2 * 20 + 200 * 2
+        assert result.uncompressed_bytes == 200 * 20
+
+    def test_page_scope_payload_sums_leaf_blocks(self):
+        index = build_clustered([f"v{i % 7}" for i in range(150)])
+        result = index.compress(DictionaryCompression())
+        manual = 0
+        for page in index.leaf_pages():
+            block = DictionaryCompression().compress(
+                list(page.records()), index.leaf_schema)
+            manual += block.payload_size
+        assert result.compressed_bytes == manual
+
+    def test_repack_payload_matches_tracker(self):
+        index = build_clustered([f"v{i % 5}" for i in range(200)])
+        inplace = index.compress(DictionaryCompression(), repack_pages=False)
+        repacked = index.compress(DictionaryCompression(), repack_pages=True)
+        # Repacking merges pages, so fewer dictionary copies are stored.
+        assert repacked.compressed_bytes <= inplace.compressed_bytes
+
+    def test_validate_passes(self):
+        index = build_clustered([f"w{i}" for i in range(300)])
+        index.validate()

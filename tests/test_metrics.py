@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.core.metrics import (ErrorSummary, compression_fraction,
+                                ratio_error, space_savings)
+
+
+class TestCompressionFraction:
+    def test_basic(self):
+        assert compression_fraction(25, 100) == 0.25
+
+    def test_zero_compressed_allowed(self):
+        assert compression_fraction(0, 100) == 0.0
+
+    def test_zero_uncompressed_rejected(self):
+        with pytest.raises(EstimationError):
+            compression_fraction(1, 0)
+
+    def test_negative_compressed_rejected(self):
+        with pytest.raises(EstimationError):
+            compression_fraction(-1, 10)
+
+    def test_space_savings(self):
+        assert space_savings(0.25) == 0.75
+
+
+class TestRatioError:
+    def test_exact_estimate(self):
+        assert ratio_error(0.5, 0.5) == 1.0
+
+    def test_symmetric(self):
+        assert ratio_error(0.2, 0.4) == ratio_error(0.4, 0.2) == 2.0
+
+    def test_always_at_least_one(self):
+        for truth, estimate in [(0.1, 0.9), (0.9, 0.1), (0.5, 0.500001)]:
+            assert ratio_error(truth, estimate) >= 1.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(EstimationError):
+            ratio_error(0.0, 0.5)
+        with pytest.raises(EstimationError):
+            ratio_error(0.5, -0.1)
+
+
+class TestErrorSummary:
+    def test_from_estimates(self):
+        summary = ErrorSummary.from_estimates(0.5, [0.4, 0.5, 0.6])
+        assert summary.trials == 3
+        assert summary.mean == pytest.approx(0.5)
+        assert summary.bias == pytest.approx(0.0)
+        assert summary.true_value == 0.5
+        assert summary.max_ratio_error == pytest.approx(1.25)
+
+    def test_variance_and_rmse(self):
+        data = np.array([0.4, 0.6])
+        summary = ErrorSummary.from_estimates(0.5, data)
+        assert summary.variance == pytest.approx(float(data.var(ddof=1)))
+        assert summary.rmse == pytest.approx(0.1)
+
+    def test_single_trial_std_zero(self):
+        summary = ErrorSummary.from_estimates(0.5, [0.7])
+        assert summary.std == 0.0
+        assert summary.trials == 1
+
+    def test_relative_bias(self):
+        summary = ErrorSummary.from_estimates(0.5, [0.6, 0.6])
+        assert summary.relative_bias == pytest.approx(0.2)
+
+    def test_quantiles_ordered(self):
+        rng = np.random.default_rng(0)
+        data = 0.5 + 0.01 * rng.standard_normal(500)
+        summary = ErrorSummary.from_estimates(0.5, data)
+        assert summary.q05 <= summary.q50 <= summary.q95
+
+    def test_mean_ratio_error_at_least_one(self):
+        summary = ErrorSummary.from_estimates(0.5, [0.45, 0.55, 0.5])
+        assert summary.mean_ratio_error >= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            ErrorSummary.from_estimates(0.5, [])
+
+    def test_nonpositive_truth_rejected(self):
+        with pytest.raises(EstimationError):
+            ErrorSummary.from_estimates(0.0, [0.5])
+
+    def test_nonpositive_estimates_rejected(self):
+        with pytest.raises(EstimationError):
+            ErrorSummary.from_estimates(0.5, [0.5, 0.0])
+
+    def test_describe_mentions_key_numbers(self):
+        summary = ErrorSummary.from_estimates(0.5, [0.5, 0.5])
+        text = summary.describe()
+        assert "truth=0.5" in text
+        assert "trials=2" in text

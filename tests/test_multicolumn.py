@@ -1,0 +1,172 @@
+"""Unit and integration tests for repro.core.multicolumn."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.storage.index import IndexKind
+from repro.storage.types import CharType, VarCharType
+from repro.compression.global_dictionary import GlobalDictionaryCompression
+from repro.compression.null_suppression import NullSuppression
+from repro.core.cf_models import ColumnHistogram, ns_cf
+from repro.core.multicolumn import (MultiColumnEstimate, TableHistogram,
+                                    multicolumn_cf, sample_multicolumn_cf,
+                                    table_histogram_from_table)
+from repro.core.samplecf import true_cf_table
+from repro.workloads.generators import make_multicolumn_table
+
+PAGE = 1024
+
+
+def two_column_histogram() -> TableHistogram:
+    first = ColumnHistogram(CharType(10),
+                            [f"s{i}" for i in range(5)], [200] * 5)
+    second = ColumnHistogram(CharType(20),
+                             [f"name{i:03d}" for i in range(100)],
+                             [10] * 100)
+    return TableHistogram([first, second], names=["status", "name"])
+
+
+class TestTableHistogram:
+    def test_basic_shape(self):
+        table = two_column_histogram()
+        assert table.n == 1000
+        assert table.record_bytes == 30
+        assert table.total_bytes == 30_000
+        assert table.names == ("status", "name")
+
+    def test_row_count_mismatch_rejected(self):
+        first = ColumnHistogram(CharType(4), ["a"], [10])
+        second = ColumnHistogram(CharType(4), ["b"], [20])
+        with pytest.raises(EstimationError):
+            TableHistogram([first, second])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            TableHistogram([])
+
+    def test_variable_width_rejected(self):
+        histogram = ColumnHistogram(VarCharType(8), ["a"], [5])
+        with pytest.raises(EstimationError):
+            TableHistogram([histogram])
+
+    def test_name_count_mismatch_rejected(self):
+        histogram = ColumnHistogram(CharType(4), ["a"], [5])
+        with pytest.raises(EstimationError):
+            TableHistogram([histogram], names=["x", "y"])
+
+    def test_default_names(self):
+        histogram = ColumnHistogram(CharType(4), ["a"], [5])
+        assert TableHistogram([histogram]).names == ("c0",)
+
+
+class TestMulticolumnCF:
+    def test_ns_is_weighted_column_average(self):
+        table = two_column_histogram()
+        value = multicolumn_cf(table, NullSuppression(), page_size=PAGE)
+        first_cf = ns_cf(table.columns[0])
+        second_cf = ns_cf(table.columns[1])
+        expected = (first_cf * 10_000 + second_cf * 20_000) / 30_000
+        assert value == pytest.approx(expected)
+
+    def test_accepts_algorithm_names(self):
+        table = two_column_histogram()
+        assert multicolumn_cf(table, "null_suppression") == \
+            multicolumn_cf(table, NullSuppression())
+
+    def test_matches_engine_exactly_layout_free(self):
+        """NS and global dictionary are layout-free: the multi-column
+        model must equal the engine byte-for-byte."""
+        table = make_multicolumn_table(
+            "t", 2000, [("status", 10, 5), ("name", 20, 150)],
+            page_size=PAGE, seed=31)
+        histogram = table_histogram_from_table(table,
+                                               ["status", "name"])
+        for algorithm in (NullSuppression(),
+                          GlobalDictionaryCompression()):
+            engine = true_cf_table(table, ["status", "name"], algorithm,
+                                   kind=IndexKind.CLUSTERED,
+                                   page_size=PAGE)
+            model = multicolumn_cf(histogram, algorithm, page_size=PAGE)
+            assert engine == pytest.approx(model, abs=1e-12), \
+                algorithm.name
+
+    def test_paged_dictionary_upper_approximation(self):
+        """For trailing columns the sorted-runs assumption makes the
+        paged model a lower bound of the engine's page-dictionary size
+        (scattered values repeat in more pages than contiguous ones)."""
+        from repro.compression.dictionary import DictionaryCompression
+
+        table = make_multicolumn_table(
+            "t", 2000, [("status", 10, 5), ("name", 20, 150)],
+            page_size=PAGE, seed=37)
+        histogram = table_histogram_from_table(table,
+                                               ["status", "name"])
+        engine = true_cf_table(table, ["status", "name"],
+                               DictionaryCompression(),
+                               kind=IndexKind.CLUSTERED, page_size=PAGE)
+        model = multicolumn_cf(histogram, DictionaryCompression(),
+                               page_size=PAGE)
+        assert model <= engine + 1e-12
+        # The trailing column scatters across pages, inflating the
+        # engine's per-page dictionaries; still the same order.
+        assert engine / model < 2.0
+
+
+class TestSampleMulticolumnCF:
+    def test_estimate_structure(self):
+        table = two_column_histogram()
+        estimate = sample_multicolumn_cf(table, 0.2, NullSuppression(),
+                                         seed=1)
+        assert isinstance(estimate, MultiColumnEstimate)
+        assert estimate.sample_rows == 200
+        assert set(estimate.per_column) == {"status", "name"}
+        assert 0 < estimate.estimate < 1.5
+
+    def test_tracks_truth(self):
+        table = two_column_histogram()
+        truth = multicolumn_cf(table, NullSuppression())
+        estimates = [
+            sample_multicolumn_cf(table, 0.2, NullSuppression(),
+                                  seed=s).estimate
+            for s in range(50)]
+        assert np.mean(estimates) == pytest.approx(truth, abs=0.02)
+
+    def test_full_sample_without_replacement_exact(self):
+        from repro.sampling.row_samplers import WithoutReplacementSampler
+
+        table = two_column_histogram()
+        estimate = sample_multicolumn_cf(
+            table, 1.0, NullSuppression(),
+            sampler=WithoutReplacementSampler(), seed=2)
+        assert estimate.estimate == pytest.approx(
+            multicolumn_cf(table, NullSuppression()))
+
+    def test_reproducible(self):
+        table = two_column_histogram()
+        first = sample_multicolumn_cf(table, 0.1, "null_suppression",
+                                      seed=5)
+        second = sample_multicolumn_cf(table, 0.1, "null_suppression",
+                                       seed=5)
+        assert first.estimate == second.estimate
+
+    def test_matches_storage_path_mean(self):
+        """Multi-column histogram SampleCF agrees with the engine's
+        storage-path SampleCF in expectation."""
+        from repro.core.samplecf import SampleCF
+
+        table = make_multicolumn_table(
+            "t", 1500, [("status", 10, 5), ("name", 20, 100)],
+            page_size=PAGE, seed=41)
+        histogram = table_histogram_from_table(table,
+                                               ["status", "name"])
+        storage = SampleCF(NullSuppression(), page_size=PAGE)
+        storage_mean = np.mean([
+            storage.estimate_table(table, 0.1, ["status", "name"],
+                                   seed=s).estimate
+            for s in range(30)])
+        model_mean = np.mean([
+            sample_multicolumn_cf(histogram, 0.1, NullSuppression(),
+                                  page_size=PAGE, seed=100 + s).estimate
+            for s in range(30)])
+        assert storage_mean == pytest.approx(model_mean, abs=0.02)

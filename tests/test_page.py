@@ -1,0 +1,140 @@
+"""Unit tests for repro.storage.page."""
+
+import pytest
+
+from repro.constants import PAGE_HEADER_SIZE, SLOT_SIZE
+from repro.errors import (PageFormatError, PageFullError,
+                          RecordNotFoundError)
+from repro.storage.page import Page, PageType, records_per_page
+
+
+class TestPageAccounting:
+    def test_empty_page(self):
+        page = Page(256)
+        assert page.slot_count == 0
+        assert page.payload_bytes == 0
+        assert page.used_bytes == PAGE_HEADER_SIZE
+        assert page.free_bytes == 256 - PAGE_HEADER_SIZE
+
+    def test_insert_updates_accounting(self):
+        page = Page(256)
+        page.insert(b"x" * 10)
+        assert page.slot_count == 1
+        assert page.payload_bytes == 10
+        assert page.used_bytes == PAGE_HEADER_SIZE + SLOT_SIZE + 10
+
+    def test_fill_to_capacity(self):
+        page = Page(256)
+        record = b"r" * 20
+        expected = (256 - PAGE_HEADER_SIZE) // (20 + SLOT_SIZE)
+        inserted = 0
+        while page.fits(record):
+            page.insert(record)
+            inserted += 1
+        assert inserted == expected
+        assert page.free_bytes >= 0
+
+    def test_page_full_error_carries_context(self):
+        page = Page(64)
+        page.insert(b"a" * 30)
+        with pytest.raises(PageFullError) as excinfo:
+            page.insert(b"b" * 30)
+        assert excinfo.value.record_bytes == 30
+        assert excinfo.value.free_bytes is not None
+
+    def test_record_never_fitting_is_format_error(self):
+        page = Page(64)
+        with pytest.raises(PageFormatError):
+            page.insert(b"z" * 64)
+
+    def test_usable_bytes(self):
+        assert Page.usable_bytes(8192) == 8192 - PAGE_HEADER_SIZE
+
+    def test_page_size_bounds(self):
+        with pytest.raises(PageFormatError):
+            Page(32)
+        with pytest.raises(PageFormatError):
+            Page(70000)
+
+
+class TestPageRecords:
+    def test_get_and_iterate(self):
+        page = Page(256)
+        slots = [page.insert(bytes([i]) * 5) for i in range(3)]
+        assert slots == [0, 1, 2]
+        assert page.get(1) == b"\x01" * 5
+        assert list(page.records()) == [bytes([i]) * 5 for i in range(3)]
+        assert len(page) == 3
+
+    def test_missing_slot(self):
+        page = Page(256)
+        with pytest.raises(RecordNotFoundError):
+            page.get(0)
+        page.insert(b"abc")
+        with pytest.raises(RecordNotFoundError):
+            page.get(1)
+
+    def test_empty_record_allowed(self):
+        page = Page(256)
+        page.insert(b"")
+        assert page.get(0) == b""
+
+
+class TestPageSerialisation:
+    def test_roundtrip(self):
+        page = Page(256, page_id=7, page_type=PageType.INDEX_LEAF)
+        for i in range(5):
+            page.insert(f"record-{i}".encode())
+        image = page.to_bytes()
+        assert len(image) == 256
+        parsed = Page.from_bytes(image)
+        assert parsed.page_id == 7
+        assert parsed.page_type is PageType.INDEX_LEAF
+        assert list(parsed.records()) == list(page.records())
+        assert parsed.used_bytes == page.used_bytes
+
+    def test_roundtrip_full_page(self):
+        page = Page(128)
+        while page.fits(b"0123456789"):
+            page.insert(b"0123456789")
+        parsed = Page.from_bytes(page.to_bytes())
+        assert list(parsed.records()) == list(page.records())
+
+    def test_bad_type_rejected(self):
+        page = Page(128)
+        image = bytearray(page.to_bytes())
+        image[4] = 250  # corrupt the page-type byte
+        with pytest.raises(PageFormatError):
+            Page.from_bytes(bytes(image))
+
+    def test_short_image_rejected(self):
+        with pytest.raises(PageFormatError):
+            Page.from_bytes(b"\x00" * 10)
+
+    def test_corrupt_slot_rejected(self):
+        page = Page(128)
+        page.insert(b"abcdef")
+        image = bytearray(page.to_bytes())
+        # Point the slot offset outside the page.
+        image[PAGE_HEADER_SIZE] = 0xFF
+        image[PAGE_HEADER_SIZE + 1] = 0xFF
+        with pytest.raises(PageFormatError):
+            Page.from_bytes(bytes(image))
+
+
+class TestRecordsPerPage:
+    def test_exact_capacity(self):
+        capacity = records_per_page(256, 20)
+        assert capacity == (256 - PAGE_HEADER_SIZE) // (20 + SLOT_SIZE)
+        page = Page(256)
+        for _ in range(capacity):
+            page.insert(b"x" * 20)
+        assert not page.fits(b"x" * 20)
+
+    def test_record_too_big(self):
+        with pytest.raises(PageFormatError):
+            records_per_page(64, 100)
+
+    def test_bad_record_size(self):
+        with pytest.raises(PageFormatError):
+            records_per_page(256, 0)

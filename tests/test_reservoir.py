@@ -1,0 +1,128 @@
+"""Unit tests for repro.sampling.reservoir."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.reservoir import (ReservoirSampler, StreamingReservoir,
+                                      reservoir_sample_r,
+                                      reservoir_sample_x)
+from repro.sampling.rng import make_rng
+
+
+class TestAlgorithmR:
+    def test_sample_size(self):
+        sample = reservoir_sample_r(range(1000), 10, make_rng(0))
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_short_stream_returns_all(self):
+        assert sorted(reservoir_sample_r(range(5), 10, make_rng(0))) == \
+            list(range(5))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SamplingError):
+            reservoir_sample_r([], 5, make_rng(0))
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SamplingError):
+            reservoir_sample_r(range(10), 0, make_rng(0))
+
+    def test_uniformity(self):
+        """Every element should be selected ~equally often."""
+        hits = np.zeros(20)
+        trials = 3000
+        rng = make_rng(7)
+        for _ in range(trials):
+            for element in reservoir_sample_r(range(20), 5, rng):
+                hits[element] += 1
+        expected = trials * 5 / 20
+        assert np.all(np.abs(hits - expected) < 5 * np.sqrt(expected))
+
+
+class TestAlgorithmX:
+    def test_sample_size(self):
+        sample = reservoir_sample_x(range(1000), 10, make_rng(0))
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_short_stream_returns_all(self):
+        assert sorted(reservoir_sample_x(range(3), 10, make_rng(0))) == \
+            [0, 1, 2]
+
+    def test_uniformity(self):
+        hits = np.zeros(20)
+        trials = 3000
+        rng = make_rng(11)
+        for _ in range(trials):
+            for element in reservoir_sample_x(range(20), 5, rng):
+                hits[element] += 1
+        expected = trials * 5 / 20
+        assert np.all(np.abs(hits - expected) < 5 * np.sqrt(expected))
+
+    def test_agrees_with_r_in_distribution(self):
+        """Means of sampled ids should match between variants."""
+        rng = make_rng(3)
+        means_r = [np.mean(reservoir_sample_r(range(500), 20, rng))
+                   for _ in range(200)]
+        means_x = [np.mean(reservoir_sample_x(range(500), 20, rng))
+                   for _ in range(200)]
+        assert abs(np.mean(means_r) - np.mean(means_x)) < 15
+
+
+class TestReservoirSampler:
+    def test_positions(self):
+        sampler = ReservoirSampler()
+        positions = sampler.sample_positions(100, 10, make_rng(0))
+        assert len(set(positions.tolist())) == 10
+
+    def test_variant_x(self):
+        sampler = ReservoirSampler(variant="x")
+        positions = sampler.sample_positions(100, 10, make_rng(0))
+        assert len(positions) == 10
+
+    def test_bad_variant(self):
+        with pytest.raises(SamplingError):
+            ReservoirSampler(variant="z")
+
+    def test_histogram_path(self):
+        from repro.core.cf_models import ColumnHistogram
+        from repro.storage.types import CharType
+
+        histogram = ColumnHistogram(CharType(4), ["a", "b"], [50, 50])
+        sample = ReservoirSampler().sample_histogram(histogram, 30,
+                                                     make_rng(0))
+        assert sample.n == 30
+
+
+class TestStreamingReservoir:
+    def test_offer_and_sample(self):
+        reservoir = StreamingReservoir(r=5, seed=1)
+        for value in range(100):
+            reservoir.offer(value)
+        assert reservoir.seen == 100
+        sample = reservoir.sample()
+        assert len(sample) == 5
+        assert all(0 <= value < 100 for value in sample)
+
+    def test_fewer_than_r(self):
+        reservoir = StreamingReservoir(r=10, seed=1)
+        reservoir.offer("only")
+        assert reservoir.sample() == ["only"]
+
+    def test_empty_rejected(self):
+        reservoir = StreamingReservoir(r=3)
+        with pytest.raises(SamplingError):
+            reservoir.sample()
+
+    def test_bad_size(self):
+        with pytest.raises(SamplingError):
+            StreamingReservoir(r=0)
+
+    def test_sample_returns_copy(self):
+        reservoir = StreamingReservoir(r=2, seed=0)
+        reservoir.offer(1)
+        reservoir.offer(2)
+        sample = reservoir.sample()
+        sample.append(99)
+        assert len(reservoir.sample()) == 2

@@ -1,0 +1,25 @@
+"""Unit tests for repro.storage.rid."""
+
+from repro.storage.rid import RID, RID_BYTES
+
+
+class TestRID:
+    def test_encode_width(self):
+        assert len(RID(3, 7).encode()) == RID_BYTES
+
+    def test_roundtrip(self):
+        for rid in (RID(0, 0), RID(1, 2), RID(2**31, 65535)):
+            assert RID.decode(rid.encode()) == rid
+
+    def test_tuple_behaviour(self):
+        rid = RID(5, 9)
+        page_id, slot = rid
+        assert (page_id, slot) == (5, 9)
+        assert rid == (5, 9)
+
+    def test_str(self):
+        assert str(RID(3, 4)) == "(3:4)"
+
+    def test_ordering(self):
+        assert RID(1, 5) < RID(2, 0)
+        assert RID(1, 5) < RID(1, 6)

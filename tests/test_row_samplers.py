@@ -1,0 +1,167 @@
+"""Unit tests for repro.sampling (rng, base, row samplers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.base import rows_for_fraction
+from repro.sampling.rng import make_rng, spawn_rngs
+from repro.sampling.row_samplers import (BernoulliSampler,
+                                         WithoutReplacementSampler,
+                                         WithReplacementSampler)
+from repro.core.cf_models import ColumnHistogram
+from repro.storage.types import CharType
+
+
+@pytest.fixture
+def histogram() -> ColumnHistogram:
+    values = [f"v{i}" for i in range(10)]
+    counts = np.arange(1, 11) * 100
+    return ColumnHistogram(CharType(8), values, counts)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_is_reproducible(self):
+        a = make_rng(42).integers(0, 1000, size=5)
+        b = make_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert make_rng(generator) is generator
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(SamplingError):
+            make_rng("seed")
+
+    def test_spawn_rngs_independent_and_reproducible(self):
+        first = [g.integers(0, 10**6) for g in spawn_rngs(7, 3)]
+        second = [g.integers(0, 10**6) for g in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) > 1
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(SamplingError):
+            spawn_rngs(1, -1)
+
+
+class TestRowsForFraction:
+    def test_paper_example(self):
+        assert rows_for_fraction(100_000_000, 0.01) == 1_000_000
+
+    def test_rounding(self):
+        assert rows_for_fraction(1000, 0.0015) == 2
+
+    def test_minimum_one_row(self):
+        assert rows_for_fraction(10, 0.001) == 1
+
+    def test_invalid(self):
+        with pytest.raises(SamplingError):
+            rows_for_fraction(0, 0.1)
+        with pytest.raises(SamplingError):
+            rows_for_fraction(10, 0.0)
+        with pytest.raises(SamplingError):
+            rows_for_fraction(10, 1.5)
+
+
+class TestWithReplacement:
+    def test_positions_shape_and_range(self):
+        sampler = WithReplacementSampler()
+        positions = sampler.sample_positions(100, 50, make_rng(0))
+        assert positions.shape == (50,)
+        assert positions.min() >= 0
+        assert positions.max() < 100
+
+    def test_can_oversample(self):
+        sampler = WithReplacementSampler()
+        positions = sampler.sample_positions(10, 100, make_rng(0))
+        assert positions.shape == (100,)
+
+    def test_histogram_sample_mass(self, histogram):
+        sampler = WithReplacementSampler()
+        sample = sampler.sample_histogram(histogram, 200, make_rng(0))
+        assert sample.n == 200
+        assert sample.d <= histogram.d
+        assert set(sample.values).issubset(set(histogram.values))
+
+    def test_histogram_sample_unbiased_counts(self, histogram):
+        sampler = WithReplacementSampler()
+        rng = make_rng(3)
+        totals = np.zeros(histogram.d)
+        trials = 300
+        for _ in range(trials):
+            draw = rng.multinomial(100, histogram.counts / histogram.n)
+            totals += draw
+        expected = 100 * histogram.counts / histogram.n
+        assert np.allclose(totals / trials, expected, rtol=0.2)
+
+    def test_invalid_sizes(self):
+        sampler = WithReplacementSampler()
+        with pytest.raises(SamplingError):
+            sampler.sample_positions(0, 5, make_rng(0))
+        with pytest.raises(SamplingError):
+            sampler.sample_positions(10, 0, make_rng(0))
+
+
+class TestWithoutReplacement:
+    def test_positions_distinct(self):
+        sampler = WithoutReplacementSampler()
+        positions = sampler.sample_positions(100, 50, make_rng(0))
+        assert len(set(positions.tolist())) == 50
+
+    def test_cannot_oversample(self):
+        sampler = WithoutReplacementSampler()
+        with pytest.raises(SamplingError):
+            sampler.sample_positions(10, 11, make_rng(0))
+
+    def test_full_sample_is_population(self, histogram):
+        sampler = WithoutReplacementSampler()
+        sample = sampler.sample_histogram(histogram, histogram.n,
+                                          make_rng(0))
+        assert sample.n == histogram.n
+        assert sample.d == histogram.d
+        assert np.array_equal(np.sort(sample.counts),
+                              np.sort(histogram.counts))
+
+    def test_histogram_sample_size(self, histogram):
+        sampler = WithoutReplacementSampler()
+        sample = sampler.sample_histogram(histogram, 500, make_rng(1))
+        assert sample.n == 500
+        # Without replacement can never exceed a value's true count.
+        originals = dict(zip(histogram.values, histogram.counts))
+        for value, count in zip(sample.values, sample.counts):
+            assert count <= originals[value]
+
+
+class TestBernoulli:
+    def test_fraction_validation(self):
+        with pytest.raises(SamplingError):
+            BernoulliSampler(0.0)
+        with pytest.raises(SamplingError):
+            BernoulliSampler(1.5)
+
+    def test_positions_distinct_and_sorted(self):
+        sampler = BernoulliSampler(0.3)
+        positions = sampler.sample_positions(1000, 0, make_rng(0))
+        assert len(set(positions.tolist())) == len(positions)
+        assert np.all(np.diff(positions) > 0)
+
+    def test_expected_size(self):
+        sampler = BernoulliSampler(0.2)
+        sizes = [sampler.sample_positions(1000, 0, make_rng(seed)).size
+                 for seed in range(50)]
+        assert 150 < np.mean(sizes) < 250
+
+    def test_never_empty(self):
+        sampler = BernoulliSampler(0.0001)
+        for seed in range(20):
+            positions = sampler.sample_positions(10, 0, make_rng(seed))
+            assert positions.size >= 1
+
+    def test_histogram_thinning(self, histogram):
+        sampler = BernoulliSampler(0.5)
+        sample = sampler.sample_histogram(histogram, 0, make_rng(2))
+        assert 0 < sample.n < histogram.n

@@ -1,0 +1,115 @@
+"""Unit tests for repro.storage.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import Column, Schema, single_char_schema
+from repro.storage.types import CharType, IntegerType, VarCharType
+
+
+def two_column_schema() -> Schema:
+    return Schema([Column.of("name", "char(20)"),
+                   Column.of("qty", "integer")])
+
+
+class TestColumn:
+    def test_of_parses_type(self):
+        column = Column.of("name", "char(20)")
+        assert column.name == "name"
+        assert column.dtype == CharType(20)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("2bad", CharType(5))
+        with pytest.raises(SchemaError):
+            Column("", CharType(5))
+        with pytest.raises(SchemaError):
+            Column("has space", CharType(5))
+
+    def test_str(self):
+        assert str(Column.of("a", "char(3)")) == "a char(3)"
+
+
+class TestSchema:
+    def test_of_keyword_construction(self):
+        schema = Schema.of(name="char(20)", qty="integer")
+        assert schema.names == ("name", "qty")
+        assert schema["qty"].dtype == IntegerType()
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column.of("a", "char(2)"), Column.of("a", "integer")])
+
+    def test_len_iter_getitem(self):
+        schema = two_column_schema()
+        assert len(schema) == 2
+        assert [c.name for c in schema] == ["name", "qty"]
+        assert schema[0].name == "name"
+        assert schema["qty"].name == "qty"
+
+    def test_index_of(self):
+        schema = two_column_schema()
+        assert schema.index_of("qty") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+
+    def test_has_column(self):
+        schema = two_column_schema()
+        assert schema.has_column("name")
+        assert not schema.has_column("other")
+
+    def test_project_orders_and_subsets(self):
+        schema = two_column_schema()
+        projected = schema.project(["qty"])
+        assert projected.names == ("qty",)
+        swapped = schema.project(["qty", "name"])
+        assert swapped.names == ("qty", "name")
+
+    def test_project_missing_rejected(self):
+        with pytest.raises(SchemaError):
+            two_column_schema().project(["nope"])
+
+    def test_fixed_row_size(self):
+        assert two_column_schema().fixed_row_size == 24
+        assert two_column_schema().is_fixed
+
+    def test_variable_schema_has_no_fixed_size(self):
+        schema = Schema([Column.of("v", "varchar(50)")])
+        assert schema.fixed_row_size is None
+        assert not schema.is_fixed
+
+    def test_row_size_fixed(self):
+        assert two_column_schema().row_size(("abc", 7)) == 24
+
+    def test_row_size_variable(self):
+        schema = Schema([Column.of("v", "varchar(50)"),
+                         Column.of("n", "integer")])
+        assert schema.row_size(("hello", 1)) == (2 + 5) + 4
+
+    def test_validate_row_arity(self):
+        with pytest.raises(SchemaError):
+            two_column_schema().validate_row(("abc",))
+
+    def test_validate_row_types(self):
+        from repro.errors import EncodingError
+        with pytest.raises(EncodingError):
+            two_column_schema().validate_row(("abc", "not an int"))
+
+    def test_equality_and_hash(self):
+        assert two_column_schema() == two_column_schema()
+        assert hash(two_column_schema()) == hash(two_column_schema())
+        assert two_column_schema() != single_char_schema(20)
+
+    def test_single_char_schema(self):
+        schema = single_char_schema(20)
+        assert schema.names == ("a",)
+        assert isinstance(schema["a"].dtype, CharType)
+        assert schema["a"].dtype.k == 20
+
+    def test_varchar_column_type(self):
+        schema = Schema([Column("v", VarCharType(9))])
+        assert schema["v"].dtype.max_len == 9

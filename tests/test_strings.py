@@ -1,0 +1,109 @@
+"""Unit tests for repro.workloads.strings."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.storage.types import CharType
+from repro.workloads.strings import (comment_strings, distinct_strings,
+                                     fixed_length_strings, prefixed_names,
+                                     zero_padded_ids)
+
+
+class TestDistinctStrings:
+    def test_count_and_distinctness(self):
+        values = distinct_strings(500, 20, seed=1)
+        assert len(values) == 500
+        assert len(set(values)) == 500
+
+    def test_all_fit_the_column(self):
+        dtype = CharType(20)
+        for value in distinct_strings(100, 20, seed=2):
+            dtype.validate(value)
+
+    def test_length_range_respected(self):
+        values = distinct_strings(200, 20, min_len=5, max_len=10, seed=3)
+        assert all(5 <= len(v) <= 10 for v in values)
+
+    def test_no_trailing_blanks(self):
+        values = distinct_strings(100, 20, seed=4)
+        assert all(v == v.rstrip(" ") for v in values)
+
+    def test_too_many_for_width_rejected(self):
+        with pytest.raises(ExperimentError):
+            distinct_strings(37, 1)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ExperimentError):
+            distinct_strings(10, 20, min_len=15, max_len=5)
+
+    def test_reproducible(self):
+        assert distinct_strings(50, 16, seed=7) == \
+            distinct_strings(50, 16, seed=7)
+
+
+class TestFixedLengthStrings:
+    def test_exact_length(self):
+        values = fixed_length_strings(100, 20, 12)
+        assert all(len(v) == 12 for v in values)
+        assert len(set(values)) == 100
+
+    def test_length_bounds(self):
+        with pytest.raises(ExperimentError):
+            fixed_length_strings(10, 20, 0)
+        with pytest.raises(ExperimentError):
+            fixed_length_strings(10, 20, 25)
+
+    def test_too_short_for_ids_rejected(self):
+        with pytest.raises(ExperimentError):
+            fixed_length_strings(10_000, 20, 2)
+
+
+class TestZeroPaddedIds:
+    def test_shape(self):
+        values = zero_padded_ids(100, 20, width=12)
+        assert all(len(v) == 12 for v in values)
+        assert values[5] == "000000000005"
+        assert len(set(values)) == 100
+
+    def test_leading_zero_runs_exist(self):
+        values = zero_padded_ids(10, 20, width=12)
+        assert all(v.startswith("0" * 8) for v in values)
+
+    def test_default_width_is_k(self):
+        values = zero_padded_ids(5, 8)
+        assert all(len(v) == 8 for v in values)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            zero_padded_ids(1000, 20, width=2)
+        with pytest.raises(ExperimentError):
+            zero_padded_ids(5, 8, width=9)
+
+
+class TestPrefixedNames:
+    def test_common_prefix(self):
+        values = prefixed_names(50, 24, prefix="SKU-")
+        assert all(v.startswith("SKU-") for v in values)
+        assert len(set(values)) == 50
+
+    def test_prefix_too_long_rejected(self):
+        with pytest.raises(ExperimentError):
+            prefixed_names(100, 8, prefix="WAREHOUSE-")
+
+
+class TestCommentStrings:
+    def test_distinct_and_fitting(self):
+        dtype = CharType(60)
+        values = comment_strings(200, 60, seed=5)
+        assert len(set(values)) == 200
+        for value in values:
+            dtype.validate(value)
+
+    def test_interior_blanks_no_trailing(self):
+        values = comment_strings(100, 60, seed=6)
+        assert any(" " in v for v in values)
+        assert all(v == v.rstrip(" ") for v in values)
+
+    def test_bad_word_length(self):
+        with pytest.raises(ExperimentError):
+            comment_strings(10, 10, word_length=10)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.storage.table."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.index import IndexKind
+from repro.storage.schema import Column, Schema, single_char_schema
+from repro.storage.table import Table
+
+PAGE = 256
+
+
+def sample_table() -> Table:
+    schema = Schema([Column.of("name", "char(10)"),
+                     Column.of("qty", "integer")])
+    rows = [("apple", 3), ("banana", 5), ("cherry", 2), ("apple", 9)]
+    return Table.from_rows("fruit", schema, rows, page_size=PAGE)
+
+
+class TestTableBasics:
+    def test_from_rows(self):
+        table = sample_table()
+        assert table.num_rows == 4
+        assert len(table) == 4
+        assert list(table.rows())[1] == ("banana", 5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("", single_char_schema(5))
+
+    def test_row_at_positions(self):
+        table = sample_table()
+        assert table.row_at(0) == ("apple", 3)
+        assert table.row_at(3) == ("apple", 9)
+        assert table.rows_at([2, 0]) == [("cherry", 2), ("apple", 3)]
+
+    def test_rid_at_resolves(self):
+        table = sample_table()
+        rid = table.rid_at(2)
+        assert table.heap.get(rid) is not None
+
+    def test_column_values(self):
+        table = sample_table()
+        assert table.column_values("qty") == [3, 5, 2, 9]
+        with pytest.raises(SchemaError):
+            table.column_values("missing")
+
+    def test_pages_iterates_heap(self):
+        table = sample_table()
+        assert sum(len(p) for p in table.pages()) == 4
+
+    def test_invalid_row_rejected(self):
+        from repro.errors import EncodingError
+        table = sample_table()
+        with pytest.raises(EncodingError):
+            table.insert(("toolongname", "not an int"))
+
+
+class TestTableIndexes:
+    def test_create_index_and_lookup(self):
+        table = sample_table()
+        index = table.create_index("ix_name", ["name"])
+        assert index.kind is IndexKind.NONCLUSTERED
+        rids = index.search_rids(("apple",))
+        assert sorted(table.heap.get(rid)[:5] for rid in rids) == \
+            [b"apple", b"apple"]
+
+    def test_create_clustered_index(self):
+        table = sample_table()
+        index = table.create_index("ix_c", ["name"],
+                                   kind=IndexKind.CLUSTERED)
+        assert [row[0] for row in index.range_scan()] == \
+            ["apple", "apple", "banana", "cherry"]
+
+    def test_duplicate_index_name_rejected(self):
+        table = sample_table()
+        table.create_index("ix", ["name"])
+        with pytest.raises(SchemaError):
+            table.create_index("ix", ["qty"])
+
+    def test_insert_maintains_indexes(self):
+        table = sample_table()
+        index = table.create_index("ix", ["name"])
+        table.insert(("fig", 1))
+        assert len(index.search_rids(("fig",))) == 1
+        index.validate()
+
+    def test_drop_index(self):
+        table = sample_table()
+        table.create_index("ix", ["name"])
+        table.drop_index("ix")
+        assert "ix" not in table.indexes
+        with pytest.raises(SchemaError):
+            table.drop_index("ix")
+
+    def test_index_sees_only_current_rows(self):
+        table = sample_table()
+        index = table.create_index("ix", ["qty"])
+        assert index.num_entries == 4

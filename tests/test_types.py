@@ -1,0 +1,216 @@
+"""Unit tests for repro.storage.types."""
+
+import pytest
+
+from repro.errors import EncodingError, SchemaError
+from repro.storage.types import (BigIntType, CharType, IntegerType,
+                                 VarCharType, length_header_bytes,
+                                 minimal_int_bytes, parse_type)
+
+
+class TestLengthHeaderBytes:
+    def test_small_widths_need_one_byte(self):
+        assert length_header_bytes(1) == 1
+        assert length_header_bytes(20) == 1
+        assert length_header_bytes(255) == 1
+
+    def test_wide_columns_need_two_bytes(self):
+        assert length_header_bytes(256) == 2
+        assert length_header_bytes(65535) == 2
+
+    def test_zero_width_still_needs_a_byte(self):
+        assert length_header_bytes(0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchemaError):
+            length_header_bytes(-1)
+
+
+class TestMinimalIntBytes:
+    def test_small_values(self):
+        assert minimal_int_bytes(0) == 1
+        assert minimal_int_bytes(127) == 1
+        assert minimal_int_bytes(-128) == 1
+
+    def test_boundaries(self):
+        assert minimal_int_bytes(128) == 2
+        assert minimal_int_bytes(-129) == 2
+        assert minimal_int_bytes(32767) == 2
+        assert minimal_int_bytes(32768) == 3
+
+    def test_large(self):
+        assert minimal_int_bytes(2**31 - 1) == 4
+        assert minimal_int_bytes(-(2**31)) == 4
+        assert minimal_int_bytes(2**62) == 8
+
+
+class TestCharType:
+    def test_paper_example_abc_in_char20(self):
+        """Figure 1.a: 'abc' in char(20) pads to 20 bytes uncompressed."""
+        dtype = CharType(20)
+        encoded = dtype.encode("abc")
+        assert len(encoded) == 20
+        assert encoded == b"abc" + b" " * 17
+        assert dtype.null_suppressed_length("abc") == 3
+
+    def test_roundtrip_strips_trailing_blanks(self):
+        dtype = CharType(10)
+        assert dtype.decode(dtype.encode("abc  ")) == "abc"
+
+    def test_trailing_blanks_not_significant(self):
+        dtype = CharType(10)
+        assert dtype.encode("abc") == dtype.encode("abc   ")
+
+    def test_interior_blanks_preserved(self):
+        dtype = CharType(12)
+        assert dtype.decode(dtype.encode("a b c")) == "a b c"
+
+    def test_full_width_value(self):
+        dtype = CharType(5)
+        assert dtype.decode(dtype.encode("abcde")) == "abcde"
+
+    def test_empty_string(self):
+        dtype = CharType(5)
+        assert dtype.decode(dtype.encode("")) == ""
+        assert dtype.null_suppressed_length("") == 0
+
+    def test_too_long_rejected(self):
+        with pytest.raises(EncodingError):
+            CharType(3).encode("abcd")
+
+    def test_overlong_but_blank_padded_accepted(self):
+        assert CharType(3).encode("ab    ") == b"ab "
+
+    def test_non_string_rejected(self):
+        with pytest.raises(EncodingError):
+            CharType(3).encode(123)
+
+    def test_non_latin1_rejected(self):
+        with pytest.raises(EncodingError):
+            CharType(10).encode("中文")
+
+    def test_latin1_high_bytes_roundtrip(self):
+        dtype = CharType(6)
+        assert dtype.decode(dtype.encode("caf\xe9")) == "caf\xe9"
+
+    def test_decode_wrong_width_rejected(self):
+        with pytest.raises(EncodingError):
+            CharType(5).decode(b"abc")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(SchemaError):
+            CharType(0)
+
+    def test_fixed_size_and_name(self):
+        dtype = CharType(20)
+        assert dtype.fixed_size == 20
+        assert dtype.is_fixed
+        assert dtype.name == "char(20)"
+        assert dtype.length_bytes == 1
+
+    def test_equality_and_hash(self):
+        assert CharType(20) == CharType(20)
+        assert CharType(20) != CharType(21)
+        assert hash(CharType(8)) == hash(CharType(8))
+
+
+class TestVarCharType:
+    def test_roundtrip(self):
+        dtype = VarCharType(50)
+        assert dtype.decode(dtype.encode("hello")) == "hello"
+
+    def test_trailing_blanks_significant(self):
+        dtype = VarCharType(50)
+        assert dtype.decode(dtype.encode("ab  ")) == "ab  "
+
+    def test_encoded_size(self):
+        dtype = VarCharType(50)
+        assert dtype.encoded_size("hello") == 2 + 5
+        assert len(dtype.encode("hello")) == 7
+
+    def test_variable(self):
+        dtype = VarCharType(50)
+        assert dtype.fixed_size is None
+        assert not dtype.is_fixed
+
+    def test_too_long_rejected(self):
+        with pytest.raises(EncodingError):
+            VarCharType(3).encode("abcd")
+
+    def test_bad_max_rejected(self):
+        with pytest.raises(SchemaError):
+            VarCharType(0)
+        with pytest.raises(SchemaError):
+            VarCharType(70000)
+
+    def test_length_mismatch_detected(self):
+        dtype = VarCharType(50)
+        with pytest.raises(EncodingError):
+            dtype.decode(b"\x00\x05ab")
+
+    def test_null_suppressed_length_strips_trailing(self):
+        assert VarCharType(10).null_suppressed_length("ab  ") == 2
+
+
+class TestIntegerTypes:
+    @pytest.mark.parametrize("dtype_cls,size", [(IntegerType, 4),
+                                                (BigIntType, 8)])
+    def test_roundtrip(self, dtype_cls, size):
+        dtype = dtype_cls()
+        for value in (0, 1, -1, 42, -42, 2**(8 * size - 1) - 1,
+                      -(2**(8 * size - 1))):
+            assert dtype.decode(dtype.encode(value)) == value
+            assert len(dtype.encode(value)) == size
+
+    def test_encoding_preserves_order(self):
+        dtype = IntegerType()
+        values = [-(2**31), -100, -1, 0, 1, 7, 100, 2**31 - 1]
+        encodings = [dtype.encode(v) for v in values]
+        assert encodings == sorted(encodings)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            IntegerType().encode(2**31)
+        with pytest.raises(EncodingError):
+            IntegerType().encode(-(2**31) - 1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(EncodingError):
+            IntegerType().encode(True)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(EncodingError):
+            BigIntType().encode("5")
+
+    def test_null_suppressed_length(self):
+        assert IntegerType().null_suppressed_length(7) == 1
+        assert BigIntType().null_suppressed_length(7) == 1
+        assert IntegerType().null_suppressed_length(300) == 2
+
+    def test_decode_wrong_width(self):
+        with pytest.raises(EncodingError):
+            IntegerType().decode(b"\x00\x00\x01")
+
+
+class TestParseType:
+    def test_char(self):
+        assert parse_type("char(20)") == CharType(20)
+        assert parse_type(" CHAR( 8 )".replace(" ", "")) == CharType(8)
+
+    def test_varchar(self):
+        assert parse_type("varchar(100)") == VarCharType(100)
+
+    def test_integers(self):
+        assert parse_type("integer") == IntegerType()
+        assert parse_type("int") == IntegerType()
+        assert parse_type("bigint") == BigIntType()
+
+    def test_case_insensitive(self):
+        assert parse_type("Char(5)") == CharType(5)
+        assert parse_type("BIGINT") == BigIntType()
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_type("decimal(10,2)")
+        with pytest.raises(SchemaError):
+            parse_type("char(x)")
