@@ -16,7 +16,11 @@ everything it runs on, built from scratch:
 * **workload generators** (:mod:`repro.workloads`) and the
   **physical-design advisor** application (:mod:`repro.advisor`);
 * the **experiment harness** (:mod:`repro.experiments`) that regenerates
-  every table and figure (see EXPERIMENTS.md).
+  every table and figure (see EXPERIMENTS.md);
+* the **estimation engine** (:mod:`repro.engine`) — plan/execute batches
+  of estimation requests with shared materialized samples, LRU caching,
+  and pluggable serial/thread-pool executors; every other layer's
+  estimates run through it.
 
 Quickstart::
 
@@ -54,9 +58,14 @@ from repro.core import (ColumnHistogram, DistinctPlugInEstimator,
                         true_cf_histogram, true_cf_table)
 from repro.workloads import (SCENARIOS, get_scenario, make_histogram,
                              make_table)
-from repro.advisor import (CostModel, Query, TableStats, plan_capacity,
-                           select_indexes)
+from repro.advisor import (CostModel, Query, TableStats, advise_from_data,
+                           plan_capacity, select_indexes)
 from repro.experiments import EXPERIMENTS, get_experiment
+from repro.engine import (BatchResult, EstimationEngine, EstimationPlan,
+                          EstimationRequest, MaterializedSample,
+                          RequestResult, SerialExecutor,
+                          ThreadPoolPlanExecutor, default_engine,
+                          make_executor)
 
 __all__ = [
     "__version__",
@@ -84,7 +93,13 @@ __all__ = [
     # workloads
     "SCENARIOS", "get_scenario", "make_histogram", "make_table",
     # advisor
-    "CostModel", "Query", "TableStats", "plan_capacity", "select_indexes",
+    "CostModel", "Query", "TableStats", "advise_from_data",
+    "plan_capacity", "select_indexes",
     # experiments
     "EXPERIMENTS", "get_experiment",
+    # engine
+    "BatchResult", "EstimationEngine", "EstimationPlan",
+    "EstimationRequest", "MaterializedSample", "RequestResult",
+    "SerialExecutor", "ThreadPoolPlanExecutor", "default_engine",
+    "make_executor",
 ]

@@ -1,13 +1,15 @@
 """Compression-aware physical design: the paper's motivating application."""
 
 from repro.advisor.candidates import (CandidateIndex, enumerate_candidates,
-                                      uncompressed_index_bytes)
+                                      enumerate_candidates_batch,
+                                      uncompressed_index_bytes,
+                                      workload_key_sets)
 from repro.advisor.capacity import (CapacityEntry, CapacityPlan,
                                     plan_capacity)
 from repro.advisor.cost import (CostModel, Query, TableStats, WorkloadCost,
-                                covers, workload_cost)
-from repro.advisor.selection import (AdvisorResult, design_summary,
-                                     select_indexes)
+                                covers, stats_for_tables, workload_cost)
+from repro.advisor.selection import (AdvisorResult, advise_from_data,
+                                     design_summary, select_indexes)
 
 __all__ = [
     "AdvisorResult",
@@ -18,11 +20,15 @@ __all__ = [
     "Query",
     "TableStats",
     "WorkloadCost",
+    "advise_from_data",
     "covers",
     "design_summary",
     "enumerate_candidates",
+    "enumerate_candidates_batch",
     "plan_capacity",
     "select_indexes",
+    "stats_for_tables",
     "uncompressed_index_bytes",
+    "workload_key_sets",
     "workload_cost",
 ]

@@ -7,12 +7,25 @@ compressed variant's size — the quantity a storage-bounded search needs
 inside physical design tools. Ground-truth sizes (full compression) can
 be requested instead, which is how the `app-advisor` experiment measures
 the cost of estimation error in final decisions.
+
+Two estimation paths exist:
+
+* :func:`enumerate_candidates` — the historical per-candidate loop
+  (one fresh sample per compressed candidate);
+* :func:`enumerate_candidates_batch` — the engine-backed path: all
+  (column-set × algorithm) candidates go into one
+  :class:`~repro.engine.engine.EstimationEngine` batch, so every
+  candidate on a table shares one materialized sample per trial and
+  every algorithm probing a column set shares one built sample index —
+  the shared-sample trick compression-aware design tools rely on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Sequence
+from typing import TYPE_CHECKING, Literal, Sequence
+
+import numpy as np
 
 from repro.errors import AdvisorError
 from repro.sampling.rng import SeedLike, make_rng
@@ -23,6 +36,9 @@ from repro.compression.base import CompressionAlgorithm
 from repro.compression.registry import get_algorithm
 from repro.core.samplecf import SampleCF, true_cf_table
 from repro.advisor.cost import Query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import EstimationEngine
 
 SizeSource = Literal["samplecf", "exact"]
 
@@ -69,6 +85,19 @@ def uncompressed_index_bytes(table: Table,
     return table.num_rows * (width + RID_BYTES)
 
 
+def workload_key_sets(tables: dict[str, Table], queries: Sequence[Query],
+                      ) -> list[tuple[str, tuple[str, ...]]]:
+    """Distinct (table, column tuple) pairs referenced by the workload."""
+    key_sets: dict[tuple[str, tuple[str, ...]], None] = {}
+    for query in queries:
+        if query.table not in tables:
+            raise AdvisorError(
+                f"query {query.name!r} references unknown table "
+                f"{query.table!r}")
+        key_sets.setdefault((query.table, tuple(query.columns)), None)
+    return list(key_sets)
+
+
 def enumerate_candidates(tables: dict[str, Table],
                          queries: Sequence[Query],
                          algorithm: CompressionAlgorithm | str = "page",
@@ -80,18 +109,14 @@ def enumerate_candidates(tables: dict[str, Table],
     Key sets are the distinct column tuples referenced by queries.
     Compressed sizes come from SampleCF (``size_source="samplecf"``) or
     from actually compressing the full index (``"exact"``, the oracle
-    the ablation compares against).
+    the ablation compares against). This is the naive per-candidate
+    loop — every compressed candidate draws its own sample; prefer
+    :func:`enumerate_candidates_batch` when sizing more than a handful.
     """
     if isinstance(algorithm, str):
         algorithm = get_algorithm(algorithm)
     rng = make_rng(seed)
-    key_sets: dict[tuple[str, tuple[str, ...]], None] = {}
-    for query in queries:
-        if query.table not in tables:
-            raise AdvisorError(
-                f"query {query.name!r} references unknown table "
-                f"{query.table!r}")
-        key_sets.setdefault((query.table, tuple(query.columns)), None)
+    key_sets = workload_key_sets(tables, queries)
     candidates: list[CandidateIndex] = []
     for table_name, key_columns in key_sets:
         table = tables[table_name]
@@ -117,4 +142,70 @@ def enumerate_candidates(tables: dict[str, Table],
             table=table_name, key_columns=key_columns, compressed=True,
             algorithm=algorithm.name, size_bytes=plain_bytes * cf,
             size_source=size_source, estimated_cf=cf))
+    return candidates
+
+
+def enumerate_candidates_batch(
+        tables: dict[str, Table], queries: Sequence[Query],
+        algorithms: Sequence[CompressionAlgorithm | str] = ("page",),
+        fraction: float = 0.01,
+        trials: int = 1,
+        engine: "EstimationEngine | None" = None,
+        seed: SeedLike = None) -> list[CandidateIndex]:
+    """Engine-backed candidate enumeration from data.
+
+    Sizes every (key set × algorithm) compressed candidate in **one**
+    engine batch: per trial, each table is sampled once and shared
+    across all of its candidates; each column set's sample index is
+    built once and shared across algorithms. With ``trials > 1`` the
+    per-candidate CF is the mean over trials (variance reduction at
+    almost no extra sampling cost, since trials of different candidates
+    still share table samples).
+
+    Unlike :func:`enumerate_candidates`, callers never supply CF
+    numbers — the estimates come straight from the tables.
+    """
+    from repro.engine.engine import EstimationEngine  # lazy: cycle guard
+    from repro.engine.requests import EstimationRequest
+
+    resolved = [get_algorithm(a) if isinstance(a, str) else a
+                for a in algorithms]
+    if not resolved:
+        raise AdvisorError("need at least one compression algorithm")
+    if engine is None:
+        engine = EstimationEngine(seed=seed if seed is not None else 0)
+    elif seed is not None:
+        raise AdvisorError(
+            "pass either engine= or seed=, not both: a supplied "
+            "engine's master seed governs the randomness")
+    key_sets = workload_key_sets(tables, queries)
+    requests = []
+    for table_name, key_columns in key_sets:
+        table = tables[table_name]
+        for algorithm in resolved:
+            requests.append(EstimationRequest(
+                table=table, columns=key_columns, algorithm=algorithm,
+                fraction=fraction, trials=trials,
+                kind=IndexKind.NONCLUSTERED, page_size=table.page_size,
+                label=f"{table_name}:{','.join(key_columns)}"
+                      f":{algorithm.name}"))
+    batch = engine.execute(requests)
+    candidates: list[CandidateIndex] = []
+    cursor = 0
+    for table_name, key_columns in key_sets:
+        table = tables[table_name]
+        plain_bytes = uncompressed_index_bytes(table, key_columns)
+        candidates.append(CandidateIndex(
+            table=table_name, key_columns=key_columns, compressed=False,
+            algorithm=None, size_bytes=float(plain_bytes),
+            size_source="schema"))
+        for algorithm in resolved:
+            result = batch.results[cursor]
+            cursor += 1
+            cf = float(np.mean(result.values))
+            candidates.append(CandidateIndex(
+                table=table_name, key_columns=key_columns,
+                compressed=True, algorithm=algorithm.name,
+                size_bytes=plain_bytes * cf, size_source="engine",
+                estimated_cf=cf))
     return candidates

@@ -18,10 +18,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.constants import DEFAULT_PAGE_SIZE
 from repro.errors import AdvisorError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.table import Table
 
 
 @dataclass(frozen=True)
@@ -91,6 +94,18 @@ class CostModel:
     def scan_cost(self, query: Query, table: TableStats) -> float:
         """Fallback cost: scan the whole heap."""
         return query.weight * table.heap_pages
+
+
+def stats_for_tables(tables: dict[str, "Table"],
+                     ) -> dict[str, TableStats]:
+    """Derive :class:`TableStats` straight from live tables.
+
+    The engine-backed advisor path estimates everything from data, so
+    callers should not have to hand-assemble row/page counts either.
+    """
+    return {name: TableStats(name=name, rows=table.num_rows,
+                             heap_pages=table.heap.num_pages)
+            for name, table in tables.items()}
 
 
 def covers(key_columns: Sequence[str], query: Query) -> bool:

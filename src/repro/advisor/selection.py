@@ -10,12 +10,19 @@ estimate (SampleCF) changes which designs are feasible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import AdvisorError
-from repro.advisor.candidates import CandidateIndex
+from repro.sampling.rng import SeedLike
+from repro.advisor.candidates import (CandidateIndex,
+                                      enumerate_candidates_batch)
 from repro.advisor.cost import (CostModel, Query, TableStats,
-                                workload_cost)
+                                stats_for_tables, workload_cost)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.table import Table
+    from repro.compression.base import CompressionAlgorithm
+    from repro.engine.engine import EstimationEngine
 
 
 @dataclass(frozen=True)
@@ -86,6 +93,32 @@ def select_indexes(candidates: Sequence[CandidateIndex],
         cost_before=baseline.total,
         cost_after=current,
         steps=tuple(steps))
+
+
+def advise_from_data(tables: dict[str, "Table"],
+                     queries: Sequence[Query],
+                     storage_bound_bytes: float,
+                     algorithms: Sequence["CompressionAlgorithm | str"]
+                     = ("page",),
+                     fraction: float = 0.01,
+                     trials: int = 1,
+                     model: CostModel | None = None,
+                     engine: "EstimationEngine | None" = None,
+                     seed: SeedLike = None) -> AdvisorResult:
+    """End-to-end advisor run straight from live tables.
+
+    The engine-backed path: candidate CFs are *estimated from the data*
+    (one shared-sample engine batch across every key set × algorithm)
+    rather than supplied by the caller, and table statistics are
+    derived from the heaps. This is the paper's motivating application
+    loop — SampleCF inside a physical design tool — packaged as one
+    call.
+    """
+    candidates = enumerate_candidates_batch(
+        tables, queries, algorithms=algorithms, fraction=fraction,
+        trials=trials, engine=engine, seed=seed)
+    return select_indexes(candidates, queries, stats_for_tables(tables),
+                          storage_bound_bytes, model=model)
 
 
 def design_summary(result: AdvisorResult) -> str:

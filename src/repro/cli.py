@@ -15,30 +15,46 @@ Examples::
     python -m repro estimate --scenario customer_names --fraction 0.01
     python -m repro estimate --n 1000000 --d 500 --k 20 \
         --algorithm global_dictionary --trials 50 --truth
+    python -m repro estimate-batch spec.json --executor threads
+    echo '{"workloads": {...}, "requests": [...]}' | \
+        python -m repro estimate-batch -
     python -m repro bounds theorem1 --n 100000000 --fraction 0.01
     python -m repro bounds theorem2 --n 1000000 --d 1000 --k 20 --p 2 \
         --fraction 0.01
     python -m repro bounds theorem3 --alpha 0.5 --fraction 0.01 --k 20 \
         --p 2
+
+The ``estimate-batch`` spec is a JSON object with named ``workloads``
+(a scenario reference or explicit ``n``/``d``/``k``, optionally
+``"storage": true`` to materialise a real table) and a list of
+``requests`` over them; all requests run as one shared-sample
+:class:`~repro.engine.engine.EstimationEngine` batch and the output
+JSON reports per-request estimates plus the engine's reuse stats.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro._version import __version__
 from repro.errors import ReproError
 from repro.compression.registry import get_algorithm, list_algorithms
+from repro.storage.index import IndexKind
 from repro.core.bounds import (dict_large_d_bound, dict_small_d_bound,
                                ns_stddev_bound)
 from repro.core.metrics import ErrorSummary, ratio_error
 from repro.core.samplecf import SampleCF, true_cf_histogram
+from repro.engine.engine import EstimationEngine
+from repro.engine.executors import make_executor
+from repro.engine.requests import EstimationRequest
 from repro.experiments.registry import list_experiments
 from repro.experiments.report import format_table
 from repro.experiments.runner import run_trials
-from repro.workloads.generators import make_histogram
+from repro.workloads.generators import histogram_to_table, make_histogram
 from repro.workloads.scenarios import SCENARIOS, get_scenario
 
 
@@ -80,6 +96,22 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="also compute the exact CF and the "
                                "ratio error")
     estimate.add_argument("--page-size", type=int, default=8192)
+
+    batch = commands.add_parser(
+        "estimate-batch",
+        help="run a JSON batch of estimates through the shared-sample "
+             "engine")
+    batch.add_argument("spec",
+                       help="path to a JSON batch spec, or '-' for stdin")
+    batch.add_argument("--seed", type=int, default=None,
+                       help="override the spec's master seed")
+    batch.add_argument("--executor", choices=["serial", "threads"],
+                       default=None,
+                       help="override the spec's executor choice")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="thread count for --executor threads")
+    batch.add_argument("--indent", type=int, default=2,
+                       help="JSON output indentation (default: 2)")
 
     bounds = commands.add_parser(
         "bounds", help="evaluate the paper's analytic bounds")
@@ -174,6 +206,140 @@ def _cmd_estimate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _load_batch_spec(path: str) -> dict:
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = pathlib.Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot read batch spec {path!r}: {exc}")
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"batch spec is not valid JSON: {exc}")
+    if not isinstance(spec, dict):
+        raise ReproError("batch spec must be a JSON object")
+    return spec
+
+
+def _build_batch_workload(name: str, spec: Any) -> dict:
+    """One named workload: a histogram, optionally materialised."""
+    if not isinstance(spec, dict):
+        raise ReproError(f"workload {name!r} must be a JSON object")
+    seed = int(spec.get("seed", 0))
+    if "scenario" in spec:
+        histogram = get_scenario(spec["scenario"]).build(
+            spec.get("rows"), seed=seed)
+    elif all(field in spec for field in ("n", "d", "k")):
+        histogram = make_histogram(
+            int(spec["n"]), int(spec["d"]), int(spec["k"]),
+            distribution=spec.get("distribution", "zipf"), seed=seed)
+    else:
+        raise ReproError(
+            f"workload {name!r} needs either 'scenario' or all of "
+            f"'n'/'d'/'k'")
+    if spec.get("storage"):
+        table = histogram_to_table(
+            histogram, name=name, order=spec.get("order", "shuffled"),
+            page_size=int(spec.get("page_size", 8192)), seed=seed)
+        return {"table": table}
+    return {"histogram": histogram,
+            "page_size": int(spec.get("page_size", 8192))}
+
+
+_BATCH_KINDS = {"clustered": IndexKind.CLUSTERED,
+                "nonclustered": IndexKind.NONCLUSTERED}
+
+
+def _build_batch_request(position: int, item: Any,
+                         workloads: dict[str, dict]) -> EstimationRequest:
+    if not isinstance(item, dict):
+        raise ReproError(f"request #{position} must be a JSON object")
+    workload_name = item.get("workload")
+    if workload_name not in workloads:
+        raise ReproError(
+            f"request #{position} references unknown workload "
+            f"{workload_name!r}; defined: {sorted(workloads)}")
+    source = workloads[workload_name]
+    kwargs: dict[str, Any] = {
+        "algorithm": get_algorithm(
+            item.get("algorithm", "null_suppression")),
+        "fraction": float(item.get("fraction", 0.01)),
+        "trials": int(item.get("trials", 1)),
+        "label": workload_name,
+    }
+    if "seed" in item:
+        kwargs["seed"] = int(item["seed"])
+    if "table" in source:
+        table = source["table"]
+        kind = str(item.get("kind", "clustered"))
+        if kind not in _BATCH_KINDS:
+            raise ReproError(
+                f"request #{position} has unknown index kind {kind!r}; "
+                f"known: {sorted(_BATCH_KINDS)}")
+        return EstimationRequest(
+            table=table, columns=("a",), kind=_BATCH_KINDS[kind],
+            page_size=int(item.get("page_size", table.page_size)),
+            **kwargs)
+    return EstimationRequest(
+        histogram=source["histogram"],
+        page_size=int(item.get("page_size", source["page_size"])),
+        **kwargs)
+
+
+def _cmd_estimate_batch(args: argparse.Namespace) -> str:
+    spec = _load_batch_spec(args.spec)
+    workload_specs = spec.get("workloads")
+    request_specs = spec.get("requests")
+    if not isinstance(workload_specs, dict) or not workload_specs:
+        raise ReproError("batch spec needs a non-empty 'workloads' object")
+    if not isinstance(request_specs, list) or not request_specs:
+        raise ReproError("batch spec needs a non-empty 'requests' list")
+    workloads = {name: _build_batch_workload(name, wspec)
+                 for name, wspec in workload_specs.items()}
+    requests = [_build_batch_request(position, item, workloads)
+                for position, item in enumerate(request_specs)]
+    seed = args.seed if args.seed is not None else int(spec.get("seed", 0))
+    executor_name = args.executor or spec.get("executor", "serial")
+    engine = EstimationEngine(
+        seed=seed, executor=make_executor(executor_name,
+                                          max_workers=args.workers))
+    plan = engine.plan(requests)
+    batch = engine.execute(plan)
+    results = []
+    for request, result in zip(requests, batch.results):
+        values = result.values
+        entry: dict[str, Any] = {
+            "workload": request.label,
+            "algorithm": request.algorithm.name,
+            "fraction": request.fraction,
+            "trials": request.trials,
+            "path": result.estimates[0].path,
+            "estimates": [float(v) for v in values],
+            "mean": float(values.mean()),
+            "std": (float(values.std(ddof=1)) if len(values) > 1
+                    else None),
+            "sample_rows": [e.sample_rows for e in result.estimates],
+        }
+        results.append(entry)
+    payload = {
+        "seed": seed,
+        "executor": executor_name,
+        "plan": {
+            "requests": plan.num_requests,
+            "unique_requests": plan.num_unique,
+            "trial_units": plan.num_units,
+            "samples_to_materialize": plan.num_distinct_samples,
+            "sample_indexes_to_build": plan.num_index_layouts,
+        },
+        "results": results,
+        "stats": batch.stats,
+    }
+    indent = args.indent if args.indent and args.indent > 0 else None
+    return json.dumps(payload, indent=indent)
+
+
 def _cmd_bounds(args: argparse.Namespace) -> str:
     if args.theorem == "theorem1":
         bound = ns_stddev_bound(n=args.n, f=args.fraction)
@@ -206,6 +372,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _cmd_experiments()
         elif args.command == "estimate":
             output = _cmd_estimate(args)
+        elif args.command == "estimate-batch":
+            output = _cmd_estimate_batch(args)
         elif args.command == "bounds":
             output = _cmd_bounds(args)
         else:  # pragma: no cover - argparse enforces choices

@@ -23,6 +23,13 @@ Three execution paths share the same estimator object:
   identical to the storage path for model-able algorithms and fast
   enough for the paper's 100M-row Example 1.
 
+``SampleCF`` is a thin single-request facade: the table and histogram
+paths build an :class:`~repro.engine.requests.EstimationRequest` and run
+it on the shared :class:`~repro.engine.engine.EstimationEngine`, so
+repeated calls over the same table reuse materialized samples and built
+sample indexes. Results are bit-identical to running the algorithm
+inline for a fixed seed.
+
 Ground truth comes from :func:`true_cf_table` / :func:`true_cf_histogram`
 (compress everything, no sampling).
 """
@@ -30,7 +37,9 @@ Ground truth comes from :func:`true_cf_table` / :func:`true_cf_histogram`
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from repro.constants import DEFAULT_PAGE_SIZE
 from repro.errors import EstimationError, SamplingError
@@ -39,11 +48,13 @@ from repro.sampling.block import BlockSampler
 from repro.sampling.rng import SeedLike, make_rng
 from repro.sampling.row_samplers import WithReplacementSampler
 from repro.storage.index import Accounting, Index, IndexKind
-from repro.storage.record import decode_record
 from repro.storage.table import Table
 from repro.compression.base import CompressionAlgorithm
 from repro.compression.registry import get_algorithm
 from repro.core.cf_models import ColumnHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import EstimationEngine
 
 
 @dataclass(frozen=True)
@@ -96,6 +107,10 @@ class SampleCF:
         realism knob; see :meth:`Index.compress`).
     page_size / fill_factor:
         Layout of the index built on the sample.
+    engine:
+        The :class:`~repro.engine.engine.EstimationEngine` to run on;
+        defaults to the shared process-wide engine, whose sample cache
+        makes repeated estimates over one table cheap.
     """
 
     def __init__(self, algorithm: CompressionAlgorithm | str,
@@ -103,7 +118,8 @@ class SampleCF:
                  accounting: Accounting = "payload",
                  repack: bool = False,
                  page_size: int = DEFAULT_PAGE_SIZE,
-                 fill_factor: float = 1.0) -> None:
+                 fill_factor: float = 1.0,
+                 engine: "EstimationEngine | None" = None) -> None:
         if isinstance(algorithm, str):
             algorithm = get_algorithm(algorithm)
         self.algorithm = algorithm
@@ -113,6 +129,31 @@ class SampleCF:
         self.repack = repack
         self.page_size = page_size
         self.fill_factor = fill_factor
+        self._engine = engine
+
+    def _engine_for_call(self):
+        """The engine serving this facade (shared default unless set)."""
+        if self._engine is not None:
+            return self._engine
+        from repro.engine.engine import default_engine  # lazy: cycle guard
+
+        return default_engine()
+
+    @staticmethod
+    def _resolve_seed(seed: SeedLike) -> SeedLike:
+        """Pin ``None`` to fresh entropy so repeated calls stay random.
+
+        The engine derives seeds deterministically from request content;
+        a facade call with ``seed=None`` must instead behave like the
+        historical code path — independent randomness on every call. A
+        fresh Generator (not an int) takes the engine's opaque-seed
+        path, which skips the shared sample cache: a never-reusable
+        random draw should not evict reusable fixed-seed samples or pin
+        its rows in memory after the call returns.
+        """
+        if seed is None:
+            return np.random.default_rng()
+        return seed
 
     # ------------------------------------------------------------------
     # Storage path (the literal Figure 2 algorithm)
@@ -121,46 +162,20 @@ class SampleCF:
                        key_columns: Sequence[str],
                        kind: IndexKind = IndexKind.CLUSTERED,
                        seed: SeedLike = None) -> SampleCFEstimate:
-        """Run SampleCF against a real table."""
+        """Run SampleCF against a real table (one engine request)."""
+        from repro.engine.requests import EstimationRequest  # cycle guard
+
         if table.num_rows == 0:
             raise EstimationError("cannot estimate over an empty table")
-        rng = make_rng(seed)
-        r = rows_for_fraction(table.num_rows, fraction)
-        if isinstance(self.sampler, BlockSampler):
-            block = self.sampler.sample_records(list(table.pages()), r, rng)
-            rows = [decode_record(table.schema, record)
-                    for record in block.records]
-            rids = list(block.rids)
-            path = "block"
-            extra = {"pages_sampled": len(block.page_ids),
-                     "pages_available": block.pages_available}
-        else:
-            positions = self.sampler.sample_positions(
-                table.num_rows, r, rng)
-            rows = table.rows_at([int(p) for p in positions])
-            rids = [table.rid_at(int(p)) for p in positions]
-            path = "storage"
-            extra = {}
-        sample_index = Index(
-            "samplecf_sample", table.schema, key_columns, kind=kind,
-            page_size=self.page_size, fill_factor=self.fill_factor)
-        sample_index.build(list(zip(rows, rids)))
-        result = sample_index.compress(
-            self.algorithm, accounting=self.accounting,
-            repack_pages=self.repack)
-        distinct = len({sample_index.key_of(row) for row in rows})
-        return SampleCFEstimate(
-            estimate=result.compression_fraction,
-            sample_rows=len(rows),
-            sampling_fraction=fraction,
-            algorithm=self.algorithm.name,
-            accounting=self.accounting,
-            path=path,
-            uncompressed_sample_bytes=result.uncompressed_bytes,
-            compressed_sample_bytes=result.compressed_bytes,
-            sample_distinct=distinct,
-            details={"pages_before": result.pages_before,
-                     "pages_after": result.pages_after, **extra})
+        rows_for_fraction(table.num_rows, fraction)  # validate f early
+        request = EstimationRequest(
+            table=table, columns=tuple(key_columns),
+            algorithm=self.algorithm, fraction=fraction, trials=1,
+            seed=self._resolve_seed(seed), kind=kind,
+            sampler=self.sampler, accounting=self.accounting,
+            repack=self.repack, page_size=self.page_size,
+            fill_factor=self.fill_factor)
+        return self._engine_for_call().estimate(request).estimates[0]
 
     def estimate_index(self, index: Index, fraction: float,
                        seed: SeedLike = None) -> SampleCFEstimate:
@@ -170,10 +185,12 @@ class SampleCF:
         if isinstance(self.sampler, BlockSampler):
             return self._estimate_index_blocks(index, fraction, seed)
         rng = make_rng(seed)
-        records = list(index.leaf_records())
-        r = rows_for_fraction(len(records), fraction)
-        positions = self.sampler.sample_positions(len(records), r, rng)
-        sampled = [records[int(p)] for p in positions]
+        r = rows_for_fraction(index.num_entries, fraction)
+        positions = self.sampler.sample_positions(index.num_entries, r,
+                                                  rng)
+        # One streaming pass over the leaves; never materializes the
+        # full leaf-record list the way the pre-engine code did.
+        sampled = index.leaf_records_at([int(p) for p in positions])
         return self._finish_index_sample(index, sampled, fraction,
                                          path="index")
 
@@ -224,6 +241,8 @@ class SampleCF:
         accounting (integration tests verify this), and the only
         practical path at the paper's Example 1 scale.
         """
+        from repro.engine.requests import EstimationRequest  # cycle guard
+
         if isinstance(self.sampler, BlockSampler):
             raise SamplingError(
                 "block sampling depends on the physical layout; use "
@@ -231,24 +250,14 @@ class SampleCF:
         if self.accounting != "payload":
             raise EstimationError(
                 "the histogram path models payload accounting only")
-        rng = make_rng(seed)
-        r = rows_for_fraction(histogram.n, fraction)
-        sample = self.sampler.sample_histogram(histogram, r, rng)
-        estimate = self.algorithm.cf_from_histogram(
-            sample, page_size=self.page_size,
-            record_bytes=record_bytes, fill_factor=self.fill_factor)
-        uncompressed = sample.total_bytes
-        return SampleCFEstimate(
-            estimate=estimate,
-            sample_rows=sample.n,
-            sampling_fraction=fraction,
-            algorithm=self.algorithm.name,
-            accounting=self.accounting,
-            path="histogram",
-            uncompressed_sample_bytes=uncompressed,
-            compressed_sample_bytes=round(estimate * uncompressed),
-            sample_distinct=sample.d,
-            details={})
+        rows_for_fraction(histogram.n, fraction)  # validate f early
+        request = EstimationRequest(
+            histogram=histogram, algorithm=self.algorithm,
+            fraction=fraction, trials=1, seed=self._resolve_seed(seed),
+            sampler=self.sampler, accounting=self.accounting,
+            page_size=self.page_size, fill_factor=self.fill_factor,
+            record_bytes=record_bytes)
+        return self._engine_for_call().estimate(request).estimates[0]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,39 @@
+"""Shared-sample batch estimation: plan / materialize / execute.
+
+The estimation engine is how every layer of the library runs SampleCF:
+single calls (:class:`~repro.core.samplecf.SampleCF` is a facade over
+it), advisor candidate sizing, multi-trial experiment sweeps, and the
+CLI's ``estimate-batch``. See :mod:`repro.engine.engine` for the
+execution model.
+"""
+
+from repro.engine.engine import EstimationEngine, default_engine
+from repro.engine.executors import (PlanExecutor, SerialExecutor,
+                                    ThreadPoolPlanExecutor, make_executor)
+from repro.engine.plan import EstimationPlan, PlanNode, plan_batch
+from repro.engine.requests import (BatchResult, EstimationRequest,
+                                   RequestResult, derive_seed)
+from repro.engine.samples import (EngineStats, MaterializedSample,
+                                  SampleCache, materialize_histogram_sample,
+                                  materialize_table_sample)
+
+__all__ = [
+    "BatchResult",
+    "EngineStats",
+    "EstimationEngine",
+    "EstimationPlan",
+    "EstimationRequest",
+    "MaterializedSample",
+    "PlanExecutor",
+    "PlanNode",
+    "RequestResult",
+    "SampleCache",
+    "SerialExecutor",
+    "ThreadPoolPlanExecutor",
+    "default_engine",
+    "derive_seed",
+    "make_executor",
+    "materialize_histogram_sample",
+    "materialize_table_sample",
+    "plan_batch",
+]

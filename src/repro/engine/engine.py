@@ -1,0 +1,226 @@
+"""The EstimationEngine: plan and execute batches of CF estimations.
+
+This is the architectural backbone the ROADMAP asks for ("sharding,
+batching, caching"): every estimation in the library — single
+:class:`SampleCF` calls, advisor candidate sizing, multi-trial sweeps,
+the CLI's ``estimate-batch`` — funnels through :meth:`execute`, which
+
+1. canonicalizes and dedupes the batch (:mod:`repro.engine.plan`),
+2. materializes each distinct (source, sampler, fraction, seed) sample
+   exactly once, LRU-cached across batches
+   (:mod:`repro.engine.samples`),
+3. shares one built sample index per column-set layout across all
+   algorithms probing it, and
+4. runs the independent (node, trial) units on a pluggable executor
+   (:mod:`repro.engine.executors`).
+
+Determinism contract: with an integer master seed, ``execute`` returns
+byte-identical results for the same batch content regardless of
+executor choice, request submission order, or whether samples came from
+the cache — asserted by ``tests/property/test_engine_determinism.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sampling.rng import SeedLike
+from repro.core.samplecf import SampleCFEstimate
+from repro.engine.executors import PlanExecutor, SerialExecutor
+from repro.engine.plan import EstimationPlan, PlanNode, plan_batch
+from repro.engine.requests import (BatchResult, EstimationRequest,
+                                   RequestResult)
+from repro.engine.samples import (EngineStats, MaterializedSample,
+                                  SampleCache, materialize_histogram_sample,
+                                  materialize_table_sample)
+
+
+def _resolve_master_seed(seed: SeedLike) -> int:
+    if seed is None:
+        return int(np.random.default_rng().integers(0, 2 ** 63 - 1))
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2 ** 63 - 1))
+    return int(seed)
+
+
+class EstimationEngine:
+    """Shared-sample batch estimator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed. Requests without an explicit seed derive their
+        per-trial randomness from it (content-keyed, order-free).
+    executor:
+        Default :class:`PlanExecutor`; serial unless given.
+    sample_cache_size:
+        LRU capacity, counted in materialized samples. Samples persist
+        across ``execute`` calls, so repeated advisor/sweep runs over
+        the same tables reuse prior draws.
+    """
+
+    def __init__(self, seed: SeedLike = 0,
+                 executor: PlanExecutor | None = None,
+                 sample_cache_size: int = 64) -> None:
+        self.master_seed = _resolve_master_seed(seed)
+        self.executor: PlanExecutor = executor or SerialExecutor()
+        self.cache = SampleCache(sample_cache_size)
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, requests: Sequence[EstimationRequest],
+             ) -> EstimationPlan:
+        """Canonicalize a batch without executing it."""
+        return plan_batch(requests, self.master_seed)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self,
+                requests: Sequence[EstimationRequest] | EstimationPlan,
+                executor: PlanExecutor | None = None) -> BatchResult:
+        """Run a batch (or a pre-built plan) and fan results back out."""
+        if isinstance(requests, EstimationPlan):
+            plan = requests
+        else:
+            plan = self.plan(requests)
+        runner = executor or self.executor
+        before = self.stats.snapshot()
+        self.stats.add("requests", plan.num_requests)
+        self.stats.add("unique_requests", plan.num_unique)
+        self.stats.add("trials", plan.num_units)
+        tasks = []
+        for node in plan.nodes:
+            for trial in range(node.trials):
+                tasks.append(self._make_unit(node, trial))
+        values = runner.run(tasks)
+        estimates_by_node: list[tuple[SampleCFEstimate, ...]] = []
+        cursor = 0
+        for node in plan.nodes:
+            estimates_by_node.append(
+                tuple(values[cursor:cursor + node.trials]))
+            cursor += node.trials
+        slots: list[RequestResult | None] = [None] * plan.num_requests
+        for node, estimates in zip(plan.nodes, estimates_by_node):
+            for position in node.positions:
+                slots[position] = RequestResult(request=node.request,
+                                                estimates=estimates)
+        after = self.stats.snapshot()
+        return BatchResult(results=tuple(slots),
+                           stats=EngineStats.delta(before, after))
+
+    def estimate(self, request: EstimationRequest) -> RequestResult:
+        """Single-request convenience over :meth:`execute`."""
+        return self.execute([request]).results[0]
+
+    # ------------------------------------------------------------------
+    # Units
+    # ------------------------------------------------------------------
+    def _make_unit(self, node: PlanNode, trial: int):
+        if node.request.is_table:
+            return lambda: self._run_table_unit(node, trial)
+        return lambda: self._run_histogram_unit(node, trial)
+
+    def _sample_for(self, node: PlanNode, trial: int,
+                    ) -> MaterializedSample:
+        request = node.request
+        seed = node.trial_seeds[trial]
+        if request.is_table:
+            def factory() -> MaterializedSample:
+                return materialize_table_sample(
+                    request.table, request.sampler, request.fraction,
+                    seed)
+        else:
+            def factory() -> MaterializedSample:
+                return materialize_histogram_sample(
+                    request.histogram, request.sampler, request.fraction,
+                    seed)
+        key = node.sample_keys[trial]
+        if key is None:
+            sample = factory()
+            hit = False
+        else:
+            sample, hit = self.cache.get_or_create(key, factory)
+        if hit:
+            self.stats.add("sample_cache_hits")
+        else:
+            self.stats.add("samples_materialized")
+            self.stats.add("sample_rows_drawn", sample.sample_rows)
+        return sample
+
+    def _run_table_unit(self, node: PlanNode,
+                        trial: int) -> SampleCFEstimate:
+        request = node.request
+        sample = self._sample_for(node, trial)
+        entry = sample.index_for(
+            request.table, request.columns, request.kind,
+            request.page_size, request.fill_factor,
+            on_build=lambda: self.stats.add("indexes_built"),
+            on_reuse=lambda: self.stats.add("index_reuse_hits"))
+        result = entry.index.compress(
+            request.algorithm, accounting=request.accounting,
+            repack_pages=request.repack)
+        self.stats.add("estimates_computed")
+        return SampleCFEstimate(
+            estimate=result.compression_fraction,
+            sample_rows=len(sample.rows),
+            sampling_fraction=request.fraction,
+            algorithm=request.algorithm.name,
+            accounting=request.accounting,
+            path=sample.path,
+            uncompressed_sample_bytes=result.uncompressed_bytes,
+            compressed_sample_bytes=result.compressed_bytes,
+            sample_distinct=entry.distinct,
+            details={"pages_before": result.pages_before,
+                     "pages_after": result.pages_after, **sample.extra})
+
+    def _run_histogram_unit(self, node: PlanNode,
+                            trial: int) -> SampleCFEstimate:
+        request = node.request
+        sample = self._sample_for(node, trial)
+        histogram = sample.histogram
+        estimate = request.algorithm.cf_from_histogram(
+            histogram, page_size=request.page_size,
+            record_bytes=request.record_bytes,
+            fill_factor=request.fill_factor)
+        self.stats.add("estimates_computed")
+        uncompressed = histogram.total_bytes
+        return SampleCFEstimate(
+            estimate=estimate,
+            sample_rows=histogram.n,
+            sampling_fraction=request.fraction,
+            algorithm=request.algorithm.name,
+            accounting=request.accounting,
+            path="histogram",
+            uncompressed_sample_bytes=uncompressed,
+            compressed_sample_bytes=round(estimate * uncompressed),
+            sample_distinct=histogram.d,
+            details={})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"EstimationEngine(seed={self.master_seed}, "
+                f"executor={self.executor.name!r}, "
+                f"cached_samples={len(self.cache)})")
+
+
+# ----------------------------------------------------------------------
+# Shared default engine (the SampleCF facade runs on it)
+# ----------------------------------------------------------------------
+_DEFAULT_ENGINE: EstimationEngine | None = None
+
+
+def default_engine() -> EstimationEngine:
+    """The process-wide engine backing single-call SampleCF facades.
+
+    Its master seed never influences results for facade calls (those
+    always carry a concrete seed), so sharing one instance only shares
+    the sample cache.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = EstimationEngine(seed=0)
+    return _DEFAULT_ENGINE

@@ -1,0 +1,80 @@
+"""Pluggable executors for independent plan units.
+
+The engine reduces a plan to a flat list of thunks (one per
+(node, trial) unit) whose results are order-aligned with the list; an
+executor's only job is to run them all and return results *in input
+order*. Because every unit's randomness was resolved at plan time and
+shared state (sample cache, index cache) is single-flight, the serial
+and thread-pool executors produce byte-identical results — the
+determinism property test locks that in.
+
+A process-pool executor is a planned follow-on (requires picklable
+sources); the protocol below is what it will implement.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Protocol, Sequence
+
+from repro.errors import EstimationError
+
+
+class PlanExecutor(Protocol):
+    """Anything that can run a list of thunks and keep their order."""
+
+    name: str
+
+    def run(self, tasks: Sequence[Callable[[], object]]) -> list:
+        """Execute all tasks; result ``i`` corresponds to task ``i``."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialExecutor:
+    """Run units one after another on the calling thread."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[Callable[[], object]]) -> list:
+        return [task() for task in tasks]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class ThreadPoolPlanExecutor:
+    """Run units on a thread pool; results return in task order.
+
+    Estimation units spend much of their time in numpy sampling and
+    byte-level compression loops, so modest pools already overlap
+    usefully; correctness never depends on the worker count.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise EstimationError(
+                f"need a positive worker count, got {max_workers}")
+        self.max_workers = max_workers or min(8, (os.cpu_count() or 2))
+
+    def run(self, tasks: Sequence[Callable[[], object]]) -> list:
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.max_workers) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            return [future.result() for future in futures]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadPoolPlanExecutor(max_workers={self.max_workers})"
+
+
+def make_executor(name: str, max_workers: int | None = None,
+                  ) -> PlanExecutor:
+    """Executor factory used by the CLI and experiment configs."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "threads":
+        return ThreadPoolPlanExecutor(max_workers=max_workers)
+    raise EstimationError(
+        f"unknown executor {name!r}; known: ['serial', 'threads']")

@@ -1,0 +1,235 @@
+"""Materialized samples, their LRU cache, and engine counters.
+
+The expensive part of SampleCF on the storage path is not compression —
+samples are small — but *getting the sample*: drawing positions,
+fetching and decoding rows, and building the index on them. A
+:class:`MaterializedSample` captures the first two once per distinct
+(source, sampler, fraction, seed) and carries a per-column-set cache of
+built sample indexes, so a batch of (column-set × algorithm) candidates
+over one table pays the draw/decode cost once and the index build once
+per column set — every algorithm then only re-compresses shared leaves.
+
+:class:`SampleCache` is a thread-safe LRU with single-flight semantics:
+when several plan nodes race for the same key, exactly one thread
+materializes and the rest wait, which is what keeps the thread-pool
+executor from duplicating work.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import EstimationError
+from repro.sampling.base import RowSampler, rows_for_fraction
+from repro.sampling.block import BlockSampler
+from repro.sampling.rng import make_rng
+from repro.storage.index import Index, IndexKind
+from repro.storage.record import decode_record
+from repro.storage.rid import RID
+from repro.storage.table import Table
+from repro.core.cf_models import ColumnHistogram
+
+
+@dataclass
+class SampleIndexEntry:
+    """One built sample index, shared across algorithms."""
+
+    index: Index
+    #: Distinct key values observed in the sample (``d'``).
+    distinct: int
+
+
+@dataclass
+class MaterializedSample:
+    """A drawn-and-decoded sample, reusable across candidates.
+
+    Table-path samples hold decoded ``rows`` + ``rids``; histogram-path
+    samples hold the sampled :class:`ColumnHistogram`. ``indexes`` maps
+    ``(columns, kind, page_size, fill_factor)`` to the index built on
+    this sample for that layout — built lazily, exactly once.
+    """
+
+    fraction: float
+    seed: object
+    path: str
+    rows: tuple = ()
+    rids: tuple[RID, ...] = ()
+    histogram: ColumnHistogram | None = None
+    extra: dict = field(default_factory=dict)
+    indexes: dict[tuple, SampleIndexEntry] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    @property
+    def sample_rows(self) -> int:
+        if self.histogram is not None:
+            return int(self.histogram.n)
+        return len(self.rows)
+
+    def index_for(self, table: Table, columns: tuple[str, ...],
+                  kind: IndexKind, page_size: int, fill_factor: float,
+                  on_build: Callable[[], None] | None = None,
+                  on_reuse: Callable[[], None] | None = None,
+                  ) -> SampleIndexEntry:
+        """The sample index for one layout, built on first use."""
+        key = (columns, kind.value, page_size, float(fill_factor))
+        with self._lock:
+            entry = self.indexes.get(key)
+            if entry is not None:
+                if on_reuse is not None:
+                    on_reuse()
+                return entry
+            sample_index = Index(
+                "samplecf_sample", table.schema, columns, kind=kind,
+                page_size=page_size, fill_factor=fill_factor)
+            sample_index.build(list(zip(self.rows, self.rids)))
+            distinct = len({sample_index.key_of(row) for row in self.rows})
+            entry = SampleIndexEntry(index=sample_index, distinct=distinct)
+            self.indexes[key] = entry
+            if on_build is not None:
+                on_build()
+            return entry
+
+
+def materialize_table_sample(table: Table,
+                             sampler: RowSampler | BlockSampler,
+                             fraction: float,
+                             seed: object) -> MaterializedSample:
+    """Draw one reusable sample from a table (Figure 2, steps 1-2a).
+
+    Reproduces :class:`SampleCF`'s historical draw exactly: the same
+    ``make_rng(seed)`` stream, the same position/row/rid sequence — so
+    the facade's single-call results are bit-identical to pre-engine
+    releases for a fixed seed.
+    """
+    if table.num_rows == 0:
+        raise EstimationError("cannot estimate over an empty table")
+    rng = make_rng(seed)
+    r = rows_for_fraction(table.num_rows, fraction)
+    if isinstance(sampler, BlockSampler):
+        block = sampler.sample_records(table.heap.page_view(), r, rng)
+        rows = tuple(decode_record(table.schema, record)
+                     for record in block.records)
+        return MaterializedSample(
+            fraction=fraction, seed=seed, path="block", rows=rows,
+            rids=tuple(block.rids),
+            extra={"pages_sampled": len(block.page_ids),
+                   "pages_available": block.pages_available})
+    positions = sampler.sample_positions(table.num_rows, r, rng)
+    rows = tuple(table.rows_at([int(p) for p in positions]))
+    rids = tuple(table.rid_at(int(p)) for p in positions)
+    return MaterializedSample(fraction=fraction, seed=seed,
+                              path="storage", rows=rows, rids=rids)
+
+
+def materialize_histogram_sample(histogram: ColumnHistogram,
+                                 sampler: RowSampler, fraction: float,
+                                 seed: object) -> MaterializedSample:
+    """Draw one reusable sampled histogram (the closed-form fast path)."""
+    rng = make_rng(seed)
+    r = rows_for_fraction(histogram.n, fraction)
+    sample = sampler.sample_histogram(histogram, r, rng)
+    return MaterializedSample(fraction=fraction, seed=seed,
+                              path="histogram", histogram=sample)
+
+
+class SampleCache:
+    """Thread-safe LRU over materialized samples with single-flight.
+
+    ``get_or_create`` returns ``(sample, was_hit)``. Concurrent callers
+    asking for the same key block until the one materializing thread
+    finishes; a failed materialization wakes waiters so one of them
+    retries (and surfaces the error if it persists).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise EstimationError(
+                f"sample cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, MaterializedSample] = \
+            OrderedDict()
+        self._pending: dict[tuple, threading.Event] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_create(self, key: tuple,
+                      factory: Callable[[], MaterializedSample],
+                      ) -> tuple[MaterializedSample, bool]:
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    return self._entries[key], True
+                event = self._pending.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+                    is_creator = True
+                else:
+                    is_creator = False
+            if not is_creator:
+                event.wait()
+                continue  # entry is now cached, or creation failed
+            try:
+                value = factory()
+            except BaseException:
+                with self._lock:
+                    self._pending.pop(key, None)
+                event.set()
+                raise
+            with self._lock:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                self._pending.pop(key, None)
+            event.set()
+            return value, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class EngineStats:
+    """Thread-safe reuse counters the acceptance tests assert on."""
+
+    FIELDS = ("requests", "unique_requests", "trials",
+              "samples_materialized", "sample_cache_hits",
+              "sample_rows_drawn", "indexes_built", "index_reuse_hits",
+              "estimates_computed")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {name: 0 for name in self.FIELDS}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        if name not in self._counts:
+            raise EstimationError(f"unknown engine stat {name!r}")
+        with self._lock:
+            self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        with self._lock:
+            return self._counts[name]
+
+    def snapshot(self) -> dict[str, int]:
+        """A point-in-time copy of all counters."""
+        with self._lock:
+            return dict(self._counts)
+
+    @staticmethod
+    def delta(before: dict[str, int], after: dict[str, int],
+              ) -> dict[str, int]:
+        """Counter movement between two snapshots."""
+        return {name: after[name] - before.get(name, 0) for name in after}
+
+    def as_dict(self) -> dict[str, Any]:
+        return self.snapshot()

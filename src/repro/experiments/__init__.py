@@ -4,8 +4,10 @@ from repro.experiments.registry import (EXPERIMENTS, ExperimentSpec,
                                         get_experiment, list_experiments)
 from repro.experiments.report import (banner, fmt_bytes, fmt_float,
                                       format_markdown_table, format_table)
-from repro.experiments.runner import (SweepPoint, Timed, run_trials,
-                                      summarize_trials, sweep, timed)
+from repro.experiments.runner import (SweepPoint, Timed, engine_sweep,
+                                      run_request_trials, run_trials,
+                                      summarize_request, summarize_trials,
+                                      sweep, timed)
 
 __all__ = [
     "EXPERIMENTS",
@@ -13,13 +15,16 @@ __all__ = [
     "SweepPoint",
     "Timed",
     "banner",
+    "engine_sweep",
     "fmt_bytes",
     "fmt_float",
     "format_markdown_table",
     "format_table",
     "get_experiment",
     "list_experiments",
+    "run_request_trials",
     "run_trials",
+    "summarize_request",
     "summarize_trials",
     "sweep",
     "timed",

@@ -5,19 +5,35 @@ randomness, compare against the truth". The runner owns the seeding
 discipline (one master seed spawns independent child generators, so any
 trial can be replayed) and returns :class:`ErrorSummary` objects ready
 for the report formatter.
+
+Two execution styles coexist:
+
+* **callable trials** (:func:`run_trials` / :func:`sweep`) — the
+  historical API: the experiment supplies a function of a Generator;
+* **engine batches** (:func:`run_request_trials` /
+  :func:`engine_sweep`) — the experiment supplies
+  :class:`~repro.engine.requests.EstimationRequest` descriptions and
+  the whole sweep executes as one
+  :class:`~repro.engine.engine.EstimationEngine` batch, so sweep
+  points over the same source share materialized samples trial by
+  trial instead of re-drawing O(points × trials) times.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 import numpy as np
 
 from repro.errors import ExperimentError
 from repro.sampling.rng import SeedLike, spawn_rngs
 from repro.core.metrics import ErrorSummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import EstimationEngine
+    from repro.engine.requests import EstimationRequest
 
 #: A trial function: receives a dedicated Generator, returns an estimate.
 TrialFn = Callable[[np.random.Generator], float]
@@ -67,6 +83,88 @@ def sweep(parameters: Iterable[Any],
         points.append(SweepPoint(parameter=parameter, summary=summary,
                                  extra=dict(extra)))
     return points
+
+
+# ----------------------------------------------------------------------
+# Engine-backed execution (shared samples across trials and points)
+# ----------------------------------------------------------------------
+def _resolve_engine(engine: "EstimationEngine | None",
+                    seed: SeedLike) -> "EstimationEngine":
+    from repro.engine.engine import EstimationEngine  # lazy: cycle guard
+
+    if engine is not None:
+        if seed is not None:
+            raise ExperimentError(
+                "pass either engine= or seed=, not both: a supplied "
+                "engine's master seed governs the randomness")
+        return engine
+    return EstimationEngine(seed=seed if seed is not None else 0)
+
+
+def run_request_trials(request: "EstimationRequest",
+                       trials: int | None = None,
+                       engine: "EstimationEngine | None" = None,
+                       seed: SeedLike = None) -> np.ndarray:
+    """Run one request's trials on the engine; returns the estimates.
+
+    ``trials`` overrides the request's own count when given. Trial
+    randomness derives from the engine's master seed and the request's
+    sample scope, so re-running on a same-seeded engine replays
+    exactly.
+    """
+    if trials is not None:
+        if trials <= 0:
+            raise ExperimentError(
+                f"need a positive trial count, got {trials}")
+        request = request.with_trials(trials)
+    result = _resolve_engine(engine, seed).estimate(request)
+    return result.values
+
+
+def summarize_request(true_value: float, request: "EstimationRequest",
+                      trials: int | None = None,
+                      engine: "EstimationEngine | None" = None,
+                      seed: SeedLike = None) -> ErrorSummary:
+    """Engine-backed analogue of :func:`summarize_trials`."""
+    estimates = run_request_trials(request, trials=trials, engine=engine,
+                                   seed=seed)
+    return ErrorSummary.from_estimates(true_value, estimates)
+
+
+def engine_sweep(parameters: Iterable[Any],
+                 make_truth_and_request: Callable[
+                     [Any], tuple[float, "EstimationRequest", dict]],
+                 trials: int,
+                 engine: "EstimationEngine | None" = None,
+                 seed: SeedLike = None) -> list[SweepPoint]:
+    """Evaluate an estimator grid as **one** shared-sample batch.
+
+    ``make_truth_and_request(parameter)`` returns ``(truth, request,
+    extra)``. All points execute in a single engine batch: points whose
+    requests target the same source and fraction share one materialized
+    sample per trial, which is what makes algorithm sweeps and advisor
+    grids O(samples + points) instead of O(points × trials) full
+    passes.
+    """
+    if trials <= 0:
+        raise ExperimentError(f"need a positive trial count, got {trials}")
+    parameters = list(parameters)
+    resolved = _resolve_engine(engine, seed)
+    truths: list[float] = []
+    extras: list[dict] = []
+    requests: list["EstimationRequest"] = []
+    for parameter in parameters:
+        truth, request, extra = make_truth_and_request(parameter)
+        truths.append(truth)
+        extras.append(dict(extra))
+        requests.append(request.with_trials(trials))
+    batch = resolved.execute(requests)
+    return [SweepPoint(parameter=parameter,
+                       summary=ErrorSummary.from_estimates(
+                           truth, result.values),
+                       extra=extra)
+            for parameter, truth, result, extra
+            in zip(parameters, truths, batch.results, extras)]
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ demonstrates, so the sampler operates only on real pages.
 
 from __future__ import annotations
 
+from collections import abc
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -54,7 +55,8 @@ class BlockSampler:
         drawn page enters the sample (the block-sampling contract). If
         the table runs out of pages first, the whole table is returned.
         """
-        pages = list(pages)
+        if not isinstance(pages, abc.Sequence):
+            pages = list(pages)
         if not pages:
             raise SamplingError("cannot block-sample zero pages")
         if target_rows <= 0:

@@ -70,6 +70,15 @@ class HeapFile:
         """Iterate the underlying pages (for block sampling)."""
         return iter(self._pages)
 
+    def page_view(self) -> list[Page]:
+        """Zero-copy random-access view of the pages.
+
+        Block sampling needs ``len()`` and indexed access; this returns
+        the heap's own page list so hot callers avoid re-copying it per
+        draw. Treat the result as read-only.
+        """
+        return self._pages
+
     def page(self, page_id: int) -> Page:
         """The page with the given id."""
         if not 0 <= page_id < len(self._pages):

@@ -180,6 +180,41 @@ class Index:
         for leaf in self._tree.leaves():
             yield from leaf.records
 
+    def leaf_records_at(self, positions: Sequence[int]) -> list[bytes]:
+        """Leaf records at the given entry positions, in request order.
+
+        Positions are 0-based offsets into the key-ordered leaf-record
+        sequence and may repeat (with-replacement samples) or arrive
+        unsorted. One streaming pass over the leaves suffices, stopping
+        at the last needed leaf — the estimator's sampling access path,
+        which must not materialize all ``num_entries`` records.
+        """
+        wanted: dict[int, list[int]] = {}
+        for slot, position in enumerate(positions):
+            position = int(position)
+            if not 0 <= position < self.num_entries:
+                raise IndexError_(
+                    f"leaf position {position} out of range "
+                    f"[0, {self.num_entries})")
+            wanted.setdefault(position, []).append(slot)
+        out: list[bytes | None] = [None] * len(positions)
+        pending = sorted(wanted)
+        cursor = 0
+        base = 0
+        for leaf in self._tree.leaves():
+            records = leaf.records
+            end = base + len(records)
+            while cursor < len(pending) and pending[cursor] < end:
+                position = pending[cursor]
+                record = records[position - base]
+                for slot in wanted[position]:
+                    out[slot] = record
+                cursor += 1
+            if cursor == len(pending):
+                break
+            base = end
+        return out
+
     def leaf_record_key(self, record: bytes) -> tuple[Any, ...]:
         """Extract the index key from a leaf record's bytes."""
         entry = decode_record(self.leaf_schema, record)

@@ -1,0 +1,127 @@
+"""Property: engine batches are deterministic under re-execution.
+
+The engine's contract: with an integer master seed, the same batch
+*content* yields byte-identical results regardless of
+
+* executor choice (serial vs. thread pool),
+* request submission order,
+* cache state (cold vs. warm, shared vs. private engines),
+* object identity (sources rebuilt from the same generator seeds).
+
+This is what lets experiments mix executors freely and lets any
+reported number be replayed from its spec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import make_histogram, make_table
+from repro.engine import (EstimationEngine, EstimationRequest,
+                          SerialExecutor, ThreadPoolPlanExecutor)
+
+MASTER_SEED = 20100301
+
+ALGORITHMS = ("null_suppression", "global_dictionary", "rle", "page")
+#: Algorithms with a closed-form histogram model (page has none).
+MODELABLE = ("null_suppression", "global_dictionary", "rle")
+FRACTIONS = (0.02, 0.05)
+
+
+def build_requests() -> list[EstimationRequest]:
+    """A mixed batch over freshly built sources (new objects each call)."""
+    table = make_table(n=3000, d=60, k=20, distribution="zipf",
+                      order="shuffled", page_size=1024, seed=77)
+    histogram = make_histogram(9000, 90, 20, seed=78)
+    requests = []
+    for algorithm in ALGORITHMS:
+        for fraction in FRACTIONS:
+            requests.append(EstimationRequest(
+                table=table, columns=("a",), algorithm=algorithm,
+                fraction=fraction, trials=3, page_size=512))
+            if algorithm in MODELABLE:
+                requests.append(EstimationRequest(
+                    histogram=histogram, algorithm=algorithm,
+                    fraction=fraction, trials=3))
+    # An explicit-seed request and a duplicate of an earlier one.
+    requests.append(EstimationRequest(
+        table=table, columns=("a",), algorithm="null_suppression",
+        fraction=0.05, trials=2, seed=1234, page_size=512))
+    requests.append(EstimationRequest(
+        histogram=histogram, algorithm="rle", fraction=0.02, trials=3))
+    return requests
+
+
+def fingerprint(batch) -> list[tuple]:
+    """Everything observable about a batch result, bit-for-bit."""
+    out = []
+    for result in batch.results:
+        for estimate in result.estimates:
+            out.append((
+                result.request.algorithm.name,
+                result.request.fraction,
+                estimate.estimate,
+                estimate.sample_rows,
+                estimate.sample_distinct,
+                estimate.uncompressed_sample_bytes,
+                estimate.compressed_sample_bytes,
+                tuple(sorted(estimate.details.items())),
+            ))
+    return out
+
+
+def run(executor, order_seed: int | None):
+    engine = EstimationEngine(seed=MASTER_SEED, executor=executor)
+    requests = build_requests()
+    order = np.arange(len(requests))
+    if order_seed is not None:
+        np.random.default_rng(order_seed).shuffle(order)
+    batch = engine.execute([requests[i] for i in order])
+    # Undo the permutation so fingerprints align by original position.
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(len(order))
+    results = [batch.results[i] for i in inverse]
+    return [entry
+            for position in range(len(results))
+            for entry in fingerprint(
+                type(batch)(results=(results[position],), stats={}))]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run(SerialExecutor(), order_seed=None)
+
+
+class TestEngineDeterminism:
+    def test_serial_rerun_identical(self, reference):
+        assert run(SerialExecutor(), order_seed=None) == reference
+
+    @pytest.mark.parametrize("workers", [2, 5])
+    def test_thread_pool_matches_serial(self, reference, workers):
+        assert run(ThreadPoolPlanExecutor(workers),
+                   order_seed=None) == reference
+
+    @pytest.mark.parametrize("order_seed", [1, 2, 3])
+    def test_submission_order_irrelevant(self, reference, order_seed):
+        assert run(SerialExecutor(), order_seed=order_seed) == reference
+
+    def test_shuffled_threaded_matches_serial(self, reference):
+        assert run(ThreadPoolPlanExecutor(4), order_seed=9) == reference
+
+    def test_rebuilt_sources_replay(self, reference):
+        """New source objects with identical content replay exactly."""
+        assert run(SerialExecutor(), order_seed=None) == reference
+
+    def test_warm_cache_replay(self):
+        engine = EstimationEngine(seed=MASTER_SEED)
+        requests = build_requests()
+        cold = engine.execute(requests)
+        warm = engine.execute(requests)
+        assert fingerprint(cold) == fingerprint(warm)
+        assert warm.stats["samples_materialized"] == 0
+
+    def test_different_master_seeds_differ(self):
+        one = EstimationEngine(seed=1).execute(build_requests())
+        two = EstimationEngine(seed=2).execute(build_requests())
+        assert fingerprint(one) != fingerprint(two)

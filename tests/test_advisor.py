@@ -6,11 +6,13 @@ import pytest
 from repro.errors import AdvisorError
 from repro.workloads.generators import make_multicolumn_table, make_table
 from repro.advisor.candidates import (CandidateIndex, enumerate_candidates,
+                                      enumerate_candidates_batch,
                                       uncompressed_index_bytes)
 from repro.advisor.capacity import plan_capacity
 from repro.advisor.cost import (CostModel, Query, TableStats, covers,
-                                workload_cost)
-from repro.advisor.selection import design_summary, select_indexes
+                                stats_for_tables, workload_cost)
+from repro.advisor.selection import (advise_from_data, design_summary,
+                                     select_indexes)
 
 PAGE = 1024
 
@@ -192,6 +194,86 @@ class TestSelection:
         text = design_summary(result)
         assert "storage bound" in text
         assert "workload cost" in text
+
+
+class TestEngineBackedPath:
+    def test_stats_for_tables(self, tables):
+        stats = stats_for_tables(tables)
+        assert set(stats) == set(tables)
+        for name, table in tables.items():
+            assert stats[name].rows == table.num_rows
+            assert stats[name].heap_pages == table.heap.num_pages
+
+    def test_batch_enumeration_shape(self, tables, queries):
+        algorithms = ["null_suppression", "page"]
+        candidates = enumerate_candidates_batch(
+            tables, queries, algorithms=algorithms, fraction=0.05,
+            seed=2)
+        # 3 key sets -> 1 uncompressed + 2 compressed each.
+        assert len(candidates) == 3 * (1 + len(algorithms))
+        compressed = [c for c in candidates if c.compressed]
+        assert all(c.size_source == "engine" for c in compressed)
+        assert all(c.estimated_cf is not None and c.estimated_cf > 0
+                   for c in compressed)
+
+    def test_batch_enumeration_shares_samples(self, tables, queries):
+        from repro.engine import EstimationEngine
+
+        engine = EstimationEngine(seed=2)
+        enumerate_candidates_batch(
+            tables, queries, algorithms=["null_suppression", "page"],
+            fraction=0.05, engine=engine)
+        # One sample per table, reused by every candidate over it.
+        assert engine.stats["samples_materialized"] == len(tables)
+        assert engine.stats["index_reuse_hits"] >= 3
+
+    def test_batch_enumeration_reproducible(self, tables, queries):
+        one = enumerate_candidates_batch(
+            tables, queries, algorithms=["null_suppression"],
+            fraction=0.05, seed=9)
+        two = enumerate_candidates_batch(
+            tables, queries, algorithms=["null_suppression"],
+            fraction=0.05, seed=9)
+        assert [(c.name, c.size_bytes) for c in one] == \
+            [(c.name, c.size_bytes) for c in two]
+
+    def test_batch_enumeration_needs_algorithms(self, tables, queries):
+        with pytest.raises(AdvisorError):
+            enumerate_candidates_batch(tables, queries, algorithms=[])
+
+    def test_engine_and_seed_together_rejected(self, tables, queries):
+        from repro.engine import EstimationEngine
+
+        with pytest.raises(AdvisorError):
+            enumerate_candidates_batch(
+                tables, queries, engine=EstimationEngine(seed=1), seed=5)
+
+    def test_advise_from_data_end_to_end(self, tables, queries):
+        result = advise_from_data(
+            tables, queries, storage_bound_bytes=150_000,
+            algorithms=["null_suppression", "page"], fraction=0.05,
+            trials=2, model=CostModel(PAGE), seed=4)
+        assert result.cost_after <= result.cost_before
+        assert result.bytes_used <= result.storage_bound_bytes
+        assert all(c.size_bytes <= 150_000 for c in result.chosen)
+
+    def test_advise_from_data_close_to_exact_sizes(self, tables, queries):
+        """Engine-estimated NS designs match the oracle design."""
+        estimated = advise_from_data(
+            tables, queries, storage_bound_bytes=200_000,
+            algorithms=["null_suppression"], fraction=0.1, trials=3,
+            model=CostModel(PAGE), seed=4)
+        exact_candidates = enumerate_candidates(
+            tables, queries, algorithm="null_suppression",
+            size_source="exact")
+        oracle = select_indexes(
+            exact_candidates, queries, stats_for_tables(tables),
+            200_000, CostModel(PAGE))
+        design = {(c.table, c.key_columns, c.compressed)
+                  for c in estimated.chosen}
+        oracle_design = {(c.table, c.key_columns, c.compressed)
+                         for c in oracle.chosen}
+        assert design == oracle_design
 
 
 class TestCapacity:

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -9,6 +11,32 @@ def run_cli(capsys, *argv: str) -> tuple[int, str, str]:
     code = main(list(argv))
     captured = capsys.readouterr()
     return code, captured.out, captured.err
+
+
+BATCH_SPEC = {
+    "seed": 7,
+    "workloads": {
+        "names": {"scenario": "status_codes", "rows": 4000},
+        "ids": {"n": 3000, "d": 30, "k": 20, "storage": True,
+                "page_size": 1024},
+    },
+    "requests": [
+        {"workload": "names", "algorithm": "null_suppression",
+         "fraction": 0.02, "trials": 3},
+        {"workload": "names", "algorithm": "rle", "fraction": 0.02},
+        {"workload": "ids", "algorithm": "null_suppression",
+         "fraction": 0.05, "trials": 2},
+        {"workload": "ids", "algorithm": "rle", "fraction": 0.05,
+         "trials": 2},
+    ],
+}
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(BATCH_SPEC), encoding="utf-8")
+    return str(path)
 
 
 class TestListings:
@@ -80,6 +108,126 @@ class TestEstimate:
             capsys, "estimate", "--n", "10000", "--d", "100", "--k",
             "20", "--seed", "9")
         assert first == second
+
+    def test_unknown_algorithm_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["estimate", "--n", "1000", "--d", "10", "--k", "20",
+                  "--algorithm", "middle_out"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_scenario_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["estimate", "--scenario", "no_such_scenario"])
+        assert excinfo.value.code == 2
+
+
+class TestEstimateBatch:
+    def test_happy_path_output_shape(self, capsys, spec_path):
+        code, out, _ = run_cli(capsys, "estimate-batch", spec_path)
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) == {"seed", "executor", "plan", "results",
+                                "stats"}
+        assert payload["seed"] == 7
+        assert len(payload["results"]) == len(BATCH_SPEC["requests"])
+        first = payload["results"][0]
+        assert first["workload"] == "names"
+        assert first["path"] == "histogram"
+        assert len(first["estimates"]) == first["trials"] == 3
+        assert first["std"] is not None
+        single = payload["results"][1]
+        assert single["trials"] == 1
+        assert single["std"] is None
+        storage = payload["results"][2]
+        assert storage["path"] == "storage"
+
+    def test_reuse_visible_in_stats(self, capsys, spec_path):
+        code, out, _ = run_cli(capsys, "estimate-batch", spec_path)
+        assert code == 0
+        payload = json.loads(out)
+        stats = payload["stats"]
+        # Both storage requests share one sample per trial, and the
+        # second algorithm reuses the first's built sample index.
+        assert stats["sample_cache_hits"] >= 2
+        assert stats["index_reuse_hits"] >= 2
+        assert payload["plan"]["samples_to_materialize"] < \
+            payload["plan"]["trial_units"]
+
+    def test_executor_does_not_change_results(self, capsys, spec_path):
+        _, serial_out, _ = run_cli(capsys, "estimate-batch", spec_path,
+                                   "--executor", "serial")
+        _, threads_out, _ = run_cli(capsys, "estimate-batch", spec_path,
+                                    "--executor", "threads",
+                                    "--workers", "3")
+        serial = json.loads(serial_out)
+        threads = json.loads(threads_out)
+        assert serial["results"] == threads["results"]
+
+    def test_seed_override_changes_estimates(self, capsys, spec_path):
+        _, one, _ = run_cli(capsys, "estimate-batch", spec_path,
+                            "--seed", "1")
+        _, two, _ = run_cli(capsys, "estimate-batch", spec_path,
+                            "--seed", "2")
+        assert json.loads(one)["results"] != json.loads(two)["results"]
+
+    def test_missing_spec_file(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys, "estimate-batch", str(tmp_path / "absent.json"))
+        assert code == 1
+        assert "error" in err
+
+    def test_invalid_json(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        code, _out, err = run_cli(capsys, "estimate-batch", str(path))
+        assert code == 1
+        assert "not valid JSON" in err
+
+    def test_unknown_workload_reference(self, capsys, tmp_path):
+        spec = {"workloads": {"w": {"n": 100, "d": 5, "k": 8}},
+                "requests": [{"workload": "nope"}]}
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        code, _out, err = run_cli(capsys, "estimate-batch", str(path))
+        assert code == 1
+        assert "unknown workload" in err
+
+    def test_unknown_algorithm_in_spec(self, capsys, tmp_path):
+        spec = {"workloads": {"w": {"n": 100, "d": 5, "k": 8}},
+                "requests": [{"workload": "w",
+                              "algorithm": "middle_out"}]}
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        code, _out, err = run_cli(capsys, "estimate-batch", str(path))
+        assert code == 1
+        assert "middle_out" in err
+
+    def test_workload_needs_shape_or_scenario(self, capsys, tmp_path):
+        spec = {"workloads": {"w": {"n": 100}},
+                "requests": [{"workload": "w"}]}
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        code, _out, err = run_cli(capsys, "estimate-batch", str(path))
+        assert code == 1
+        assert "'scenario' or all of" in err
+
+    def test_empty_requests_rejected(self, capsys, tmp_path):
+        spec = {"workloads": {"w": {"n": 100, "d": 5, "k": 8}},
+                "requests": []}
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        code, _out, err = run_cli(capsys, "estimate-batch", str(path))
+        assert code == 1
+        assert "requests" in err
+
+    def test_stdin_spec(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO(json.dumps(BATCH_SPEC)))
+        code, out, _ = run_cli(capsys, "estimate-batch", "-")
+        assert code == 0
+        assert json.loads(out)["plan"]["requests"] == 4
 
 
 class TestBounds:

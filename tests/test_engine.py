@@ -1,0 +1,323 @@
+"""Unit tests for repro.engine — shared-sample batch estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError, SamplingError
+from repro.sampling.block import BlockSampler
+from repro.sampling.row_samplers import (BernoulliSampler,
+                                         WithReplacementSampler)
+from repro.storage.index import IndexKind
+from repro.compression.null_suppression import NullSuppression
+from repro.core.samplecf import SampleCF, true_cf_histogram
+from repro.experiments.runner import (engine_sweep, run_request_trials,
+                                      summarize_request)
+from repro.workloads.generators import make_histogram
+from repro.engine import (EstimationEngine, EstimationRequest, SampleCache,
+                          SerialExecutor, ThreadPoolPlanExecutor,
+                          make_executor, plan_batch)
+
+PAGE = 512
+
+ALGORITHMS = ("null_suppression", "global_dictionary", "rle")
+
+
+@pytest.fixture
+def table(medium_table):
+    return medium_table
+
+
+@pytest.fixture
+def histogram():
+    return make_histogram(8000, 80, 20, seed=3)
+
+
+class TestEstimationRequest:
+    def test_needs_exactly_one_source(self, table, histogram):
+        with pytest.raises(EstimationError):
+            EstimationRequest(columns=("a",))
+        with pytest.raises(EstimationError):
+            EstimationRequest(table=table, histogram=histogram,
+                              columns=("a",))
+
+    def test_table_request_needs_columns(self, table):
+        with pytest.raises(EstimationError):
+            EstimationRequest(table=table)
+
+    def test_histogram_rejects_block_sampler(self, histogram):
+        with pytest.raises(SamplingError):
+            EstimationRequest(histogram=histogram, sampler=BlockSampler())
+
+    def test_histogram_rejects_physical_accounting(self, histogram):
+        with pytest.raises(EstimationError):
+            EstimationRequest(histogram=histogram, accounting="physical")
+
+    def test_fraction_validated(self, histogram):
+        with pytest.raises(SamplingError):
+            EstimationRequest(histogram=histogram, fraction=0.0)
+
+    def test_trials_validated(self, histogram):
+        with pytest.raises(EstimationError):
+            EstimationRequest(histogram=histogram, trials=0)
+
+    def test_generator_seed_single_trial_only(self, histogram):
+        with pytest.raises(EstimationError):
+            EstimationRequest(histogram=histogram,
+                              seed=np.random.default_rng(1), trials=2)
+
+    def test_algorithm_name_resolved(self, histogram):
+        request = EstimationRequest(histogram=histogram, algorithm="rle")
+        assert request.algorithm.name == "rle"
+
+
+class TestPlanning:
+    def test_dedup_identical_requests(self, histogram):
+        request = EstimationRequest(histogram=histogram, fraction=0.05,
+                                    trials=2)
+        twin = EstimationRequest(histogram=histogram, fraction=0.05,
+                                 trials=2)
+        plan = plan_batch([request, twin, request], master_seed=1)
+        assert plan.num_requests == 3
+        assert plan.num_unique == 1
+        assert plan.nodes[0].positions == (0, 1, 2)
+
+    def test_distinct_algorithms_share_sample_keys(self, table):
+        requests = [EstimationRequest(table=table, columns=("a",),
+                                      algorithm=name, fraction=0.05)
+                    for name in ALGORITHMS]
+        plan = plan_batch(requests, master_seed=1)
+        assert plan.num_unique == len(ALGORITHMS)
+        assert plan.num_distinct_samples == 1
+        assert plan.num_index_layouts == 1
+
+    def test_explicit_seed_trial_zero_is_verbatim(self, table):
+        request = EstimationRequest(table=table, columns=("a",),
+                                    seed=42, trials=3)
+        plan = plan_batch([request], master_seed=9)
+        seeds = plan.nodes[0].trial_seeds
+        assert seeds[0] == 42
+        assert len(set(seeds)) == 3
+
+    def test_master_seed_changes_derived_seeds(self, table):
+        request = EstimationRequest(table=table, columns=("a",))
+        one = plan_batch([request], master_seed=1).nodes[0].trial_seeds
+        two = plan_batch([request], master_seed=2).nodes[0].trial_seeds
+        assert one != two
+
+    def test_describe_mentions_counts(self, histogram):
+        plan = plan_batch([EstimationRequest(histogram=histogram)],
+                          master_seed=0)
+        assert "1 requests" in plan.describe()
+
+
+class TestSampleCache:
+    def test_lru_eviction(self):
+        cache = SampleCache(capacity=2)
+        sentinel = object()
+        cache.get_or_create(("a",), lambda: sentinel)
+        cache.get_or_create(("b",), lambda: sentinel)
+        cache.get_or_create(("c",), lambda: sentinel)
+        assert len(cache) == 2
+        _, hit = cache.get_or_create(("a",), lambda: sentinel)
+        assert not hit  # "a" was evicted and had to be rebuilt
+
+    def test_hit_after_create(self):
+        cache = SampleCache(capacity=4)
+        value, hit = cache.get_or_create(("k",), lambda: "v")
+        assert (value, hit) == ("v", False)
+        value, hit = cache.get_or_create(("k",), lambda: "other")
+        assert (value, hit) == ("v", True)
+
+    def test_failed_factory_propagates_and_retries(self):
+        cache = SampleCache(capacity=4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_create(("k",), self._boom)
+        value, hit = cache.get_or_create(("k",), lambda: "ok")
+        assert (value, hit) == ("ok", False)
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("factory failed")
+
+    def test_capacity_validated(self):
+        with pytest.raises(EstimationError):
+            SampleCache(capacity=0)
+
+
+class TestEngineSharing:
+    def test_sample_shared_across_algorithms(self, table):
+        engine = EstimationEngine(seed=5)
+        requests = [EstimationRequest(table=table, columns=("a",),
+                                      algorithm=name, fraction=0.05)
+                    for name in ALGORITHMS]
+        batch = engine.execute(requests)
+        assert batch.stats["samples_materialized"] == 1
+        assert batch.stats["sample_cache_hits"] == len(ALGORITHMS) - 1
+        assert batch.stats["indexes_built"] == 1
+        assert batch.stats["index_reuse_hits"] == len(ALGORITHMS) - 1
+        assert batch.stats["estimates_computed"] == len(ALGORITHMS)
+
+    def test_trials_share_samples_across_requests(self, table):
+        engine = EstimationEngine(seed=5)
+        requests = [EstimationRequest(table=table, columns=("a",),
+                                      algorithm=name, fraction=0.05,
+                                      trials=4)
+                    for name in ALGORITHMS]
+        batch = engine.execute(requests)
+        # One sample per trial, shared by all algorithms.
+        assert batch.stats["samples_materialized"] == 4
+        assert batch.stats["sample_cache_hits"] == \
+            4 * (len(ALGORITHMS) - 1)
+
+    def test_column_sets_share_one_table_sample(self, table):
+        engine = EstimationEngine(seed=5)
+        # medium_table has a single column; same columns but different
+        # index kinds must share the sample yet build two indexes.
+        requests = [
+            EstimationRequest(table=table, columns=("a",), fraction=0.05,
+                              kind=IndexKind.CLUSTERED),
+            EstimationRequest(table=table, columns=("a",), fraction=0.05,
+                              kind=IndexKind.NONCLUSTERED),
+        ]
+        batch = engine.execute(requests)
+        assert batch.stats["samples_materialized"] == 1
+        assert batch.stats["indexes_built"] == 2
+
+    def test_cache_persists_across_batches(self, table):
+        engine = EstimationEngine(seed=5)
+        request = EstimationRequest(table=table, columns=("a",),
+                                    fraction=0.05)
+        first = engine.execute([request])
+        second = engine.execute([request])
+        assert first.stats["samples_materialized"] == 1
+        assert second.stats["samples_materialized"] == 0
+        assert second.stats["sample_cache_hits"] == 1
+        assert first.results[0].estimates[0].estimate == \
+            second.results[0].estimates[0].estimate
+
+    def test_dedup_fans_results_back_out(self, histogram):
+        engine = EstimationEngine(seed=5)
+        request = EstimationRequest(histogram=histogram, fraction=0.05)
+        batch = engine.execute([request, request, request])
+        assert len(batch.results) == 3
+        values = {result.estimates[0].estimate
+                  for result in batch.results}
+        assert len(values) == 1
+        assert batch.stats["unique_requests"] == 1
+
+    def test_bernoulli_sampler_supported(self, histogram):
+        engine = EstimationEngine(seed=5)
+        request = EstimationRequest(histogram=histogram,
+                                    sampler=BernoulliSampler(0.05),
+                                    fraction=0.05)
+        result = engine.estimate(request)
+        assert result.estimates[0].estimate > 0
+
+    def test_empty_batch_rejected(self):
+        engine = EstimationEngine(seed=5)
+        with pytest.raises(EstimationError):
+            engine.execute([])
+
+    def test_non_request_rejected(self):
+        engine = EstimationEngine(seed=5)
+        with pytest.raises(EstimationError):
+            engine.execute(["not a request"])
+
+
+class TestFacade:
+    def test_estimate_table_matches_engine(self, table):
+        estimator = SampleCF(NullSuppression(), page_size=PAGE)
+        facade = estimator.estimate_table(table, 0.05, ["a"], seed=42)
+        engine = EstimationEngine(seed=0)
+        request = EstimationRequest(table=table, columns=("a",),
+                                    algorithm=NullSuppression(),
+                                    fraction=0.05, seed=42,
+                                    page_size=PAGE)
+        direct = engine.estimate(request).estimates[0]
+        assert facade.estimate == direct.estimate
+        assert facade.details == direct.details
+
+    def test_facade_with_private_engine(self, table):
+        engine = EstimationEngine(seed=1)
+        estimator = SampleCF(NullSuppression(), page_size=PAGE,
+                             engine=engine)
+        estimator.estimate_table(table, 0.05, ["a"], seed=1)
+        assert engine.stats["samples_materialized"] == 1
+
+    def test_unseeded_calls_stay_random(self, table):
+        estimator = SampleCF(NullSuppression(), page_size=PAGE)
+        estimates = {estimator.estimate_table(table, 0.02, ["a"]).estimate
+                     for _ in range(5)}
+        assert len(estimates) > 1
+
+    def test_unseeded_calls_do_not_pollute_cache(self, table):
+        engine = EstimationEngine(seed=1)
+        estimator = SampleCF(NullSuppression(), page_size=PAGE,
+                             engine=engine)
+        for _ in range(3):
+            estimator.estimate_table(table, 0.02, ["a"])
+        assert len(engine.cache) == 0
+        estimator.estimate_table(table, 0.02, ["a"], seed=5)
+        assert len(engine.cache) == 1
+
+
+class TestExecutors:
+    def test_make_executor_names(self):
+        assert make_executor("serial").name == "serial"
+        assert make_executor("threads", max_workers=2).name == "threads"
+
+    def test_make_executor_unknown(self):
+        with pytest.raises(EstimationError):
+            make_executor("gpu")
+
+    def test_thread_pool_validates_workers(self):
+        with pytest.raises(EstimationError):
+            ThreadPoolPlanExecutor(max_workers=0)
+
+    def test_serial_preserves_order(self):
+        tasks = [lambda i=i: i for i in range(10)]
+        assert SerialExecutor().run(tasks) == list(range(10))
+
+    def test_threads_preserve_order(self):
+        tasks = [lambda i=i: i for i in range(10)]
+        assert ThreadPoolPlanExecutor(4).run(tasks) == list(range(10))
+
+
+class TestRunnerIntegration:
+    def test_engine_and_seed_together_rejected(self, histogram):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_request_trials(
+                EstimationRequest(histogram=histogram), trials=2,
+                engine=EstimationEngine(seed=1), seed=5)
+
+    def test_run_request_trials(self, histogram):
+        values = run_request_trials(
+            EstimationRequest(histogram=histogram, fraction=0.05),
+            trials=6, seed=3)
+        assert values.shape == (6,)
+        assert len(set(values.tolist())) > 1
+
+    def test_summarize_request(self, histogram):
+        truth = true_cf_histogram(histogram, "null_suppression")
+        summary = summarize_request(
+            truth, EstimationRequest(histogram=histogram, fraction=0.05),
+            trials=6, seed=3)
+        assert summary.trials == 6
+        assert summary.mean_ratio_error >= 1.0
+
+    def test_engine_sweep_shares_samples(self, table):
+        engine = EstimationEngine(seed=4)
+        truth = 0.7  # placeholder truth; sharing is what's under test
+
+        def point(name):
+            request = EstimationRequest(table=table, columns=("a",),
+                                        algorithm=name, fraction=0.05)
+            return truth, request, {"algorithm": name}
+
+        points = engine_sweep(ALGORITHMS, point, trials=3, engine=engine)
+        assert len(points) == len(ALGORITHMS)
+        assert all(p.summary.trials == 3 for p in points)
+        # 3 trials' samples shared across the whole sweep.
+        assert engine.stats["samples_materialized"] == 3
