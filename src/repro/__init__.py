@@ -62,10 +62,10 @@ from repro.advisor import (CostModel, Query, TableStats, advise_from_data,
                            plan_capacity, select_indexes)
 from repro.experiments import EXPERIMENTS, get_experiment
 from repro.engine import (BatchResult, EstimationEngine, EstimationPlan,
-                          EstimationRequest, MaterializedSample,
-                          RequestResult, SerialExecutor,
-                          ThreadPoolPlanExecutor, default_engine,
-                          make_executor)
+                          EstimationRequest, MaterializedSample, PlanUnit,
+                          ProcessPoolPlanExecutor, RequestResult,
+                          SerialExecutor, ThreadPoolPlanExecutor,
+                          default_engine, make_executor)
 
 __all__ = [
     "__version__",
@@ -99,7 +99,7 @@ __all__ = [
     "EXPERIMENTS", "get_experiment",
     # engine
     "BatchResult", "EstimationEngine", "EstimationPlan",
-    "EstimationRequest", "MaterializedSample", "RequestResult",
-    "SerialExecutor", "ThreadPoolPlanExecutor", "default_engine",
-    "make_executor",
+    "EstimationRequest", "MaterializedSample", "PlanUnit",
+    "ProcessPoolPlanExecutor", "RequestResult", "SerialExecutor",
+    "ThreadPoolPlanExecutor", "default_engine", "make_executor",
 ]

@@ -39,6 +39,7 @@ from repro.advisor.cost import Query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import EstimationEngine
+    from repro.engine.executors import PlanExecutor
 
 SizeSource = Literal["samplecf", "exact"]
 
@@ -151,7 +152,9 @@ def enumerate_candidates_batch(
         fraction: float = 0.01,
         trials: int = 1,
         engine: "EstimationEngine | None" = None,
-        seed: SeedLike = None) -> list[CandidateIndex]:
+        seed: SeedLike = None,
+        executor: "PlanExecutor | str | None" = None,
+        ) -> list[CandidateIndex]:
     """Engine-backed candidate enumeration from data.
 
     Sizes every (key set × algorithm) compressed candidate in **one**
@@ -164,6 +167,12 @@ def enumerate_candidates_batch(
 
     Unlike :func:`enumerate_candidates`, callers never supply CF
     numbers — the estimates come straight from the tables.
+
+    ``executor`` overrides how the batch runs (an executor instance or
+    a name: ``"serial"``, ``"threads"``, ``"process"``). The advisor
+    batch is embarrassingly parallel and compress-heavy, which is
+    exactly the shape the process pool is for; estimates are
+    byte-identical across executors for a fixed seed.
     """
     from repro.engine.engine import EstimationEngine  # lazy: cycle guard
     from repro.engine.requests import EstimationRequest
@@ -189,7 +198,7 @@ def enumerate_candidates_batch(
                 kind=IndexKind.NONCLUSTERED, page_size=table.page_size,
                 label=f"{table_name}:{','.join(key_columns)}"
                       f":{algorithm.name}"))
-    batch = engine.execute(requests)
+    batch = engine.execute(requests, executor=executor)
     candidates: list[CandidateIndex] = []
     cursor = 0
     for table_name, key_columns in key_sets:

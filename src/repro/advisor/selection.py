@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.table import Table
     from repro.compression.base import CompressionAlgorithm
     from repro.engine.engine import EstimationEngine
+    from repro.engine.executors import PlanExecutor
 
 
 @dataclass(frozen=True)
@@ -104,7 +105,9 @@ def advise_from_data(tables: dict[str, "Table"],
                      trials: int = 1,
                      model: CostModel | None = None,
                      engine: "EstimationEngine | None" = None,
-                     seed: SeedLike = None) -> AdvisorResult:
+                     seed: SeedLike = None,
+                     executor: "PlanExecutor | str | None" = None,
+                     ) -> AdvisorResult:
     """End-to-end advisor run straight from live tables.
 
     The engine-backed path: candidate CFs are *estimated from the data*
@@ -112,11 +115,13 @@ def advise_from_data(tables: dict[str, "Table"],
     rather than supplied by the caller, and table statistics are
     derived from the heaps. This is the paper's motivating application
     loop — SampleCF inside a physical design tool — packaged as one
-    call.
+    call. ``executor`` (instance or name: ``"serial"``, ``"threads"``,
+    ``"process"``) picks how the sizing batch runs; results are
+    byte-identical across executors for a fixed seed.
     """
     candidates = enumerate_candidates_batch(
         tables, queries, algorithms=algorithms, fraction=fraction,
-        trials=trials, engine=engine, seed=seed)
+        trials=trials, engine=engine, seed=seed, executor=executor)
     return select_indexes(candidates, queries, stats_for_tables(tables),
                           storage_bound_bytes, model=model)
 

@@ -15,7 +15,7 @@ Examples::
     python -m repro estimate --scenario customer_names --fraction 0.01
     python -m repro estimate --n 1000000 --d 500 --k 20 \
         --algorithm global_dictionary --trials 50 --truth
-    python -m repro estimate-batch spec.json --executor threads
+    python -m repro estimate-batch spec.json --executor process
     echo '{"workloads": {...}, "requests": [...]}' | \
         python -m repro estimate-batch -
     python -m repro bounds theorem1 --n 100000000 --fraction 0.01
@@ -49,7 +49,7 @@ from repro.core.bounds import (dict_large_d_bound, dict_small_d_bound,
 from repro.core.metrics import ErrorSummary, ratio_error
 from repro.core.samplecf import SampleCF, true_cf_histogram
 from repro.engine.engine import EstimationEngine
-from repro.engine.executors import make_executor
+from repro.engine.executors import EXECUTOR_NAMES, make_executor
 from repro.engine.requests import EstimationRequest
 from repro.experiments.registry import list_experiments
 from repro.experiments.report import format_table
@@ -105,11 +105,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="path to a JSON batch spec, or '-' for stdin")
     batch.add_argument("--seed", type=int, default=None,
                        help="override the spec's master seed")
-    batch.add_argument("--executor", choices=["serial", "threads"],
+    batch.add_argument("--executor", choices=list(EXECUTOR_NAMES),
                        default=None,
-                       help="override the spec's executor choice")
+                       help="override the spec's executor choice: serial, "
+                            "thread[s] (one process, GIL-bound), or "
+                            "process (parallel workers; requests must "
+                            "be picklable)")
     batch.add_argument("--workers", type=int, default=None,
-                       help="thread count for --executor threads")
+                       help="worker count for thread/process executors")
     batch.add_argument("--indent", type=int, default=2,
                        help="JSON output indentation (default: 2)")
 

@@ -83,10 +83,13 @@ class SampleCFEstimate:
     details: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.estimate <= 0:
+        # Zero is a legitimate outcome — a perfectly compressible
+        # sample (e.g. RLE over a constant column under payload
+        # accounting) compresses to zero bytes. Only a negative CF is
+        # impossible.
+        if self.estimate < 0:
             raise EstimationError(
-                f"SampleCF produced a non-positive estimate "
-                f"{self.estimate}")
+                f"SampleCF produced a negative estimate {self.estimate}")
 
 
 class SampleCF:
@@ -200,14 +203,17 @@ class SampleCF:
         pages = list(index.leaf_pages())
         r = rows_for_fraction(index.num_entries, fraction)
         block = self.sampler.sample_records(pages, r, rng)
-        estimate = self._finish_index_sample(
-            index, list(block.records), fraction, path="index_block")
-        estimate.details.update(pages_sampled=len(block.page_ids),
-                                pages_available=block.pages_available)
-        return estimate
+        # Block-sampling diagnostics go in through the constructor:
+        # SampleCFEstimate is frozen, and mutating details after
+        # construction would bypass its __post_init__-time invariants.
+        return self._finish_index_sample(
+            index, list(block.records), fraction, path="index_block",
+            extra_details={"pages_sampled": len(block.page_ids),
+                           "pages_available": block.pages_available})
 
     def _finish_index_sample(self, index: Index, sampled: list[bytes],
                              fraction: float, path: str,
+                             extra_details: dict | None = None,
                              ) -> SampleCFEstimate:
         sample_index = index.clone_with_records(sampled)
         result = sample_index.compress(
@@ -215,6 +221,10 @@ class SampleCF:
             repack_pages=self.repack)
         distinct = len({index.leaf_record_key(record)
                         for record in sampled})
+        details = {"pages_before": result.pages_before,
+                   "pages_after": result.pages_after}
+        if extra_details:
+            details.update(extra_details)
         return SampleCFEstimate(
             estimate=result.compression_fraction,
             sample_rows=len(sampled),
@@ -225,8 +235,7 @@ class SampleCF:
             uncompressed_sample_bytes=result.uncompressed_bytes,
             compressed_sample_bytes=result.compressed_bytes,
             sample_distinct=distinct,
-            details={"pages_before": result.pages_before,
-                     "pages_after": result.pages_after})
+            details=details)
 
     # ------------------------------------------------------------------
     # Histogram fast path

@@ -8,14 +8,17 @@ execution model.
 """
 
 from repro.engine.engine import EstimationEngine, default_engine
-from repro.engine.executors import (PlanExecutor, SerialExecutor,
-                                    ThreadPoolPlanExecutor, make_executor)
+from repro.engine.executors import (PlanExecutor, ProcessPoolPlanExecutor,
+                                    SerialExecutor, ThreadPoolPlanExecutor,
+                                    make_executor)
 from repro.engine.plan import EstimationPlan, PlanNode, plan_batch
 from repro.engine.requests import (BatchResult, EstimationRequest,
                                    RequestResult, derive_seed)
 from repro.engine.samples import (EngineStats, MaterializedSample,
                                   SampleCache, materialize_histogram_sample,
                                   materialize_table_sample)
+from repro.engine.units import (PlanUnit, UnitContext, plan_units,
+                                run_plan_unit)
 
 __all__ = [
     "BatchResult",
@@ -26,14 +29,19 @@ __all__ = [
     "MaterializedSample",
     "PlanExecutor",
     "PlanNode",
+    "PlanUnit",
+    "ProcessPoolPlanExecutor",
     "RequestResult",
     "SampleCache",
     "SerialExecutor",
     "ThreadPoolPlanExecutor",
+    "UnitContext",
     "default_engine",
     "derive_seed",
     "make_executor",
     "materialize_histogram_sample",
     "materialize_table_sample",
     "plan_batch",
+    "plan_units",
+    "run_plan_unit",
 ]

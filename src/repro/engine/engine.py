@@ -11,30 +11,34 @@ the CLI's ``estimate-batch`` — funnels through :meth:`execute`, which
    (:mod:`repro.engine.samples`),
 3. shares one built sample index per column-set layout across all
    algorithms probing it, and
-4. runs the independent (node, trial) units on a pluggable executor
-   (:mod:`repro.engine.executors`).
+4. runs the independent (node, trial) units — picklable
+   :class:`~repro.engine.units.PlanUnit` objects — on a pluggable
+   executor (:mod:`repro.engine.executors`): serial, thread pool, or
+   process pool.
 
 Determinism contract: with an integer master seed, ``execute`` returns
 byte-identical results for the same batch content regardless of
-executor choice, request submission order, or whether samples came from
-the cache — asserted by ``tests/property/test_engine_determinism.py``.
+executor choice (including the process pool), request submission order,
+or whether samples came from the cache — asserted by
+``tests/property/test_engine_determinism.py``.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
 
 from repro.sampling.rng import SeedLike
 from repro.core.samplecf import SampleCFEstimate
-from repro.engine.executors import PlanExecutor, SerialExecutor
-from repro.engine.plan import EstimationPlan, PlanNode, plan_batch
+from repro.engine.executors import (PlanExecutor, SerialExecutor,
+                                    make_executor)
+from repro.engine.plan import EstimationPlan, plan_batch
 from repro.engine.requests import (BatchResult, EstimationRequest,
                                    RequestResult)
-from repro.engine.samples import (EngineStats, MaterializedSample,
-                                  SampleCache, materialize_histogram_sample,
-                                  materialize_table_sample)
+from repro.engine.samples import EngineStats, SampleCache
+from repro.engine.units import UnitContext, plan_units
 
 
 def _resolve_master_seed(seed: SeedLike) -> int:
@@ -54,7 +58,9 @@ class EstimationEngine:
         Master seed. Requests without an explicit seed derive their
         per-trial randomness from it (content-keyed, order-free).
     executor:
-        Default :class:`PlanExecutor`; serial unless given.
+        Default :class:`PlanExecutor` (or a name understood by
+        :func:`~repro.engine.executors.make_executor`); serial unless
+        given.
     sample_cache_size:
         LRU capacity, counted in materialized samples. Samples persist
         across ``execute`` calls, so repeated advisor/sweep runs over
@@ -62,9 +68,11 @@ class EstimationEngine:
     """
 
     def __init__(self, seed: SeedLike = 0,
-                 executor: PlanExecutor | None = None,
+                 executor: PlanExecutor | str | None = None,
                  sample_cache_size: int = 64) -> None:
         self.master_seed = _resolve_master_seed(seed)
+        if isinstance(executor, str):
+            executor = make_executor(executor)
         self.executor: PlanExecutor = executor or SerialExecutor()
         self.cache = SampleCache(sample_cache_size)
         self.stats = EngineStats()
@@ -82,22 +90,29 @@ class EstimationEngine:
     # ------------------------------------------------------------------
     def execute(self,
                 requests: Sequence[EstimationRequest] | EstimationPlan,
-                executor: PlanExecutor | None = None) -> BatchResult:
-        """Run a batch (or a pre-built plan) and fan results back out."""
+                executor: PlanExecutor | str | None = None) -> BatchResult:
+        """Run a batch (or a pre-built plan) and fan results back out.
+
+        Stats accumulate into a batch-local counter first and merge
+        into the engine's global :attr:`stats` once at the end, so
+        concurrent ``execute`` calls on one engine (e.g. the shared
+        :func:`default_engine`) each report exactly their own batch's
+        movement instead of interleaved snapshot deltas.
+        """
         if isinstance(requests, EstimationPlan):
             plan = requests
         else:
             plan = self.plan(requests)
+        if isinstance(executor, str):
+            executor = make_executor(executor)
         runner = executor or self.executor
-        before = self.stats.snapshot()
-        self.stats.add("requests", plan.num_requests)
-        self.stats.add("unique_requests", plan.num_unique)
-        self.stats.add("trials", plan.num_units)
-        tasks = []
-        for node in plan.nodes:
-            for trial in range(node.trials):
-                tasks.append(self._make_unit(node, trial))
-        values = runner.run(tasks)
+        local = EngineStats()
+        local.add("requests", plan.num_requests)
+        local.add("unique_requests", plan.num_unique)
+        local.add("trials", plan.num_units)
+        units = plan_units(plan)
+        context = UnitContext(cache=self.cache, stats=local)
+        values = runner.run(units, context)
         estimates_by_node: list[tuple[SampleCFEstimate, ...]] = []
         cursor = 0
         for node in plan.nodes:
@@ -109,97 +124,12 @@ class EstimationEngine:
             for position in node.positions:
                 slots[position] = RequestResult(request=node.request,
                                                 estimates=estimates)
-        after = self.stats.snapshot()
-        return BatchResult(results=tuple(slots),
-                           stats=EngineStats.delta(before, after))
+        self.stats.merge(local)
+        return BatchResult(results=tuple(slots), stats=local.snapshot())
 
     def estimate(self, request: EstimationRequest) -> RequestResult:
         """Single-request convenience over :meth:`execute`."""
         return self.execute([request]).results[0]
-
-    # ------------------------------------------------------------------
-    # Units
-    # ------------------------------------------------------------------
-    def _make_unit(self, node: PlanNode, trial: int):
-        if node.request.is_table:
-            return lambda: self._run_table_unit(node, trial)
-        return lambda: self._run_histogram_unit(node, trial)
-
-    def _sample_for(self, node: PlanNode, trial: int,
-                    ) -> MaterializedSample:
-        request = node.request
-        seed = node.trial_seeds[trial]
-        if request.is_table:
-            def factory() -> MaterializedSample:
-                return materialize_table_sample(
-                    request.table, request.sampler, request.fraction,
-                    seed)
-        else:
-            def factory() -> MaterializedSample:
-                return materialize_histogram_sample(
-                    request.histogram, request.sampler, request.fraction,
-                    seed)
-        key = node.sample_keys[trial]
-        if key is None:
-            sample = factory()
-            hit = False
-        else:
-            sample, hit = self.cache.get_or_create(key, factory)
-        if hit:
-            self.stats.add("sample_cache_hits")
-        else:
-            self.stats.add("samples_materialized")
-            self.stats.add("sample_rows_drawn", sample.sample_rows)
-        return sample
-
-    def _run_table_unit(self, node: PlanNode,
-                        trial: int) -> SampleCFEstimate:
-        request = node.request
-        sample = self._sample_for(node, trial)
-        entry = sample.index_for(
-            request.table, request.columns, request.kind,
-            request.page_size, request.fill_factor,
-            on_build=lambda: self.stats.add("indexes_built"),
-            on_reuse=lambda: self.stats.add("index_reuse_hits"))
-        result = entry.index.compress(
-            request.algorithm, accounting=request.accounting,
-            repack_pages=request.repack)
-        self.stats.add("estimates_computed")
-        return SampleCFEstimate(
-            estimate=result.compression_fraction,
-            sample_rows=len(sample.rows),
-            sampling_fraction=request.fraction,
-            algorithm=request.algorithm.name,
-            accounting=request.accounting,
-            path=sample.path,
-            uncompressed_sample_bytes=result.uncompressed_bytes,
-            compressed_sample_bytes=result.compressed_bytes,
-            sample_distinct=entry.distinct,
-            details={"pages_before": result.pages_before,
-                     "pages_after": result.pages_after, **sample.extra})
-
-    def _run_histogram_unit(self, node: PlanNode,
-                            trial: int) -> SampleCFEstimate:
-        request = node.request
-        sample = self._sample_for(node, trial)
-        histogram = sample.histogram
-        estimate = request.algorithm.cf_from_histogram(
-            histogram, page_size=request.page_size,
-            record_bytes=request.record_bytes,
-            fill_factor=request.fill_factor)
-        self.stats.add("estimates_computed")
-        uncompressed = histogram.total_bytes
-        return SampleCFEstimate(
-            estimate=estimate,
-            sample_rows=histogram.n,
-            sampling_fraction=request.fraction,
-            algorithm=request.algorithm.name,
-            accounting=request.accounting,
-            path="histogram",
-            uncompressed_sample_bytes=uncompressed,
-            compressed_sample_bytes=round(estimate * uncompressed),
-            sample_distinct=histogram.d,
-            details={})
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"EstimationEngine(seed={self.master_seed}, "
@@ -211,6 +141,7 @@ class EstimationEngine:
 # Shared default engine (the SampleCF facade runs on it)
 # ----------------------------------------------------------------------
 _DEFAULT_ENGINE: EstimationEngine | None = None
+_DEFAULT_ENGINE_LOCK = threading.Lock()
 
 
 def default_engine() -> EstimationEngine:
@@ -218,9 +149,12 @@ def default_engine() -> EstimationEngine:
 
     Its master seed never influences results for facade calls (those
     always carry a concrete seed), so sharing one instance only shares
-    the sample cache.
+    the sample cache. Lazy init is lock-protected: two threads racing
+    the first facade call must not build two engines and split the
+    cache.
     """
     global _DEFAULT_ENGINE
-    if _DEFAULT_ENGINE is None:
-        _DEFAULT_ENGINE = EstimationEngine(seed=0)
-    return _DEFAULT_ENGINE
+    with _DEFAULT_ENGINE_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = EstimationEngine(seed=0)
+        return _DEFAULT_ENGINE

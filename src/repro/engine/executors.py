@@ -1,33 +1,49 @@
 """Pluggable executors for independent plan units.
 
-The engine reduces a plan to a flat list of thunks (one per
-(node, trial) unit) whose results are order-aligned with the list; an
-executor's only job is to run them all and return results *in input
-order*. Because every unit's randomness was resolved at plan time and
-shared state (sample cache, index cache) is single-flight, the serial
-and thread-pool executors produce byte-identical results — the
-determinism property test locks that in.
+The engine reduces a plan to a flat list of
+:class:`~repro.engine.units.PlanUnit` work items (one per (node, trial))
+whose results are order-aligned with the list; an executor's only job is
+to run them all against a :class:`~repro.engine.units.UnitContext` and
+return results *in input order*. Because every unit's randomness was
+resolved at plan time and shared state (sample cache, index cache) is
+single-flight, all three executors produce byte-identical estimates —
+the determinism property suite locks that in.
 
-A process-pool executor is a planned follow-on (requires picklable
-sources); the protocol below is what it will implement.
+Three executors exist:
+
+* :class:`SerialExecutor` — one unit after another, calling thread;
+* :class:`ThreadPoolPlanExecutor` — overlap in one process; useful when
+  units spend time in numpy, limited by the GIL on the byte-level
+  compression loops;
+* :class:`ProcessPoolPlanExecutor` — true parallelism for
+  compress-heavy batches. Units are pickled to worker processes (the
+  whole unit list is serialized *once*, so a table shared by many units
+  ships once and keeps shared identity inside each worker); each worker
+  runs a private sample cache and returns its stats deltas for the
+  parent to merge.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import multiprocessing
 import os
-from typing import Callable, Protocol, Sequence
+import pickle
+from typing import Protocol, Sequence
 
 from repro.errors import EstimationError
+from repro.engine.samples import EngineStats, SampleCache
+from repro.engine.units import PlanUnit, UnitContext, run_plan_unit
 
 
 class PlanExecutor(Protocol):
-    """Anything that can run a list of thunks and keep their order."""
+    """Anything that can run a list of units and keep their order."""
 
     name: str
 
-    def run(self, tasks: Sequence[Callable[[], object]]) -> list:
-        """Execute all tasks; result ``i`` corresponds to task ``i``."""
+    def run(self, units: Sequence[PlanUnit],
+            context: UnitContext | None = None) -> list:
+        """Execute all units; result ``i`` corresponds to unit ``i``."""
         ...  # pragma: no cover - protocol
 
 
@@ -36,15 +52,16 @@ class SerialExecutor:
 
     name = "serial"
 
-    def run(self, tasks: Sequence[Callable[[], object]]) -> list:
-        return [task() for task in tasks]
+    def run(self, units: Sequence[PlanUnit],
+            context: UnitContext | None = None) -> list:
+        return [unit(context) for unit in units]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialExecutor()"
 
 
 class ThreadPoolPlanExecutor:
-    """Run units on a thread pool; results return in task order.
+    """Run units on a thread pool; results return in unit order.
 
     Estimation units spend much of their time in numpy sampling and
     byte-level compression loops, so modest pools already overlap
@@ -59,22 +76,164 @@ class ThreadPoolPlanExecutor:
                 f"need a positive worker count, got {max_workers}")
         self.max_workers = max_workers or min(8, (os.cpu_count() or 2))
 
-    def run(self, tasks: Sequence[Callable[[], object]]) -> list:
+    def run(self, units: Sequence[PlanUnit],
+            context: UnitContext | None = None) -> list:
         with concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.max_workers) as pool:
-            futures = [pool.submit(task) for task in tasks]
+            futures = [pool.submit(unit, context) for unit in units]
             return [future.result() for future in futures]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadPoolPlanExecutor(max_workers={self.max_workers})"
 
 
+# ----------------------------------------------------------------------
+# Process pool
+# ----------------------------------------------------------------------
+#: Per-worker-process unit list, installed once by the pool initializer.
+_WORKER_UNITS: tuple[PlanUnit, ...] = ()
+#: Per-worker-process runtime state (private cache + local counters).
+_WORKER_CONTEXT: UnitContext | None = None
+
+
+def _init_worker(blob: bytes) -> None:
+    """Pool initializer: install this worker's units and context.
+
+    The unit list arrives as one pre-pickled blob so sources shared by
+    many units (the same Table object) deserialize to *one* object per
+    worker — which is what keeps the worker's identity-keyed sample
+    cache effective.
+    """
+    global _WORKER_UNITS, _WORKER_CONTEXT
+    _WORKER_UNITS = tuple(pickle.loads(blob))
+    _WORKER_CONTEXT = UnitContext(cache=SampleCache(64),
+                                  stats=EngineStats())
+
+
+def _run_worker_unit(position: int) -> tuple[object, dict]:
+    """Run one unit in a worker; returns (estimate, stats delta).
+
+    Workers are single-threaded, so a before/after snapshot of the
+    worker-local stats is an exact per-unit delta.
+    """
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker initializer did not run"
+    before = context.stats.snapshot()
+    estimate = run_plan_unit(_WORKER_UNITS[position], context)
+    delta = EngineStats.delta(before, context.stats.snapshot())
+    return estimate, delta
+
+
+class ProcessPoolPlanExecutor:
+    """Run units on a process pool; results return in unit order.
+
+    This is the executor for compress-heavy advisor batches: the
+    byte-level compression loops are pure Python, so a thread pool is
+    GIL-bound while processes parallelize for real. Requirements and
+    behaviour:
+
+    * units must be picklable (Table/HeapFile serialize via their
+      heaps; plan seeds are plain ints) — the whole unit list is
+      pickled **once** and shipped to each worker by the pool
+      initializer, so shared sources ship once, not per unit;
+    * units with opaque ``Generator`` seeds run in the parent process
+      instead (pickling would fork the generator's stream and silently
+      decouple it from the caller's object);
+    * each worker keeps a private sample cache; cross-worker sharing is
+      lost, but estimates stay byte-identical to the serial executor
+      because all randomness was resolved at plan time. Worker stats
+      deltas are merged into the batch's counters, so reuse accounting
+      stays truthful (hit counts depend on how units land on workers).
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise EstimationError(
+                f"need a positive worker count, got {max_workers}")
+        self.max_workers = max_workers or min(8, (os.cpu_count() or 2))
+        if start_method is not None and \
+                start_method not in multiprocessing.get_all_start_methods():
+            raise EstimationError(
+                f"unknown start method {start_method!r}; known: "
+                f"{multiprocessing.get_all_start_methods()}")
+        self.start_method = start_method
+
+    def run(self, units: Sequence[PlanUnit],
+            context: UnitContext | None = None) -> list:
+        units = list(units)
+        for unit in units:
+            if not isinstance(unit, PlanUnit):
+                raise EstimationError(
+                    "the process executor ships PlanUnit objects to "
+                    f"workers; got {type(unit).__name__}")
+        if context is None:
+            context = UnitContext(cache=SampleCache(8),
+                                  stats=EngineStats())
+        results: list = [None] * len(units)
+        remote = [position for position, unit in enumerate(units)
+                  if not unit.request.seed_is_opaque()]
+        if remote:
+            self._run_remote(units, remote, results, context)
+        for position, unit in enumerate(units):
+            if unit.request.seed_is_opaque():
+                results[position] = run_plan_unit(unit, context)
+        return results
+
+    def _run_remote(self, units: list[PlanUnit], remote: list[int],
+                    results: list, context: UnitContext) -> None:
+        shipped = [units[position] for position in remote]
+        try:
+            blob = pickle.dumps(tuple(shipped),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise EstimationError(
+                f"plan units are not picklable for process execution: "
+                f"{exc}") from exc
+        mp_context = multiprocessing.get_context(self.start_method)
+        workers = min(self.max_workers, len(shipped))
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=mp_context,
+                initializer=_init_worker, initargs=(blob,)) as pool:
+            futures = [pool.submit(_run_worker_unit, j)
+                       for j in range(len(shipped))]
+            for position, future in zip(remote, futures):
+                estimate, delta = future.result()
+                results[position] = estimate
+                context.stats.merge(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ProcessPoolPlanExecutor("
+                f"max_workers={self.max_workers}, "
+                f"start_method={self.start_method!r})")
+
+
+#: Accepted spellings per executor (CLI flags, batch specs, configs).
+_EXECUTOR_ALIASES = {
+    "serial": "serial",
+    "thread": "threads",
+    "threads": "threads",
+    "process": "process",
+    "processes": "process",
+}
+
+#: Every name :func:`make_executor` accepts — the CLI derives its
+#: ``--executor`` choices from this so the two can never drift.
+EXECUTOR_NAMES = tuple(sorted(_EXECUTOR_ALIASES))
+
+
 def make_executor(name: str, max_workers: int | None = None,
                   ) -> PlanExecutor:
     """Executor factory used by the CLI and experiment configs."""
-    if name == "serial":
+    canonical = _EXECUTOR_ALIASES.get(name)
+    if canonical == "serial":
         return SerialExecutor()
-    if name == "threads":
+    if canonical == "threads":
         return ThreadPoolPlanExecutor(max_workers=max_workers)
+    if canonical == "process":
+        return ProcessPoolPlanExecutor(max_workers=max_workers)
     raise EstimationError(
-        f"unknown executor {name!r}; known: ['serial', 'threads']")
+        f"unknown executor {name!r}; known: "
+        f"['serial', 'threads', 'process']")

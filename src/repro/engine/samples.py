@@ -50,6 +50,12 @@ class MaterializedSample:
     samples hold the sampled :class:`ColumnHistogram`. ``indexes`` maps
     ``(columns, kind, page_size, fill_factor)`` to the index built on
     this sample for that layout — built lazily, exactly once.
+
+    The index-build lock is a plain attribute, not a dataclass field:
+    samples must pickle (process-pool execution, snapshotting), and
+    ``threading.Lock`` objects cannot. ``__getstate__`` drops the lock
+    and ``__setstate__`` rebuilds a fresh one — a lock guards in-process
+    construction races, which never survive serialization anyway.
     """
 
     fraction: float
@@ -60,8 +66,18 @@ class MaterializedSample:
     histogram: ColumnHistogram | None = None
     extra: dict = field(default_factory=dict)
     indexes: dict[tuple, SampleIndexEntry] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock,
-                                  repr=False)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def sample_rows(self) -> int:
@@ -230,6 +246,21 @@ class EngineStats:
               ) -> dict[str, int]:
         """Counter movement between two snapshots."""
         return {name: after[name] - before.get(name, 0) for name in after}
+
+    def merge(self, other: "EngineStats | dict") -> None:
+        """Fold another counter set (or snapshot dict) into this one.
+
+        This is how batch-local counters reach an engine's global stats
+        and how process-pool worker deltas reach a batch's counters —
+        one atomic merge instead of racy before/after snapshots.
+        """
+        counts = other.snapshot() if isinstance(other, EngineStats) \
+            else other
+        with self._lock:
+            for name, amount in counts.items():
+                if name not in self._counts:
+                    raise EstimationError(f"unknown engine stat {name!r}")
+                self._counts[name] += amount
 
     def as_dict(self) -> dict[str, Any]:
         return self.snapshot()

@@ -1,0 +1,171 @@
+"""Executable plan units: picklable (node, trial) work items.
+
+The engine reduces an :class:`~repro.engine.plan.EstimationPlan` to a
+flat list of :class:`PlanUnit` objects — one per (node, trial) — whose
+results are order-aligned with the list. A unit carries everything its
+estimation needs (the request, the trial's resolved seed, the trial's
+sample-cache key) and *none* of the engine's runtime state, which makes
+units plain data: ``pickle.dumps(unit)`` round-trips, so a process-pool
+executor can ship units to worker processes and replay them there
+bit-identically.
+
+Runtime state travels separately as a :class:`UnitContext` (the sample
+cache to share and the stats counter to charge). In-process executors
+pass the engine's own context; process-pool workers build one private
+context per worker process. Because every unit's randomness was resolved
+at plan time, the *estimates* are byte-identical either way — only the
+cache-hit accounting differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.samplecf import SampleCFEstimate
+from repro.engine.requests import EstimationRequest
+from repro.engine.samples import (EngineStats, MaterializedSample,
+                                  SampleCache, materialize_histogram_sample,
+                                  materialize_table_sample)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.plan import EstimationPlan
+
+
+@dataclass
+class UnitContext:
+    """Runtime state a unit executes against (never pickled)."""
+
+    cache: SampleCache
+    stats: EngineStats
+
+
+@dataclass(frozen=True)
+class PlanUnit:
+    """One (node, trial) estimation unit, fully resolved at plan time.
+
+    Units are self-contained descriptions: executing one requires no
+    engine, only a :class:`UnitContext` to share a cache and charge
+    stats to. Calling a unit with no context runs it against a fresh
+    throwaway context (useful for tests and one-off replays).
+    """
+
+    request: EstimationRequest
+    trial: int
+    #: The trial's resolved seed (an int, or a Generator when opaque).
+    seed: object
+    #: The trial's sample-cache key; ``None`` means uncacheable.
+    sample_key: tuple | None
+
+    def __call__(self, context: UnitContext | None = None,
+                 ) -> SampleCFEstimate:
+        return run_plan_unit(self, context)
+
+
+def plan_units(plan: "EstimationPlan") -> tuple[PlanUnit, ...]:
+    """Flatten a plan into its execution units, in canonical order.
+
+    The order — nodes as planned, trials within each node — is the
+    order executors must preserve so the engine can fan results back
+    out to batch positions.
+    """
+    return tuple(
+        PlanUnit(request=node.request, trial=trial,
+                 seed=node.trial_seeds[trial],
+                 sample_key=node.sample_keys[trial])
+        for node in plan.nodes for trial in range(node.trials))
+
+
+def run_plan_unit(unit: PlanUnit,
+                  context: UnitContext | None = None) -> SampleCFEstimate:
+    """Execute one unit: materialize (or reuse) its sample, estimate.
+
+    This is the single entry point every executor funnels through; it
+    is a top-level function on purpose so process-pool workers can
+    import it by reference.
+    """
+    if context is None:
+        context = UnitContext(cache=SampleCache(8), stats=EngineStats())
+    if unit.request.is_table:
+        return run_table_unit(unit, context)
+    return run_histogram_unit(unit, context)
+
+
+def _sample_for(unit: PlanUnit,
+                context: UnitContext) -> MaterializedSample:
+    request = unit.request
+    if request.is_table:
+        def factory() -> MaterializedSample:
+            return materialize_table_sample(
+                request.table, request.sampler, request.fraction,
+                unit.seed)
+    else:
+        def factory() -> MaterializedSample:
+            return materialize_histogram_sample(
+                request.histogram, request.sampler, request.fraction,
+                unit.seed)
+    if unit.sample_key is None:
+        sample = factory()
+        hit = False
+    else:
+        sample, hit = context.cache.get_or_create(unit.sample_key,
+                                                  factory)
+    if hit:
+        context.stats.add("sample_cache_hits")
+    else:
+        context.stats.add("samples_materialized")
+        context.stats.add("sample_rows_drawn", sample.sample_rows)
+    return sample
+
+
+def run_table_unit(unit: PlanUnit,
+                   context: UnitContext) -> SampleCFEstimate:
+    """The literal Figure 2 path: sample rows, index them, compress."""
+    request = unit.request
+    sample = _sample_for(unit, context)
+    entry = sample.index_for(
+        request.table, request.columns, request.kind,
+        request.page_size, request.fill_factor,
+        on_build=lambda: context.stats.add("indexes_built"),
+        on_reuse=lambda: context.stats.add("index_reuse_hits"))
+    result = entry.index.compress(
+        request.algorithm, accounting=request.accounting,
+        repack_pages=request.repack)
+    context.stats.add("estimates_computed")
+    return SampleCFEstimate(
+        estimate=result.compression_fraction,
+        sample_rows=len(sample.rows),
+        sampling_fraction=request.fraction,
+        algorithm=request.algorithm.name,
+        accounting=request.accounting,
+        path=sample.path,
+        uncompressed_sample_bytes=result.uncompressed_bytes,
+        compressed_sample_bytes=result.compressed_bytes,
+        sample_distinct=entry.distinct,
+        details={"pages_before": result.pages_before,
+                 "pages_after": result.pages_after, **sample.extra})
+
+
+def run_histogram_unit(unit: PlanUnit,
+                       context: UnitContext) -> SampleCFEstimate:
+    """The closed-form fast path over a sampled histogram."""
+    request = unit.request
+    sample = _sample_for(unit, context)
+    histogram = sample.histogram
+    estimate = request.algorithm.cf_from_histogram(
+        histogram, page_size=request.page_size,
+        record_bytes=request.record_bytes,
+        fill_factor=request.fill_factor)
+    context.stats.add("estimates_computed")
+    uncompressed = histogram.total_bytes
+    return SampleCFEstimate(
+        estimate=estimate,
+        sample_rows=histogram.n,
+        sampling_fraction=request.fraction,
+        algorithm=request.algorithm.name,
+        accounting=request.accounting,
+        path="histogram",
+        uncompressed_sample_bytes=uncompressed,
+        compressed_sample_bytes=round(estimate * uncompressed),
+        sample_distinct=histogram.d,
+        details={})

@@ -33,6 +33,7 @@ from repro.core.metrics import ErrorSummary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import EstimationEngine
+    from repro.engine.executors import PlanExecutor
     from repro.engine.requests import EstimationRequest
 
 #: A trial function: receives a dedicated Generator, returns an estimate.
@@ -104,21 +105,25 @@ def _resolve_engine(engine: "EstimationEngine | None",
 def run_request_trials(request: "EstimationRequest",
                        trials: int | None = None,
                        engine: "EstimationEngine | None" = None,
-                       seed: SeedLike = None) -> np.ndarray:
+                       seed: SeedLike = None,
+                       executor: "PlanExecutor | str | None" = None,
+                       ) -> np.ndarray:
     """Run one request's trials on the engine; returns the estimates.
 
     ``trials`` overrides the request's own count when given. Trial
     randomness derives from the engine's master seed and the request's
     sample scope, so re-running on a same-seeded engine replays
-    exactly.
+    exactly — on any ``executor`` (instance or name), since estimates
+    are executor-independent.
     """
     if trials is not None:
         if trials <= 0:
             raise ExperimentError(
                 f"need a positive trial count, got {trials}")
         request = request.with_trials(trials)
-    result = _resolve_engine(engine, seed).estimate(request)
-    return result.values
+    batch = _resolve_engine(engine, seed).execute([request],
+                                                  executor=executor)
+    return batch.results[0].values
 
 
 def summarize_request(true_value: float, request: "EstimationRequest",
@@ -136,7 +141,9 @@ def engine_sweep(parameters: Iterable[Any],
                      [Any], tuple[float, "EstimationRequest", dict]],
                  trials: int,
                  engine: "EstimationEngine | None" = None,
-                 seed: SeedLike = None) -> list[SweepPoint]:
+                 seed: SeedLike = None,
+                 executor: "PlanExecutor | str | None" = None,
+                 ) -> list[SweepPoint]:
     """Evaluate an estimator grid as **one** shared-sample batch.
 
     ``make_truth_and_request(parameter)`` returns ``(truth, request,
@@ -144,7 +151,9 @@ def engine_sweep(parameters: Iterable[Any],
     requests target the same source and fraction share one materialized
     sample per trial, which is what makes algorithm sweeps and advisor
     grids O(samples + points) instead of O(points × trials) full
-    passes.
+    passes. ``executor`` (instance or name: ``"serial"``,
+    ``"threads"``, ``"process"``) picks how that batch runs without
+    changing any estimate.
     """
     if trials <= 0:
         raise ExperimentError(f"need a positive trial count, got {trials}")
@@ -158,7 +167,7 @@ def engine_sweep(parameters: Iterable[Any],
         truths.append(truth)
         extras.append(dict(extra))
         requests.append(request.with_trials(trials))
-    batch = resolved.execute(requests)
+    batch = resolved.execute(requests, executor=executor)
     return [SweepPoint(parameter=parameter,
                        summary=ErrorSummary.from_estimates(
                            truth, result.values),

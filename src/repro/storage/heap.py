@@ -86,6 +86,25 @@ class HeapFile:
         return self._pages[page_id]
 
     # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle as page images — the heap's canonical on-disk form.
+
+        Everything else (record count, RIDs) is derivable from the
+        pages, so serializing only the images keeps pickles minimal and
+        makes a restored heap provably consistent with its storage.
+        """
+        return {"page_size": self.page_size,
+                "images": [page.to_bytes() for page in self._pages]}
+
+    def __setstate__(self, state: dict) -> None:
+        self.page_size = state["page_size"]
+        self._pages = [Page.from_bytes(image)
+                       for image in state["images"]]
+        self._record_count = sum(page.slot_count for page in self._pages)
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     @property

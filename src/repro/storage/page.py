@@ -150,6 +150,16 @@ class Page:
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
+    def __reduce__(self) -> tuple:
+        """Pickle as the canonical on-disk image.
+
+        Round-tripping through :meth:`to_bytes`/:meth:`from_bytes` keeps
+        pickles honest (whatever the image format can't express, pickle
+        can't smuggle) and is what lets heaps ship to process-pool
+        workers as plain page images.
+        """
+        return (self.from_bytes, (self.to_bytes(),))
+
     def to_bytes(self) -> bytes:
         """Serialise to a full ``page_size``-byte on-disk image.
 

@@ -32,8 +32,34 @@ class Table:
         self.schema = schema
         self.page_size = page_size
         self.heap = HeapFile(page_size=page_size)
-        self.indexes: dict[str, Index] = {}
+        self._indexes: dict[str, Index] = {}
+        self._pending_index_specs: list[tuple] = []
         self._rids: list[RID] = []
+
+    @property
+    def indexes(self) -> dict[str, Index]:
+        """Registered indexes; rebuilt lazily after unpickling.
+
+        Estimation plan units ship tables to process-pool workers but
+        never read their indexes (they build their own sample indexes),
+        so a restored table defers the full rebuild until something
+        actually looks.
+        """
+        if self._pending_index_specs:
+            self._rebuild_indexes()
+        return self._indexes
+
+    def _rebuild_indexes(self) -> None:
+        specs, self._pending_index_specs = self._pending_index_specs, []
+        pairs = [(decode_record(self.schema, record), rid)
+                 for rid, record in self.heap.scan()]
+        for name, key_columns, kind, page_size, fill_factor, \
+                max_fanout in specs:
+            index = Index(name, self.schema, key_columns,
+                          kind=IndexKind(kind), page_size=page_size,
+                          fill_factor=fill_factor, max_fanout=max_fanout)
+            index.build(pairs)
+            self._indexes[name] = index
 
     # ------------------------------------------------------------------
     # Construction
@@ -120,6 +146,42 @@ class Table:
         if name not in self.indexes:
             raise SchemaError(f"no index {name!r} on table {self.name!r}")
         del self.indexes[name]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle via the heap: pages are the table's source of truth.
+
+        The RID list replays from a heap scan (inserts are append-only)
+        and indexes are recorded as configuration specs, rebuilt lazily
+        on first access — so neither is serialized, which keeps pickles
+        compact and lets plan units ship tables to process-pool workers
+        without paying for index rebuilds the estimator never uses.
+        """
+        if self._pending_index_specs:
+            index_specs = list(self._pending_index_specs)
+        else:
+            index_specs = [
+                (index.name, index.key_columns, index.kind.value,
+                 index.page_size, index.fill_factor, index.max_fanout)
+                for index in self._indexes.values()]
+        return {
+            "name": self.name,
+            "schema": self.schema,
+            "page_size": self.page_size,
+            "heap": self.heap,
+            "index_specs": index_specs,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.schema = state["schema"]
+        self.page_size = state["page_size"]
+        self.heap = state["heap"]
+        self._rids = [rid for rid, _ in self.heap.scan()]
+        self._indexes = {}
+        self._pending_index_specs = list(state["index_specs"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Table({self.name!r}, rows={self.num_rows}, "

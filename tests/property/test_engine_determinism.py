@@ -3,7 +3,8 @@
 The engine's contract: with an integer master seed, the same batch
 *content* yields byte-identical results regardless of
 
-* executor choice (serial vs. thread pool),
+* executor choice (serial vs. thread pool vs. process pool — the
+  process pool additionally round-trips every unit through pickle),
 * request submission order,
 * cache state (cold vs. warm, shared vs. private engines),
 * object identity (sources rebuilt from the same generator seeds).
@@ -19,7 +20,8 @@ import pytest
 
 from repro.workloads.generators import make_histogram, make_table
 from repro.engine import (EstimationEngine, EstimationRequest,
-                          SerialExecutor, ThreadPoolPlanExecutor)
+                          ProcessPoolPlanExecutor, SerialExecutor,
+                          ThreadPoolPlanExecutor)
 
 MASTER_SEED = 20100301
 
@@ -108,6 +110,14 @@ class TestEngineDeterminism:
 
     def test_shuffled_threaded_matches_serial(self, reference):
         assert run(ThreadPoolPlanExecutor(4), order_seed=9) == reference
+
+    def test_process_pool_matches_serial(self, reference):
+        """Units survive pickling to workers and replay bit-identically."""
+        assert run(ProcessPoolPlanExecutor(2),
+                   order_seed=None) == reference
+
+    def test_shuffled_process_matches_serial(self, reference):
+        assert run(ProcessPoolPlanExecutor(2), order_seed=5) == reference
 
     def test_rebuilt_sources_replay(self, reference):
         """New source objects with identical content replay exactly."""

@@ -163,6 +163,17 @@ class TestEstimateBatch:
         threads = json.loads(threads_out)
         assert serial["results"] == threads["results"]
 
+    def test_process_executor_matches_serial(self, capsys, spec_path):
+        _, serial_out, _ = run_cli(capsys, "estimate-batch", spec_path,
+                                   "--executor", "serial")
+        _, process_out, _ = run_cli(capsys, "estimate-batch", spec_path,
+                                    "--executor", "process",
+                                    "--workers", "2")
+        serial = json.loads(serial_out)
+        process = json.loads(process_out)
+        assert serial["results"] == process["results"]
+        assert process["executor"] == "process"
+
     def test_seed_override_changes_estimates(self, capsys, spec_path):
         _, one, _ = run_cli(capsys, "estimate-batch", spec_path,
                             "--seed", "1")

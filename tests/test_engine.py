@@ -1,5 +1,9 @@
 """Unit tests for repro.engine — shared-sample batch estimation."""
 
+import pickle
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -13,9 +17,11 @@ from repro.core.samplecf import SampleCF, true_cf_histogram
 from repro.experiments.runner import (engine_sweep, run_request_trials,
                                       summarize_request)
 from repro.workloads.generators import make_histogram
-from repro.engine import (EstimationEngine, EstimationRequest, SampleCache,
+from repro.engine import (EstimationEngine, EstimationRequest,
+                          ProcessPoolPlanExecutor, SampleCache,
                           SerialExecutor, ThreadPoolPlanExecutor,
-                          make_executor, plan_batch)
+                          make_executor, plan_batch, plan_units,
+                          run_plan_unit)
 
 PAGE = 512
 
@@ -143,6 +149,83 @@ class TestSampleCache:
         with pytest.raises(EstimationError):
             SampleCache(capacity=0)
 
+    def test_failed_creator_wakes_waiters_one_retries(self):
+        """Single-flight failure under real threads.
+
+        The first creator fails while others wait on its event; the
+        waiters must wake, exactly one must retry the factory (and
+        succeed), and everyone else must then hit the cached value.
+        """
+        cache = SampleCache(capacity=4)
+        creator_entered = threading.Event()
+        waiters_ready = threading.Event()
+        calls: list[str] = []
+        calls_lock = threading.Lock()
+
+        def factory():
+            with calls_lock:
+                calls.append(threading.current_thread().name)
+                first = len(calls) == 1
+            if first:
+                creator_entered.set()
+                # Hold the single-flight slot until the other threads
+                # are definitely enqueued as waiters, then fail.
+                assert waiters_ready.wait(timeout=5.0)
+                raise RuntimeError("materialization failed")
+            return "ok"
+
+        outcomes: dict[str, object] = {}
+
+        def worker(name):
+            try:
+                outcomes[name] = cache.get_or_create(("k",), factory)
+            except RuntimeError as exc:
+                outcomes[name] = exc
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",),
+                                    name=f"t{i}") for i in range(5)]
+        threads[0].start()
+        assert creator_entered.wait(timeout=5.0)
+        for thread in threads[1:]:
+            thread.start()
+        # Give the late threads a moment to park on the pending event,
+        # then let the creator fail.
+        time.sleep(0.05)
+        waiters_ready.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        errors = [o for o in outcomes.values()
+                  if isinstance(o, RuntimeError)]
+        successes = [o for o in outcomes.values() if isinstance(o, tuple)]
+        assert len(errors) == 1  # only the failed creator saw the error
+        assert len(successes) == 4
+        assert all(value == "ok" for value, _hit in successes)
+        # One retry materialized; the rest were cache hits.
+        assert sum(1 for _v, hit in successes if not hit) == 1
+        assert len(calls) == 2
+
+    def test_persistent_failure_surfaces_to_every_thread(self):
+        cache = SampleCache(capacity=4)
+        barrier = threading.Barrier(4)
+        outcomes: list[object] = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            try:
+                cache.get_or_create(("k",), self._boom)
+            except RuntimeError as exc:
+                with lock:
+                    outcomes.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(outcomes) == 4  # the error persists and surfaces
+        assert len(cache) == 0
+
 
 class TestEngineSharing:
     def test_sample_shared_across_algorithms(self, table):
@@ -265,6 +348,11 @@ class TestExecutors:
     def test_make_executor_names(self):
         assert make_executor("serial").name == "serial"
         assert make_executor("threads", max_workers=2).name == "threads"
+        assert make_executor("process", max_workers=2).name == "process"
+
+    def test_make_executor_aliases(self):
+        assert make_executor("thread").name == "threads"
+        assert make_executor("processes").name == "process"
 
     def test_make_executor_unknown(self):
         with pytest.raises(EstimationError):
@@ -274,13 +362,183 @@ class TestExecutors:
         with pytest.raises(EstimationError):
             ThreadPoolPlanExecutor(max_workers=0)
 
+    def test_process_pool_validates_workers(self):
+        with pytest.raises(EstimationError):
+            ProcessPoolPlanExecutor(max_workers=0)
+
+    def test_process_pool_validates_start_method(self):
+        with pytest.raises(EstimationError):
+            ProcessPoolPlanExecutor(start_method="telepathy")
+
     def test_serial_preserves_order(self):
-        tasks = [lambda i=i: i for i in range(10)]
+        tasks = [lambda context, i=i: i for i in range(10)]
         assert SerialExecutor().run(tasks) == list(range(10))
 
     def test_threads_preserve_order(self):
-        tasks = [lambda i=i: i for i in range(10)]
+        tasks = [lambda context, i=i: i for i in range(10)]
         assert ThreadPoolPlanExecutor(4).run(tasks) == list(range(10))
+
+    def test_process_pool_rejects_non_units(self):
+        with pytest.raises(EstimationError):
+            ProcessPoolPlanExecutor(2).run([lambda context: 1])
+
+    def test_engine_accepts_executor_name(self, histogram):
+        engine = EstimationEngine(seed=2, executor="threads")
+        assert engine.executor.name == "threads"
+        request = EstimationRequest(histogram=histogram, fraction=0.05)
+        by_name = engine.execute([request], executor="serial")
+        assert by_name.results[0].estimates[0].estimate > 0
+
+
+class TestProcessExecution:
+    def test_process_matches_serial(self, table, histogram):
+        requests = [EstimationRequest(table=table, columns=("a",),
+                                      algorithm=name, fraction=0.05,
+                                      trials=2, page_size=PAGE)
+                    for name in ALGORITHMS]
+        requests.append(EstimationRequest(histogram=histogram,
+                                          fraction=0.05, trials=2))
+        serial = EstimationEngine(seed=13).execute(requests)
+        process = EstimationEngine(
+            seed=13, executor=ProcessPoolPlanExecutor(2)).execute(requests)
+        for ours, theirs in zip(serial.results, process.results):
+            assert [e.estimate for e in ours.estimates] == \
+                [e.estimate for e in theirs.estimates]
+            assert [e.details for e in ours.estimates] == \
+                [e.details for e in theirs.estimates]
+
+    def test_process_merges_worker_stats(self, histogram):
+        engine = EstimationEngine(seed=13,
+                                  executor=ProcessPoolPlanExecutor(2))
+        request = EstimationRequest(histogram=histogram, fraction=0.05,
+                                    trials=3)
+        batch = engine.execute([request])
+        assert batch.stats["estimates_computed"] == 3
+        assert batch.stats["samples_materialized"] >= 3 - \
+            batch.stats["sample_cache_hits"]
+
+    def test_opaque_seed_runs_in_parent(self, histogram):
+        engine = EstimationEngine(seed=13,
+                                  executor=ProcessPoolPlanExecutor(2))
+        request = EstimationRequest(histogram=histogram, fraction=0.05,
+                                    seed=np.random.default_rng(3))
+        result = engine.estimate(request)
+        assert result.estimates[0].estimate > 0
+
+
+class TestPlanUnitPickling:
+    def test_table_unit_roundtrips(self, table):
+        engine = EstimationEngine(seed=3)
+        plan = engine.plan([EstimationRequest(
+            table=table, columns=("a",), fraction=0.05, page_size=PAGE)])
+        units = plan_units(plan)
+        restored = pickle.loads(pickle.dumps(units))
+        assert restored[0].seed == units[0].seed
+        assert run_plan_unit(restored[0]) == run_plan_unit(units[0])
+
+    def test_histogram_unit_roundtrips(self, histogram):
+        engine = EstimationEngine(seed=3)
+        plan = engine.plan([EstimationRequest(
+            histogram=histogram, fraction=0.05, trials=2)])
+        units = plan_units(plan)
+        restored = pickle.loads(pickle.dumps(units))
+        assert len(restored) == 2
+        for ours, theirs in zip(units, restored):
+            assert run_plan_unit(theirs) == run_plan_unit(ours)
+
+    def test_units_share_one_table_pickle(self, table):
+        engine = EstimationEngine(seed=3)
+        requests = [EstimationRequest(table=table, columns=("a",),
+                                      algorithm=name, fraction=0.05,
+                                      page_size=PAGE)
+                    for name in ALGORITHMS]
+        units = plan_units(engine.plan(requests))
+        restored = pickle.loads(pickle.dumps(units))
+        tables = {id(unit.request.table) for unit in restored}
+        assert len(tables) == 1  # pickle memo keeps the source shared
+
+    def test_materialized_sample_roundtrips(self, table):
+        from repro.engine import materialize_table_sample
+        from repro.sampling.row_samplers import WithReplacementSampler
+
+        sample = materialize_table_sample(
+            table, WithReplacementSampler(), 0.05, 7)
+        sample.index_for(table, ("a",), IndexKind.CLUSTERED, PAGE, 1.0)
+        restored = pickle.loads(pickle.dumps(sample))
+        assert restored.rows == sample.rows
+        assert restored.rids == sample.rids
+        entry = restored.index_for(table, ("a",), IndexKind.CLUSTERED,
+                                   PAGE, 1.0)
+        assert entry.distinct == \
+            sample.indexes[(("a",), "clustered", PAGE, 1.0)].distinct
+
+
+class TestStatsConcurrency:
+    def test_concurrent_execute_stats_isolated(self):
+        """Two racing execute() calls each report their own movement."""
+        engine = EstimationEngine(seed=7)
+        small = make_histogram(4000, 40, 10, seed=21)
+        large = make_histogram(6000, 60, 10, seed=22)
+        small_batch = [EstimationRequest(histogram=small, fraction=0.05,
+                                         trials=2)]
+        large_batch = [EstimationRequest(histogram=large, fraction=0.05,
+                                         trials=3),
+                       EstimationRequest(histogram=large, fraction=0.02,
+                                         trials=3)]
+        outcomes: dict[str, list] = {"small": [], "large": []}
+
+        def run(name, requests):
+            for _ in range(10):
+                outcomes[name].append(engine.execute(requests))
+
+        threads = [threading.Thread(target=run, args=("small",
+                                                      small_batch)),
+                   threading.Thread(target=run, args=("large",
+                                                      large_batch))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for batch in outcomes["small"]:
+            assert batch.stats["requests"] == 1
+            assert batch.stats["trials"] == 2
+            assert batch.stats["estimates_computed"] == 2
+        for batch in outcomes["large"]:
+            assert batch.stats["requests"] == 2
+            assert batch.stats["trials"] == 6
+            assert batch.stats["estimates_computed"] == 6
+        # The global counters saw every batch exactly once.
+        assert engine.stats["requests"] == 10 * 1 + 10 * 2
+        assert engine.stats["estimates_computed"] == 10 * 2 + 10 * 6
+
+    def test_default_engine_single_instance_under_race(self):
+        import repro.engine.engine as engine_module
+
+        original = engine_module._DEFAULT_ENGINE
+        engine_module._DEFAULT_ENGINE = None
+        try:
+            barrier = threading.Barrier(8)
+            seen = []
+
+            def grab():
+                barrier.wait()
+                seen.append(engine_module.default_engine())
+
+            threads = [threading.Thread(target=grab) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len({id(engine) for engine in seen}) == 1
+        finally:
+            engine_module._DEFAULT_ENGINE = original
+
+    def test_stats_merge_rejects_unknown_counter(self):
+        from repro.engine import EngineStats
+
+        stats = EngineStats()
+        with pytest.raises(EstimationError):
+            stats.merge({"made_up": 3})
 
 
 class TestRunnerIntegration:

@@ -66,3 +66,28 @@ class TestHeapFile:
         heap.insert_many(records)
         assert list(heap.records()) == records
         assert heap.num_pages >= 25  # 2 records of 40B + slots per page
+
+
+class TestHeapPickling:
+    def test_pickle_roundtrips_via_page_images(self):
+        import pickle
+
+        heap = HeapFile(page_size=128)
+        records = [f"rec-{i:03d}".encode() for i in range(30)]
+        rids = heap.insert_many(records)
+        restored = pickle.loads(pickle.dumps(heap))
+        assert restored.num_records == heap.num_records
+        assert restored.num_pages == heap.num_pages
+        assert list(restored.records()) == records
+        assert [rid for rid, _ in restored.scan()] == rids
+        assert restored.payload_bytes == heap.payload_bytes
+
+    def test_restored_heap_keeps_appending(self):
+        import pickle
+
+        heap = HeapFile(page_size=128)
+        heap.insert_many([b"x" * 30 for _ in range(5)])
+        restored = pickle.loads(pickle.dumps(heap))
+        rid = restored.insert(b"y" * 30)
+        assert restored.get(rid) == b"y" * 30
+        assert restored.num_records == 6

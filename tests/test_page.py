@@ -138,3 +138,18 @@ class TestRecordsPerPage:
     def test_bad_record_size(self):
         with pytest.raises(PageFormatError):
             records_per_page(256, 0)
+
+
+class TestPagePickling:
+    def test_pickle_roundtrips_via_image(self):
+        import pickle
+
+        page = Page(256, page_id=9, page_type=PageType.INDEX_LEAF)
+        for i in range(4):
+            page.insert(f"row-{i}".encode())
+        restored = pickle.loads(pickle.dumps(page))
+        assert restored.page_id == 9
+        assert restored.page_type is PageType.INDEX_LEAF
+        assert list(restored.records()) == list(page.records())
+        assert restored.used_bytes == page.used_bytes
+        assert restored.page_size == page.page_size

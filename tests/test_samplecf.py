@@ -176,9 +176,18 @@ class TestConvenienceAndTruth:
         truth = true_cf_histogram(histogram, "null_suppression")
         assert truth == pytest.approx(ns_cf(histogram))
 
-    def test_estimate_must_be_positive(self):
+    def test_zero_estimate_allowed(self):
+        # A perfectly compressible sample (compressed bytes == 0) is a
+        # legitimate CF-0 outcome, not an error.
+        estimate = SampleCFEstimate(
+            estimate=0.0, sample_rows=1, sampling_fraction=0.1,
+            algorithm="x", accounting="payload", path="test",
+            uncompressed_sample_bytes=1, compressed_sample_bytes=0)
+        assert estimate.estimate == 0.0
+
+    def test_negative_estimate_rejected(self):
         with pytest.raises(EstimationError):
             SampleCFEstimate(
-                estimate=0.0, sample_rows=1, sampling_fraction=0.1,
+                estimate=-0.1, sample_rows=1, sampling_fraction=0.1,
                 algorithm="x", accounting="payload", path="test",
                 uncompressed_sample_bytes=1, compressed_sample_bytes=0)
