@@ -4,6 +4,12 @@ Runs the published pseudocode stage by stage against the storage
 engine — (1) uniform sample with replacement, (2) bulk-load an index on
 the sample, (3) compress it, (4) return the sample's CF — timing each
 stage and checking the estimate against the full-index truth.
+
+The accuracy comparison runs through :func:`engine_sweep` (the
+engine-aware experiment registry path): both algorithms execute as one
+shared-sample batch, so the table is sampled once per trial and each
+algorithm merely re-compresses the shared sample index — asserted via
+the engine's reuse stats.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ import time
 
 import pytest
 
+from repro.engine import EstimationEngine, EstimationRequest
+from repro.experiments.runner import engine_sweep
 from repro.sampling.rng import make_rng
 from repro.sampling.row_samplers import WithReplacementSampler
 from repro.storage.index import Index, IndexKind
@@ -79,26 +87,43 @@ def test_fig2_staged_pipeline(benchmark, table):
 
 @pytest.mark.parametrize("fraction", [0.01, 0.05])
 def test_fig2_accuracy_both_algorithms(benchmark, table, fraction):
-    ns = SampleCF(NullSuppression(), page_size=PAGE)
-    estimate = benchmark.pedantic(
-        ns.estimate_table, args=(table, fraction, ["a"]),
-        kwargs={"seed": 11}, rounds=3, iterations=1)
-    ns_truth = true_cf_table(table, ["a"], NullSuppression(),
-                             page_size=PAGE)
-    assert ratio_error(ns_truth, estimate.estimate) < 1.1
+    """Both algorithms as ONE engine_sweep batch over a shared sample."""
+    algorithms = [NullSuppression(), DictionaryCompression()]
+    truths = {algorithm.name: true_cf_table(table, ["a"], algorithm,
+                                            page_size=PAGE)
+              for algorithm in algorithms}
 
-    dictionary = SampleCF(DictionaryCompression(), page_size=PAGE)
-    dict_estimate = dictionary.estimate_table(table, fraction, ["a"],
-                                              seed=11)
-    dict_truth = true_cf_table(table, ["a"], DictionaryCompression(),
-                               page_size=PAGE)
+    def make(algorithm):
+        request = EstimationRequest(
+            table=table, columns=("a",), algorithm=algorithm,
+            fraction=fraction, kind=IndexKind.CLUSTERED, page_size=PAGE,
+            seed=11)
+        return truths[algorithm.name], request, \
+            {"algorithm": algorithm.name}
+
+    def sweep_once():
+        engine = EstimationEngine(seed=11)
+        points = engine_sweep(algorithms, make, trials=1, engine=engine)
+        return points, engine.stats.snapshot()
+
+    points, stats = benchmark.pedantic(sweep_once, rounds=3,
+                                       iterations=1)
+    # The shared-sample contract: one draw serves both algorithms.
+    assert stats["samples_materialized"] == 1
+    assert stats["sample_cache_hits"] == 1
+    # Only NS carries an accuracy bound here: dictionary at small f
+    # overestimates until the sample sees enough distinct values (the
+    # paper's d' < d discussion) — it is reported, not asserted.
+    ns_point = next(point for point in points
+                    if point.extra["algorithm"] == "null_suppression")
+    assert ratio_error(truths["null_suppression"],
+                       ns_point.summary.mean) < 1.1
+
     rows = [
-        ["null_suppression", f"{estimate.estimate:.4f}",
-         f"{ns_truth:.4f}",
-         f"{ratio_error(ns_truth, estimate.estimate):.4f}"],
-        ["dictionary", f"{dict_estimate.estimate:.4f}",
-         f"{dict_truth:.4f}",
-         f"{ratio_error(dict_truth, dict_estimate.estimate):.4f}"],
+        [point.extra["algorithm"], f"{point.summary.mean:.4f}",
+         f"{truths[point.extra['algorithm']]:.4f}",
+         f"{ratio_error(truths[point.extra['algorithm']], point.summary.mean):.4f}"]
+        for point in points
     ]
     write_report(f"fig2_accuracy_f{fraction}", format_table(
         ["algorithm", "CF' (sample)", "CF (true)", "ratio error"], rows,

@@ -1,0 +1,212 @@
+"""Experiment `store_warm_start` — cold vs. warm runs of one batch.
+
+The persistent :class:`~repro.store.store.SampleStore` exists so that
+repeated invocations over the same stored tables (the compression-aware
+design-tool loop of Kimura et al.) skip re-drawing entirely. This bench
+measures exactly that: the same advisor-sized estimation batch runs
+three times against one store directory —
+
+1. **cold** — empty store: every sample materializes and writes through;
+2. **warm** — a fresh engine (simulating a new process) on the same
+   store: every finished estimate loads from disk, zero samples drawn;
+3. **sample-tier** — a previously unseen algorithm over the same
+   tables: estimates must be recomputed, but samples come from disk.
+
+It asserts the three runs' shared estimates are bit-identical, records
+wall-times plus per-tier hit counts, and persists the JSON baseline —
+``benchmarks/results/BENCH_store_warm_start.json`` — that CI uploads on
+every PR.
+
+Run it directly (it is a script, not a pytest module)::
+
+    PYTHONPATH=src python benchmarks/bench_store_warm_start.py           # full
+    PYTHONPATH=src python benchmarks/bench_store_warm_start.py --smoke   # CI
+
+Interpreting the numbers: the warm run's speedup grows with sample
+size and compression cost (both are skipped), and shrinks with disk
+latency; the sample-tier run sits in between because only the draw is
+skipped. All three are expected to beat cold even on a slow runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _common import RESULTS_DIR  # noqa: E402
+
+from repro._version import __version__  # noqa: E402
+from repro.engine import EstimationEngine, EstimationRequest  # noqa: E402
+from repro.experiments.runner import timed  # noqa: E402
+from repro.storage.index import IndexKind  # noqa: E402
+from repro.store import SampleStore  # noqa: E402
+from repro.workloads.generators import make_multicolumn_table  # noqa: E402
+
+MASTER_SEED = 5100
+
+FULL_ALGORITHMS = ["null_suppression", "global_dictionary", "dictionary",
+                   "prefix", "rle"]
+SMOKE_ALGORITHMS = ["null_suppression", "global_dictionary"]
+
+#: Algorithm held out of the first two runs to exercise the sample tier.
+HELD_OUT_ALGORITHM = "delta"
+
+
+def build_workload(smoke: bool) -> tuple[dict, list[tuple[str, tuple]]]:
+    """Tables plus the advisor's (table, column-set) candidate grid."""
+    scale = 1 if smoke else 8
+    tables = {
+        "orders": make_multicolumn_table(
+            "orders", 1_500 * scale,
+            [("status", 10, 6), ("customer", 24, 500),
+             ("region", 12, 20)], page_size=4096, seed=5101),
+        "parts": make_multicolumn_table(
+            "parts", 1_000 * scale,
+            [("sku", 24, 400), ("brand", 16, 30)],
+            page_size=4096, seed=5102),
+    }
+    key_sets = [
+        ("orders", ("status",)),
+        ("orders", ("customer",)),
+        ("orders", ("region",)),
+        ("parts", ("sku",)),
+        ("parts", ("brand",)),
+    ]
+    return tables, key_sets
+
+
+def build_requests(tables: dict, key_sets: list, algorithms: list,
+                   fraction: float, trials: int,
+                   ) -> list[EstimationRequest]:
+    requests = []
+    for table_name, key_columns in key_sets:
+        table = tables[table_name]
+        for algorithm in algorithms:
+            requests.append(EstimationRequest(
+                table=table, columns=key_columns, algorithm=algorithm,
+                fraction=fraction, trials=trials,
+                kind=IndexKind.NONCLUSTERED, page_size=table.page_size,
+                label=f"{table_name}:{','.join(key_columns)}"
+                      f":{algorithm}"))
+    return requests
+
+
+def fingerprint(batch) -> list[tuple]:
+    return [(estimate.estimate, estimate.sample_rows,
+             estimate.compressed_sample_bytes)
+            for result in batch.results
+            for estimate in result.estimates]
+
+
+def tier_counts(stats: dict) -> dict:
+    return {name: stats[name]
+            for name in ("samples_materialized", "sample_cache_hits",
+                         "sample_store_hits", "sample_store_writes",
+                         "estimate_store_hits", "estimate_store_writes",
+                         "estimates_computed")}
+
+
+def run(smoke: bool, store_dir: pathlib.Path | None,
+        output: pathlib.Path) -> dict:
+    algorithms = SMOKE_ALGORITHMS if smoke else FULL_ALGORITHMS
+    fraction = 0.05 if smoke else 0.2
+    trials = 1 if smoke else 5
+
+    cleanup = store_dir is None
+    if store_dir is None:
+        store_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-store-"))
+    store = SampleStore(store_dir)
+    try:
+        # Workloads rebuild per run on purpose: a warm start must work
+        # from *content*, not from object identity held in memory.
+        runs: dict[str, dict] = {}
+        prints: dict[str, list] = {}
+        for name, algos in (("cold", algorithms), ("warm", algorithms),
+                            ("sample_tier", [HELD_OUT_ALGORITHM])):
+            tables, key_sets = build_workload(smoke)
+            requests = build_requests(tables, key_sets, algos, fraction,
+                                      trials)
+            engine = EstimationEngine(seed=MASTER_SEED, store=store)
+            outcome = timed(lambda: engine.execute(requests))
+            runs[name] = {"seconds": outcome.seconds,
+                          "tiers": tier_counts(outcome.value.stats)}
+            prints[name] = fingerprint(outcome.value)
+
+        if prints["cold"] != prints["warm"]:
+            raise AssertionError(
+                "warm-start changed the estimates — the store broke "
+                "the determinism contract")
+        if runs["warm"]["tiers"]["samples_materialized"] != 0:
+            raise AssertionError(
+                "warm run drew samples; expected every unit to load "
+                "from the store")
+        if runs["sample_tier"]["tiers"]["samples_materialized"] != 0:
+            raise AssertionError(
+                "sample-tier run drew samples; expected disk hits")
+
+        store_stats = store.stats()
+        report = {
+            "experiment": "store_warm_start",
+            "version": __version__,
+            "mode": "smoke" if smoke else "full",
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "batch": {
+                "requests": len(algorithms) * 5,
+                "trial_units": len(algorithms) * 5 * trials,
+                "algorithms": algorithms,
+                "held_out_algorithm": HELD_OUT_ALGORITHM,
+                "fraction": fraction,
+                "trials": trials,
+            },
+            "runs": runs,
+            "warm_speedup_vs_cold": round(
+                runs["cold"]["seconds"] / runs["warm"]["seconds"], 3),
+            "sample_tier_speedup_vs_cold": round(
+                runs["cold"]["seconds"] /
+                runs["sample_tier"]["seconds"], 3),
+            "store": {
+                "entries": store_stats["total_entries"],
+                "bytes": store_stats["total_bytes"],
+            },
+            "estimates_identical": True,
+        }
+    finally:
+        if cleanup:
+            shutil.rmtree(store_dir, ignore_errors=True)
+    output.parent.mkdir(exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n",
+                      encoding="utf-8")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time cold vs. warm estimation batches against a "
+                    "persistent sample store.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized batch (seconds, not minutes)")
+    parser.add_argument("--store-dir", type=pathlib.Path, default=None,
+                        help="store directory to use (default: a "
+                             "temporary one, removed afterwards)")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=RESULTS_DIR / "BENCH_store_warm_start.json",
+                        help="where to write the JSON baseline")
+    args = parser.parse_args(argv)
+    report = run(args.smoke, args.store_dir, args.output)
+    print(json.dumps(report, indent=2))
+    print(f"\nbaseline written to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,7 @@ from repro._version import __version__
 from repro.errors import (AdvisorError, CompressionError, EncodingError,
                           EstimationError, ExperimentError, PageError,
                           PageFormatError, PageFullError, ReproError,
-                          SamplingError, SchemaError)
+                          SamplingError, SchemaError, StoreError)
 from repro.storage import (BPlusTree, CharType, Column, HeapFile, Index,
                            IndexKind, Page, RID, Schema, Table,
                            single_char_schema)
@@ -66,13 +66,14 @@ from repro.engine import (BatchResult, EstimationEngine, EstimationPlan,
                           ProcessPoolPlanExecutor, RequestResult,
                           SerialExecutor, ThreadPoolPlanExecutor,
                           default_engine, make_executor)
+from repro.store import SampleStore, open_store, table_fingerprint
 
 __all__ = [
     "__version__",
     # errors
     "AdvisorError", "CompressionError", "EncodingError", "EstimationError",
     "ExperimentError", "PageError", "PageFormatError", "PageFullError",
-    "ReproError", "SamplingError", "SchemaError",
+    "ReproError", "SamplingError", "SchemaError", "StoreError",
     # storage
     "BPlusTree", "CharType", "Column", "HeapFile", "Index", "IndexKind",
     "Page", "RID", "Schema", "Table", "single_char_schema",
@@ -102,4 +103,6 @@ __all__ = [
     "EstimationRequest", "MaterializedSample", "PlanUnit",
     "ProcessPoolPlanExecutor", "RequestResult", "SerialExecutor",
     "ThreadPoolPlanExecutor", "default_engine", "make_executor",
+    # store
+    "SampleStore", "open_store", "table_fingerprint",
 ]

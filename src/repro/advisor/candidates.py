@@ -40,6 +40,7 @@ from repro.advisor.cost import Query
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import EstimationEngine
     from repro.engine.executors import PlanExecutor
+    from repro.store.store import SampleStore
 
 SizeSource = Literal["samplecf", "exact"]
 
@@ -154,6 +155,7 @@ def enumerate_candidates_batch(
         engine: "EstimationEngine | None" = None,
         seed: SeedLike = None,
         executor: "PlanExecutor | str | None" = None,
+        store: "SampleStore | str | None" = None,
         ) -> list[CandidateIndex]:
     """Engine-backed candidate enumeration from data.
 
@@ -173,6 +175,12 @@ def enumerate_candidates_batch(
     batch is embarrassingly parallel and compress-heavy, which is
     exactly the shape the process pool is for; estimates are
     byte-identical across executors for a fixed seed.
+
+    ``store`` (a :class:`~repro.store.store.SampleStore` or a
+    directory path) attaches the persistent disk tier, so repeated
+    advisor runs over the same stored tables warm-start instead of
+    re-sampling — the paper's "design tools call the estimator many
+    times over the same data" scenario.
     """
     from repro.engine.engine import EstimationEngine  # lazy: cycle guard
     from repro.engine.requests import EstimationRequest
@@ -182,11 +190,17 @@ def enumerate_candidates_batch(
     if not resolved:
         raise AdvisorError("need at least one compression algorithm")
     if engine is None:
-        engine = EstimationEngine(seed=seed if seed is not None else 0)
-    elif seed is not None:
-        raise AdvisorError(
-            "pass either engine= or seed=, not both: a supplied "
-            "engine's master seed governs the randomness")
+        engine = EstimationEngine(seed=seed if seed is not None else 0,
+                                  store=store)
+    else:
+        if seed is not None:
+            raise AdvisorError(
+                "pass either engine= or seed=, not both: a supplied "
+                "engine's master seed governs the randomness")
+        if store is not None:
+            raise AdvisorError(
+                "pass either engine= or store=, not both: a supplied "
+                "engine already decided its persistence tier")
     key_sets = workload_key_sets(tables, queries)
     requests = []
     for table_name, key_columns in key_sets:

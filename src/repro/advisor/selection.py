@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compression.base import CompressionAlgorithm
     from repro.engine.engine import EstimationEngine
     from repro.engine.executors import PlanExecutor
+    from repro.store.store import SampleStore
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,7 @@ def advise_from_data(tables: dict[str, "Table"],
                      engine: "EstimationEngine | None" = None,
                      seed: SeedLike = None,
                      executor: "PlanExecutor | str | None" = None,
+                     store: "SampleStore | str | None" = None,
                      ) -> AdvisorResult:
     """End-to-end advisor run straight from live tables.
 
@@ -117,11 +119,15 @@ def advise_from_data(tables: dict[str, "Table"],
     loop — SampleCF inside a physical design tool — packaged as one
     call. ``executor`` (instance or name: ``"serial"``, ``"threads"``,
     ``"process"``) picks how the sizing batch runs; results are
-    byte-identical across executors for a fixed seed.
+    byte-identical across executors for a fixed seed. ``store`` (a
+    :class:`~repro.store.store.SampleStore` or directory path) makes
+    repeated advisor runs over the same stored tables warm-start from
+    the persistent sample/estimate store.
     """
     candidates = enumerate_candidates_batch(
         tables, queries, algorithms=algorithms, fraction=fraction,
-        trials=trials, engine=engine, seed=seed, executor=executor)
+        trials=trials, engine=engine, seed=seed, executor=executor,
+        store=store)
     return select_indexes(candidates, queries, stats_for_tables(tables),
                           storage_bound_bytes, model=model)
 

@@ -18,6 +18,11 @@ Examples::
     python -m repro estimate-batch spec.json --executor process
     echo '{"workloads": {...}, "requests": [...]}' | \
         python -m repro estimate-batch -
+    python -m repro estimate-batch spec.json --store-dir ~/.repro-store
+    python -m repro cache stats --store-dir ~/.repro-store
+    python -m repro cache prune --store-dir ~/.repro-store \
+        --max-bytes 104857600
+    python -m repro cache clear --store-dir ~/.repro-store
     python -m repro bounds theorem1 --n 100000000 --fraction 0.01
     python -m repro bounds theorem2 --n 1000000 --d 1000 --k 20 --p 2 \
         --fraction 0.01
@@ -40,6 +45,8 @@ import pathlib
 import sys
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro._version import __version__
 from repro.errors import ReproError
 from repro.compression.registry import get_algorithm, list_algorithms
@@ -52,8 +59,9 @@ from repro.engine.engine import EstimationEngine
 from repro.engine.executors import EXECUTOR_NAMES, make_executor
 from repro.engine.requests import EstimationRequest
 from repro.experiments.registry import list_experiments
-from repro.experiments.report import format_table
-from repro.experiments.runner import run_trials
+from repro.experiments.report import fmt_bytes, format_table
+from repro.sampling.rng import make_rng
+from repro.store import SampleStore
 from repro.workloads.generators import histogram_to_table, make_histogram
 from repro.workloads.scenarios import SCENARIOS, get_scenario
 
@@ -96,6 +104,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="also compute the exact CF and the "
                                "ratio error")
     estimate.add_argument("--page-size", type=int, default=8192)
+    estimate.add_argument("--store-dir", default=None,
+                          help="persistent sample/estimate store "
+                               "directory; repeated runs over the same "
+                               "workload warm-start from disk")
 
     batch = commands.add_parser(
         "estimate-batch",
@@ -115,6 +127,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker count for thread/process executors")
     batch.add_argument("--indent", type=int, default=2,
                        help="JSON output indentation (default: 2)")
+    batch.add_argument("--store-dir", default=None,
+                       help="persistent sample/estimate store directory; "
+                            "a repeated batch over the same workloads "
+                            "reports 0 sample materializations (all "
+                            "tiers served from disk)")
+
+    cache = commands.add_parser(
+        "cache",
+        help="inspect and maintain a persistent sample/estimate store")
+    cache_commands = cache.add_subparsers(dest="cache_command",
+                                          required=True)
+    cache_stats = cache_commands.add_parser(
+        "stats", help="entry counts, byte totals, and quarantine state")
+    cache_prune = cache_commands.add_parser(
+        "prune", help="evict least-recently-used entries to a budget")
+    cache_prune.add_argument("--max-bytes", type=int, required=True,
+                             help="target size; LRU entries are evicted "
+                                  "until the store fits")
+    cache_clear = cache_commands.add_parser(
+        "clear", help="remove every stored sample and estimate")
+    for sub in (cache_stats, cache_prune, cache_clear):
+        sub.add_argument("--store-dir", required=True,
+                         help="store directory to operate on")
 
     bounds = commands.add_parser(
         "bounds", help="evaluate the paper's analytic bounds")
@@ -175,7 +210,15 @@ def _cmd_estimate(args: argparse.Namespace) -> str:
                                    seed=args.seed)
         workload = f"n={args.n:,} d={args.d:,} k={args.k}"
     algorithm = get_algorithm(args.algorithm)
-    estimator = SampleCF(algorithm, page_size=args.page_size)
+    # Always a private engine, never the process-wide default one: the
+    # int-seeded per-trial samples below are never-reusable draws that
+    # must not pin rows in (or evict reusable samples from) a shared
+    # cache. With --store-dir the engine is store-backed, so
+    # deterministic estimates persist and re-running the same command
+    # is a disk read.
+    engine = EstimationEngine(seed=args.seed, store=args.store_dir)
+    estimator = SampleCF(algorithm, page_size=args.page_size,
+                         engine=engine)
     lines = [f"workload  : {workload} "
              f"(n={histogram.n:,}, d={histogram.d:,}, "
              f"{histogram.dtype.name})",
@@ -189,10 +232,17 @@ def _cmd_estimate(args: argparse.Namespace) -> str:
                      f"d' = {estimate.sample_distinct:,})")
         point = estimate.estimate
     else:
-        estimates = run_trials(
-            lambda rng: estimator.estimate_histogram(
-                histogram, args.fraction, seed=rng).estimate,
-            trials=args.trials, seed=args.seed)
+        # Integer trial seeds drawn from the same stream spawn_rngs
+        # would use, so the numbers match the historical run_trials
+        # path bit for bit — but int-seeded estimates are cacheable,
+        # which is what lets --store-dir persist multi-trial runs
+        # (opaque Generator seeds bypass the store by design).
+        trial_seeds = make_rng(args.seed).integers(0, 2 ** 63 - 1,
+                                                   size=args.trials)
+        estimates = np.asarray(
+            [estimator.estimate_histogram(histogram, args.fraction,
+                                          seed=int(trial_seed)).estimate
+             for trial_seed in trial_seeds], dtype=np.float64)
         point = float(estimates.mean())
         lines.append(f"estimate  : mean CF' = {point:.6f} over "
                      f"{args.trials} trials "
@@ -305,9 +355,11 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> str:
                 for position, item in enumerate(request_specs)]
     seed = args.seed if args.seed is not None else int(spec.get("seed", 0))
     executor_name = args.executor or spec.get("executor", "serial")
+    store_dir = args.store_dir or spec.get("store_dir")
     engine = EstimationEngine(
         seed=seed, executor=make_executor(executor_name,
-                                          max_workers=args.workers))
+                                          max_workers=args.workers),
+        store=store_dir)
     plan = engine.plan(requests)
     batch = engine.execute(plan)
     results = []
@@ -329,6 +381,7 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> str:
     payload = {
         "seed": seed,
         "executor": executor_name,
+        "store_dir": store_dir,
         "plan": {
             "requests": plan.num_requests,
             "unique_requests": plan.num_unique,
@@ -341,6 +394,35 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> str:
     }
     indent = args.indent if args.indent and args.indent > 0 else None
     return json.dumps(payload, indent=indent)
+
+
+def _cmd_cache(args: argparse.Namespace) -> str:
+    store = SampleStore(args.store_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        rows = [
+            ["samples", f"{stats['samples']['entries']:,}",
+             fmt_bytes(stats["samples"]["bytes"])],
+            ["estimates", f"{stats['estimates']['entries']:,}",
+             fmt_bytes(stats["estimates"]["bytes"])],
+            ["quarantined", f"{stats['quarantined']['entries']:,}",
+             fmt_bytes(stats["quarantined"]["bytes"])],
+            ["total", f"{stats['total_entries']:,}",
+             fmt_bytes(stats["total_bytes"])],
+        ]
+        table = format_table(["kind", "entries", "bytes"], rows,
+                             title=f"store {stats['root']} "
+                                   f"(format {stats['format']})")
+        budget = ("unbounded" if stats["max_bytes"] is None
+                  else fmt_bytes(stats["max_bytes"]))
+        return f"{table}\nsize budget: {budget}"
+    if args.cache_command == "prune":
+        outcome = store.prune(args.max_bytes)
+        return (f"evicted {outcome['evicted_entries']} entries "
+                f"({fmt_bytes(outcome['evicted_bytes'])}); "
+                f"{fmt_bytes(outcome['remaining_bytes'])} remain")
+    removed = store.clear()
+    return f"removed {removed} entries from {store.root}"
 
 
 def _cmd_bounds(args: argparse.Namespace) -> str:
@@ -377,6 +459,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _cmd_estimate(args)
         elif args.command == "estimate-batch":
             output = _cmd_estimate_batch(args)
+        elif args.command == "cache":
+            output = _cmd_cache(args)
         elif args.command == "bounds":
             output = _cmd_bounds(args)
         else:  # pragma: no cover - argparse enforces choices

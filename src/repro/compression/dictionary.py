@@ -87,6 +87,14 @@ class _DictionaryCodec:
             return self.pointer_bytes
         return pointer_bytes_for(distinct)
 
+    def __repr__(self) -> str:
+        # Content-stable on purpose: the engine's canonical algorithm
+        # identity (and therefore every persistent store key) reprs
+        # instance state, and the default repr's memory address would
+        # make equal configurations look distinct across processes.
+        return (f"_DictionaryCodec(pointer_bytes={self.pointer_bytes}, "
+                f"entry_storage={self.entry_storage!r})")
+
     def compress_column(self, dtype: DataType, slices: Sequence[bytes],
                         ) -> CompressedColumn:
         entries: dict[bytes, int] = {}

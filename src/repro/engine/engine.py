@@ -25,8 +25,9 @@ or whether samples came from the cache — asserted by
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -39,6 +40,9 @@ from repro.engine.requests import (BatchResult, EstimationRequest,
                                    RequestResult)
 from repro.engine.samples import EngineStats, SampleCache
 from repro.engine.units import UnitContext, plan_units
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.store import SampleStore
 
 
 def _resolve_master_seed(seed: SeedLike) -> int:
@@ -62,20 +66,36 @@ class EstimationEngine:
         :func:`~repro.engine.executors.make_executor`); serial unless
         given.
     sample_cache_size:
-        LRU capacity, counted in materialized samples. Samples persist
-        across ``execute`` calls, so repeated advisor/sweep runs over
-        the same tables reuse prior draws.
+        Memory-tier LRU capacity, counted in materialized samples.
+        ``None`` (the default) resolves via the
+        ``REPRO_SAMPLE_CACHE_SIZE`` environment variable, falling back
+        to 64. Samples persist across ``execute`` calls, so repeated
+        advisor/sweep runs over the same tables reuse prior draws.
+    store:
+        Optional disk tier: a :class:`~repro.store.store.SampleStore`
+        handle or a directory path to open one at. With a store, every
+        cacheable unit resolves estimate-on-disk -> sample-in-memory ->
+        sample-on-disk -> materialize, and new samples/estimates are
+        written through — which is what lets a *different process* (or
+        a later run) warm-start instead of re-drawing.
     """
 
     def __init__(self, seed: SeedLike = 0,
                  executor: PlanExecutor | str | None = None,
-                 sample_cache_size: int = 64) -> None:
+                 sample_cache_size: int | None = None,
+                 store: "SampleStore | str | os.PathLike | None" = None,
+                 ) -> None:
         self.master_seed = _resolve_master_seed(seed)
         if isinstance(executor, str):
             executor = make_executor(executor)
         self.executor: PlanExecutor = executor or SerialExecutor()
         self.cache = SampleCache(sample_cache_size)
-        self.stats = EngineStats()
+        if store is not None:
+            from repro.store.store import open_store  # lazy: cycle guard
+
+            store = open_store(store)
+        self.store: "SampleStore | None" = store
+        self.stats = EngineStats(cache=self.cache)
 
     # ------------------------------------------------------------------
     # Planning
@@ -111,7 +131,8 @@ class EstimationEngine:
         local.add("unique_requests", plan.num_unique)
         local.add("trials", plan.num_units)
         units = plan_units(plan)
-        context = UnitContext(cache=self.cache, stats=local)
+        context = UnitContext(cache=self.cache, stats=local,
+                              store=self.store)
         values = runner.run(units, context)
         estimates_by_node: list[tuple[SampleCFEstimate, ...]] = []
         cursor = 0
@@ -132,9 +153,11 @@ class EstimationEngine:
         return self.execute([request]).results[0]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        store_note = (f", store={str(self.store.root)!r}"
+                      if self.store is not None else "")
         return (f"EstimationEngine(seed={self.master_seed}, "
                 f"executor={self.executor.name!r}, "
-                f"cached_samples={len(self.cache)})")
+                f"cached_samples={len(self.cache)}{store_note})")
 
 
 # ----------------------------------------------------------------------

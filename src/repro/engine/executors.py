@@ -96,18 +96,23 @@ _WORKER_UNITS: tuple[PlanUnit, ...] = ()
 _WORKER_CONTEXT: UnitContext | None = None
 
 
-def _init_worker(blob: bytes) -> None:
+def _init_worker(blob: bytes, store_blob: bytes | None = None) -> None:
     """Pool initializer: install this worker's units and context.
 
     The unit list arrives as one pre-pickled blob so sources shared by
     many units (the same Table object) deserialize to *one* object per
     worker — which is what keeps the worker's identity-keyed sample
-    cache effective.
+    cache effective. When the parent engine has a persistent store, its
+    handle ships too (a store pickles as its configuration and reopens
+    on the same directory), so all workers share one disk tier instead
+    of private cold caches — a sample any worker materializes is a disk
+    hit for every other worker, and for every later run.
     """
     global _WORKER_UNITS, _WORKER_CONTEXT
     _WORKER_UNITS = tuple(pickle.loads(blob))
-    _WORKER_CONTEXT = UnitContext(cache=SampleCache(64),
-                                  stats=EngineStats())
+    store = pickle.loads(store_blob) if store_blob is not None else None
+    _WORKER_CONTEXT = UnitContext(cache=SampleCache(),
+                                  stats=EngineStats(), store=store)
 
 
 def _run_worker_unit(position: int) -> tuple[object, dict]:
@@ -139,11 +144,14 @@ class ProcessPoolPlanExecutor:
     * units with opaque ``Generator`` seeds run in the parent process
       instead (pickling would fork the generator's stream and silently
       decouple it from the caller's object);
-    * each worker keeps a private sample cache; cross-worker sharing is
-      lost, but estimates stay byte-identical to the serial executor
-      because all randomness was resolved at plan time. Worker stats
-      deltas are merged into the batch's counters, so reuse accounting
-      stays truthful (hit counts depend on how units land on workers).
+    * each worker keeps a private in-memory sample cache; when the
+      engine has a persistent :class:`~repro.store.store.SampleStore`,
+      workers share it as a common disk tier (one worker materializes,
+      the rest — and later runs — hit disk). Estimates stay
+      byte-identical to the serial executor either way because all
+      randomness was resolved at plan time. Worker stats deltas are
+      merged into the batch's counters, so reuse accounting stays
+      truthful (hit counts depend on how units land on workers).
     """
 
     name = "process"
@@ -192,11 +200,15 @@ class ProcessPoolPlanExecutor:
             raise EstimationError(
                 f"plan units are not picklable for process execution: "
                 f"{exc}") from exc
+        store_blob = (pickle.dumps(context.store,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+                      if context.store is not None else None)
         mp_context = multiprocessing.get_context(self.start_method)
         workers = min(self.max_workers, len(shipped))
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers, mp_context=mp_context,
-                initializer=_init_worker, initargs=(blob,)) as pool:
+                initializer=_init_worker,
+                initargs=(blob, store_blob)) as pool:
             futures = [pool.submit(_run_worker_unit, j)
                        for j in range(len(shipped))]
             for position, future in zip(remote, futures):

@@ -17,6 +17,7 @@ executor from duplicating work.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -152,6 +153,33 @@ def materialize_histogram_sample(histogram: ColumnHistogram,
                               path="histogram", histogram=sample)
 
 
+#: Fallback LRU capacity when neither kwarg nor environment sets one.
+DEFAULT_SAMPLE_CACHE_SIZE = 64
+
+#: Environment override for the default capacity (advisor runs over
+#: many tables may want more; memory-constrained workers, less).
+SAMPLE_CACHE_SIZE_ENV = "REPRO_SAMPLE_CACHE_SIZE"
+
+
+def resolve_sample_cache_size(size: int | None = None) -> int:
+    """The LRU capacity to use: explicit kwarg > environment > default.
+
+    Every place that builds a :class:`SampleCache` without an explicit
+    size (engines, process-pool workers) funnels through this, so one
+    ``REPRO_SAMPLE_CACHE_SIZE`` setting governs the whole process tree.
+    """
+    if size is not None:
+        return int(size)
+    raw = os.environ.get(SAMPLE_CACHE_SIZE_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_SAMPLE_CACHE_SIZE
+    try:
+        return int(raw)
+    except ValueError:
+        raise EstimationError(
+            f"{SAMPLE_CACHE_SIZE_ENV} must be an integer, got {raw!r}")
+
+
 class SampleCache:
     """Thread-safe LRU over materialized samples with single-flight.
 
@@ -161,7 +189,8 @@ class SampleCache:
     retries (and surfaces the error if it persists).
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
+        capacity = resolve_sample_cache_size(capacity)
         if capacity <= 0:
             raise EstimationError(
                 f"sample cache capacity must be positive, got {capacity}")
@@ -215,15 +244,28 @@ class SampleCache:
 
 
 class EngineStats:
-    """Thread-safe reuse counters the acceptance tests assert on."""
+    """Thread-safe reuse counters the acceptance tests assert on.
+
+    The ``*_store_*`` fields are the disk tier's movement: a sample (or
+    finished estimate) loaded from a persistent
+    :class:`~repro.store.store.SampleStore` counts as a store hit, not
+    a materialization — a fully warm run therefore reports
+    ``samples_materialized == 0``. When constructed with a ``cache``
+    backref, :meth:`as_dict` additionally reports the memory tier's
+    current size and capacity as gauges (they are not counters and
+    never participate in :meth:`merge`).
+    """
 
     FIELDS = ("requests", "unique_requests", "trials",
               "samples_materialized", "sample_cache_hits",
               "sample_rows_drawn", "indexes_built", "index_reuse_hits",
-              "estimates_computed")
+              "estimates_computed", "sample_store_hits",
+              "sample_store_writes", "estimate_store_hits",
+              "estimate_store_writes")
 
-    def __init__(self) -> None:
+    def __init__(self, cache: "SampleCache | None" = None) -> None:
         self._lock = threading.Lock()
+        self._cache = cache
         self._counts: dict[str, int] = {name: 0 for name in self.FIELDS}
 
     def add(self, name: str, amount: int = 1) -> None:
@@ -263,4 +305,9 @@ class EngineStats:
                 self._counts[name] += amount
 
     def as_dict(self) -> dict[str, Any]:
-        return self.snapshot()
+        """Counters plus, when a cache is attached, its size gauges."""
+        data: dict[str, Any] = self.snapshot()
+        if self._cache is not None:
+            data["sample_cache_size"] = len(self._cache)
+            data["sample_cache_capacity"] = self._cache.capacity
+        return data

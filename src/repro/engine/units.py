@@ -10,11 +10,21 @@ executor can ship units to worker processes and replay them there
 bit-identically.
 
 Runtime state travels separately as a :class:`UnitContext` (the sample
-cache to share and the stats counter to charge). In-process executors
-pass the engine's own context; process-pool workers build one private
-context per worker process. Because every unit's randomness was resolved
+cache to share, the stats counter to charge, and optionally the
+persistent :class:`~repro.store.store.SampleStore` forming the disk
+tier). In-process executors pass the engine's own context; process-pool
+workers build one private context per worker process (sharing the
+parent's store, when set). Because every unit's randomness was resolved
 at plan time, the *estimates* are byte-identical either way — only the
 cache-hit accounting differs.
+
+With a store attached, a unit resolves in tier order:
+
+1. finished estimate on disk — returns without touching any sample;
+2. sample in the memory LRU — shared across this process's batches;
+3. sample on disk — decoded rows land in the memory LRU;
+4. materialize — drawn from the source, then written through to both
+   tiers so every later run (in any process) hits.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from repro.engine.samples import (EngineStats, MaterializedSample,
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.plan import EstimationPlan
+    from repro.store.store import SampleStore
 
 
 @dataclass
@@ -38,6 +49,8 @@ class UnitContext:
 
     cache: SampleCache
     stats: EngineStats
+    #: Disk tier; ``None`` keeps the engine memory-only.
+    store: "SampleStore | None" = None
 
 
 @dataclass(frozen=True)
@@ -95,33 +108,121 @@ def _sample_for(unit: PlanUnit,
                 context: UnitContext) -> MaterializedSample:
     request = unit.request
     if request.is_table:
-        def factory() -> MaterializedSample:
+        def materialize() -> MaterializedSample:
             return materialize_table_sample(
                 request.table, request.sampler, request.fraction,
                 unit.seed)
     else:
-        def factory() -> MaterializedSample:
+        def materialize() -> MaterializedSample:
             return materialize_histogram_sample(
                 request.histogram, request.sampler, request.fraction,
                 unit.seed)
     if unit.sample_key is None:
-        sample = factory()
-        hit = False
-    else:
+        sample = materialize()
+        context.stats.add("samples_materialized")
+        context.stats.add("sample_rows_drawn", sample.sample_rows)
+        return sample
+    store = context.store
+    if store is None:
         sample, hit = context.cache.get_or_create(unit.sample_key,
+                                                  materialize)
+        if hit:
+            context.stats.add("sample_cache_hits")
+        else:
+            context.stats.add("samples_materialized")
+            context.stats.add("sample_rows_drawn", sample.sample_rows)
+        return sample
+    # Two-tier lookup: the disk probe nests inside the memory cache's
+    # single-flight factory, so a memory hit never touches disk and
+    # racing threads collapse to one disk read (or one materialize).
+    # The store is a cache tier, not a dependency: any StoreError
+    # (disk full, permissions, unreadable entry) degrades to a plain
+    # materialize so an estimable batch never dies on persistence.
+    from repro.errors import StoreError
+    from repro.store.fingerprint import (sample_store_key,
+                                         source_fingerprint)
+
+    tier = {"disk_hit": False, "stored": False}
+
+    def factory() -> MaterializedSample:
+        meta = {"source": source_fingerprint(unit),
+                "fraction": float(request.fraction),
+                "seed": int(unit.seed)}
+        try:
+            sample, disk_hit = store.get_or_create_sample(
+                sample_store_key(unit), materialize, meta)
+        except StoreError:
+            return materialize()
+        tier["disk_hit"] = disk_hit
+        tier["stored"] = not disk_hit
+        return sample
+
+    sample, mem_hit = context.cache.get_or_create(unit.sample_key,
                                                   factory)
-    if hit:
+    if mem_hit:
         context.stats.add("sample_cache_hits")
+    elif tier["disk_hit"]:
+        context.stats.add("sample_store_hits")
     else:
         context.stats.add("samples_materialized")
         context.stats.add("sample_rows_drawn", sample.sample_rows)
+        if tier["stored"]:
+            context.stats.add("sample_store_writes")
     return sample
+
+
+def _estimate_tier(unit: PlanUnit, context: UnitContext):
+    """``(store, key)`` when the unit's estimate may persist, else Nones.
+
+    Opaque-seed units have no reproducible identity, so they bypass the
+    store entirely (exactly like the memory cache).
+    """
+    if context.store is None or unit.sample_key is None:
+        return None, None
+    from repro.store.fingerprint import estimate_store_key
+
+    return context.store, estimate_store_key(unit)
+
+
+def _stored_estimate(store, key) -> SampleCFEstimate | None:
+    if store is None:
+        return None
+    from repro.errors import StoreError
+
+    try:
+        cached = store.get_estimate(key)
+    except StoreError:  # unreadable store == miss, never a crash
+        return None
+    if isinstance(cached, SampleCFEstimate):
+        return cached
+    return None
+
+
+def _persist_estimate(unit: PlanUnit, context: UnitContext, store, key,
+                      estimate: SampleCFEstimate) -> None:
+    if store is None:
+        return
+    from repro.errors import StoreError
+    from repro.store.fingerprint import source_fingerprint
+
+    try:
+        store.put_estimate(key, estimate,
+                           meta={"source": source_fingerprint(unit),
+                                 "algorithm": estimate.algorithm})
+    except StoreError:  # a cache-tier write failure loses only reuse
+        return
+    context.stats.add("estimate_store_writes")
 
 
 def run_table_unit(unit: PlanUnit,
                    context: UnitContext) -> SampleCFEstimate:
     """The literal Figure 2 path: sample rows, index them, compress."""
     request = unit.request
+    store, estimate_key = _estimate_tier(unit, context)
+    cached = _stored_estimate(store, estimate_key)
+    if cached is not None:
+        context.stats.add("estimate_store_hits")
+        return cached
     sample = _sample_for(unit, context)
     entry = sample.index_for(
         request.table, request.columns, request.kind,
@@ -132,7 +233,7 @@ def run_table_unit(unit: PlanUnit,
         request.algorithm, accounting=request.accounting,
         repack_pages=request.repack)
     context.stats.add("estimates_computed")
-    return SampleCFEstimate(
+    estimate = SampleCFEstimate(
         estimate=result.compression_fraction,
         sample_rows=len(sample.rows),
         sampling_fraction=request.fraction,
@@ -144,12 +245,19 @@ def run_table_unit(unit: PlanUnit,
         sample_distinct=entry.distinct,
         details={"pages_before": result.pages_before,
                  "pages_after": result.pages_after, **sample.extra})
+    _persist_estimate(unit, context, store, estimate_key, estimate)
+    return estimate
 
 
 def run_histogram_unit(unit: PlanUnit,
                        context: UnitContext) -> SampleCFEstimate:
     """The closed-form fast path over a sampled histogram."""
     request = unit.request
+    store, estimate_key = _estimate_tier(unit, context)
+    cached = _stored_estimate(store, estimate_key)
+    if cached is not None:
+        context.stats.add("estimate_store_hits")
+        return cached
     sample = _sample_for(unit, context)
     histogram = sample.histogram
     estimate = request.algorithm.cf_from_histogram(
@@ -158,7 +266,7 @@ def run_histogram_unit(unit: PlanUnit,
         fill_factor=request.fill_factor)
     context.stats.add("estimates_computed")
     uncompressed = histogram.total_bytes
-    return SampleCFEstimate(
+    result = SampleCFEstimate(
         estimate=estimate,
         sample_rows=histogram.n,
         sampling_fraction=request.fraction,
@@ -169,3 +277,5 @@ def run_histogram_unit(unit: PlanUnit,
         compressed_sample_bytes=round(estimate * uncompressed),
         sample_distinct=histogram.d,
         details={})
+    _persist_estimate(unit, context, store, estimate_key, result)
+    return result

@@ -63,6 +63,10 @@ class EstimationError(ReproError):
     """An estimator could not produce an estimate (degenerate input)."""
 
 
+class StoreError(ReproError):
+    """The persistent sample/estimate store cannot serve a request."""
+
+
 class AdvisorError(ReproError):
     """The physical-design advisor received an infeasible problem."""
 

@@ -160,6 +160,16 @@ _SPECS = (
                     "vs exact sizes: decision agreement and cost gap.",
         bench_module="benchmarks/bench_advisor.py",
         modules=("repro.advisor",)),
+    ExperimentSpec(
+        id="perf-store",
+        paper_ref="(engine performance)",
+        title="Persistent store warm start",
+        description="Cold vs warm runs of one estimation batch against "
+                    "the content-addressed sample/estimate store: wall "
+                    "time, per-tier hit counts, and bit-identical "
+                    "estimates.",
+        bench_module="benchmarks/bench_store_warm_start.py",
+        modules=("repro.store", "repro.engine")),
 )
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {spec.id: spec for spec in _SPECS}

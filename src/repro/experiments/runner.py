@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import EstimationEngine
     from repro.engine.executors import PlanExecutor
     from repro.engine.requests import EstimationRequest
+    from repro.store.store import SampleStore
 
 #: A trial function: receives a dedicated Generator, returns an estimate.
 TrialFn = Callable[[np.random.Generator], float]
@@ -90,7 +91,9 @@ def sweep(parameters: Iterable[Any],
 # Engine-backed execution (shared samples across trials and points)
 # ----------------------------------------------------------------------
 def _resolve_engine(engine: "EstimationEngine | None",
-                    seed: SeedLike) -> "EstimationEngine":
+                    seed: SeedLike,
+                    store: "SampleStore | str | None" = None,
+                    ) -> "EstimationEngine":
     from repro.engine.engine import EstimationEngine  # lazy: cycle guard
 
     if engine is not None:
@@ -98,8 +101,13 @@ def _resolve_engine(engine: "EstimationEngine | None",
             raise ExperimentError(
                 "pass either engine= or seed=, not both: a supplied "
                 "engine's master seed governs the randomness")
+        if store is not None:
+            raise ExperimentError(
+                "pass either engine= or store=, not both: a supplied "
+                "engine already decided its persistence tier")
         return engine
-    return EstimationEngine(seed=seed if seed is not None else 0)
+    return EstimationEngine(seed=seed if seed is not None else 0,
+                            store=store)
 
 
 def run_request_trials(request: "EstimationRequest",
@@ -107,6 +115,7 @@ def run_request_trials(request: "EstimationRequest",
                        engine: "EstimationEngine | None" = None,
                        seed: SeedLike = None,
                        executor: "PlanExecutor | str | None" = None,
+                       store: "SampleStore | str | None" = None,
                        ) -> np.ndarray:
     """Run one request's trials on the engine; returns the estimates.
 
@@ -114,15 +123,16 @@ def run_request_trials(request: "EstimationRequest",
     randomness derives from the engine's master seed and the request's
     sample scope, so re-running on a same-seeded engine replays
     exactly — on any ``executor`` (instance or name), since estimates
-    are executor-independent.
+    are executor-independent. ``store`` attaches the persistent disk
+    tier so repeated runs warm-start.
     """
     if trials is not None:
         if trials <= 0:
             raise ExperimentError(
                 f"need a positive trial count, got {trials}")
         request = request.with_trials(trials)
-    batch = _resolve_engine(engine, seed).execute([request],
-                                                  executor=executor)
+    batch = _resolve_engine(engine, seed, store).execute(
+        [request], executor=executor)
     return batch.results[0].values
 
 
@@ -143,6 +153,7 @@ def engine_sweep(parameters: Iterable[Any],
                  engine: "EstimationEngine | None" = None,
                  seed: SeedLike = None,
                  executor: "PlanExecutor | str | None" = None,
+                 store: "SampleStore | str | None" = None,
                  ) -> list[SweepPoint]:
     """Evaluate an estimator grid as **one** shared-sample batch.
 
@@ -153,12 +164,15 @@ def engine_sweep(parameters: Iterable[Any],
     grids O(samples + points) instead of O(points × trials) full
     passes. ``executor`` (instance or name: ``"serial"``,
     ``"threads"``, ``"process"``) picks how that batch runs without
-    changing any estimate.
+    changing any estimate. ``store`` (a
+    :class:`~repro.store.store.SampleStore` or directory path) lets
+    whole artefact regenerations warm-start from samples and estimates
+    persisted by earlier sweeps.
     """
     if trials <= 0:
         raise ExperimentError(f"need a positive trial count, got {trials}")
     parameters = list(parameters)
-    resolved = _resolve_engine(engine, seed)
+    resolved = _resolve_engine(engine, seed, store)
     truths: list[float] = []
     extras: list[dict] = []
     requests: list["EstimationRequest"] = []

@@ -8,6 +8,7 @@ sampling) as well as record-level scans.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 from repro.constants import DEFAULT_PAGE_SIZE
@@ -23,6 +24,7 @@ class HeapFile:
         self.page_size = page_size
         self._pages: list[Page] = []
         self._record_count = 0
+        self._fingerprint: tuple[int, str] | None = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -103,6 +105,30 @@ class HeapFile:
         self._pages = [Page.from_bytes(image)
                        for image in state["images"]]
         self._record_count = sum(page.slot_count for page in self._pages)
+        self._fingerprint = None
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def content_fingerprint(self) -> str:
+        """SHA-256 hex digest of the heap's page images.
+
+        This is the content identity the persistent sample store keys
+        on: two heaps holding byte-identical pages fingerprint equally
+        regardless of process, object identity, or how they were built.
+        Memoized per record count — heaps are append-only, so any
+        mutation changes ``num_records`` and invalidates the memo.
+        """
+        cached = self._fingerprint
+        if cached is not None and cached[0] == self._record_count:
+            return cached[1]
+        digest = hashlib.sha256()
+        digest.update(f"heap:{self.page_size}:".encode("ascii"))
+        for page in self._pages:
+            digest.update(page.to_bytes())
+        fingerprint = digest.hexdigest()
+        self._fingerprint = (self._record_count, fingerprint)
+        return fingerprint
 
     # ------------------------------------------------------------------
     # Statistics

@@ -9,6 +9,7 @@ indexes. It also provides the two access paths the estimator needs:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Iterator, Sequence
 
 from repro.constants import DEFAULT_PAGE_SIZE
@@ -122,6 +123,25 @@ class Table:
     def pages(self) -> Iterator[Page]:
         """Heap pages (the block-sampling access path)."""
         return self.heap.pages()
+
+    def content_fingerprint(self) -> str:
+        """SHA-256 hex digest of the table's content (schema + heap).
+
+        Deliberately excludes the table *name*: the persistent sample
+        store is content-addressed, and two tables holding identical
+        rows under identical schemas draw identical samples for a fixed
+        seed, so they may share stored entries. Inserting a row changes
+        the heap and therefore the fingerprint, which is how stale
+        store entries are invalidated — old fingerprints simply stop
+        being looked up and age out of the store via eviction.
+        """
+        digest = hashlib.sha256()
+        schema_spec = ",".join(f"{column.name}:{column.dtype.name}"
+                               for column in self.schema.columns)
+        digest.update(f"table:{self.page_size}:{schema_spec}:"
+                      .encode("utf-8"))
+        digest.update(self.heap.content_fingerprint().encode("ascii"))
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Indexing

@@ -1,0 +1,44 @@
+"""Persistent content-addressed sample & estimate store.
+
+The disk tier of the engine's two-tier cache. Where the in-memory
+:class:`~repro.engine.samples.SampleCache` dedupes work within one
+process, a :class:`SampleStore` dedupes it across processes and runs:
+entries are keyed by *content* fingerprints (table content hash x
+sampler x fraction x seed, plus the full algorithm/layout identity for
+estimates), so any run that rebuilds the same workload warm-starts from
+disk. See :mod:`repro.store.store` for the layout and guarantees and
+:mod:`repro.store.fingerprint` for the key derivations.
+
+Typical use::
+
+    from repro.engine import EstimationEngine
+
+    engine = EstimationEngine(seed=7, store="~/.cache/repro-store")
+    engine.execute(requests)   # cold: materializes and persists
+    # ... any later process ...
+    engine = EstimationEngine(seed=7, store="~/.cache/repro-store")
+    engine.execute(requests)   # warm: zero samples materialized
+"""
+
+from repro.store.fingerprint import (digest_parts, estimate_store_key,
+                                     histogram_fingerprint,
+                                     sample_store_key, source_fingerprint,
+                                     table_fingerprint)
+from repro.store.locks import FileLock, HAVE_FLOCK
+from repro.store.store import (STORE_FORMAT, SampleStore, StoreEntry,
+                               open_store)
+
+__all__ = [
+    "FileLock",
+    "HAVE_FLOCK",
+    "STORE_FORMAT",
+    "SampleStore",
+    "StoreEntry",
+    "digest_parts",
+    "estimate_store_key",
+    "histogram_fingerprint",
+    "open_store",
+    "sample_store_key",
+    "source_fingerprint",
+    "table_fingerprint",
+]

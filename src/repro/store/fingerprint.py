@@ -1,0 +1,116 @@
+"""Content fingerprints and store keys for persistent caching.
+
+The in-memory :class:`~repro.engine.samples.SampleCache` keys on object
+*identity* (the Table/ColumnHistogram instance itself), which is exactly
+right inside one process and exactly wrong on disk: a persistent store
+must recognise "the same table" across processes, runs, and rebuilds.
+These helpers translate the engine's canonical identities into pure
+*content* keys:
+
+* :func:`source_fingerprint` — SHA-256 of the source's bytes (a table's
+  schema + page images, a histogram's dtype/values/counts);
+* :func:`sample_store_key` — what a drawn sample depends on: source
+  content x sampler x fraction x resolved seed;
+* :func:`estimate_store_key` — what a finished estimate additionally
+  depends on: columns, algorithm, index kind, accounting, layout.
+
+Keys are hex digests, so they double as filenames; two runs that build
+byte-identical workloads derive byte-identical keys, which is the whole
+warm-start story.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from repro.errors import StoreError
+from repro.engine.requests import algorithm_key, sampler_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cf_models import ColumnHistogram
+    from repro.engine.units import PlanUnit
+    from repro.storage.table import Table
+
+
+def digest_parts(*parts: object) -> str:
+    """A stable SHA-256 hex digest over description parts.
+
+    Same construction as the engine's seed derivation (string forms
+    joined on an unprintable separator) so the result is independent of
+    per-process hash randomisation and object identity.
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def histogram_fingerprint(histogram: "ColumnHistogram") -> str:
+    """Content identity of a histogram: dtype, values, counts.
+
+    Memoized on the instance — histograms are immutable in practice
+    (every transformation builds a new object), so a cached digest can
+    never go stale.
+    """
+    cached = getattr(histogram, "_content_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(f"histogram:{histogram.dtype.name}:"
+                  f"{int(histogram.n)}:".encode("utf-8"))
+    for value, count in zip(histogram.values, histogram.counts):
+        digest.update(f"{value!r}={int(count)}\x1f".encode("utf-8"))
+    fingerprint = digest.hexdigest()
+    histogram._content_fingerprint = fingerprint
+    return fingerprint
+
+
+def source_fingerprint(unit_or_request) -> str:
+    """Content fingerprint of a request's source (table or histogram)."""
+    request = getattr(unit_or_request, "request", unit_or_request)
+    if request.table is not None:
+        return request.table.content_fingerprint()
+    return histogram_fingerprint(request.histogram)
+
+
+def sample_store_key(unit: "PlanUnit") -> str:
+    """Disk key of the sample one plan unit draws.
+
+    Mirrors the in-memory cache key's *scope* — (source, sampler,
+    fraction, resolved seed) — but replaces object identity with
+    content. Units with opaque Generator seeds have no reproducible
+    identity and cannot be stored.
+    """
+    if unit.sample_key is None:
+        raise StoreError(
+            "a unit with an opaque Generator seed has no reproducible "
+            "store key")
+    return digest_parts("sample", source_fingerprint(unit),
+                        sampler_key(unit.request.sampler),
+                        repr(float(unit.request.fraction)),
+                        int(unit.seed))
+
+
+def estimate_store_key(unit: "PlanUnit") -> str:
+    """Disk key of the finished estimate one plan unit computes.
+
+    Everything that can change the estimate participates: the sample's
+    scope plus columns, algorithm (class and configuration), index
+    kind, accounting mode, repacking, and page layout.
+    """
+    if unit.sample_key is None:
+        raise StoreError(
+            "a unit with an opaque Generator seed has no reproducible "
+            "store key")
+    request = unit.request
+    return digest_parts(
+        "estimate", source_fingerprint(unit),
+        sampler_key(request.sampler), repr(float(request.fraction)),
+        int(unit.seed), request.columns,
+        algorithm_key(request.algorithm), request.kind.value,
+        request.accounting, request.repack, request.page_size,
+        repr(float(request.fill_factor)), request.record_bytes)
+
+
+def table_fingerprint(table: "Table") -> str:
+    """Convenience alias: a table's content fingerprint."""
+    return table.content_fingerprint()

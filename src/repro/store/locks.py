@@ -1,0 +1,76 @@
+"""Inter-process file locking for the persistent store.
+
+POSIX ``flock`` advisory locks wrapped in a context manager. Two
+processes materializing the same sample key serialize on a per-key lock
+file, so exactly one draws the sample (the other finds it on disk when
+the lock releases); structural mutations (eviction, prune, clear) hold
+the store-wide lock so a concurrent reader never observes a half-pruned
+directory listing.
+
+Locks are advisory and scoped to the store directory, so they compose
+with the engine's in-process ``SampleCache`` single-flight: the memory
+cache dedupes threads, the file lock dedupes processes. On platforms
+without ``fcntl`` the lock degrades to a no-op — writes stay safe
+(atomic tmp+rename) but cross-process single-materialization is no
+longer guaranteed.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+try:  # pragma: no cover - platform-dependent import
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+#: Whether real inter-process locking is available on this platform.
+HAVE_FLOCK = fcntl is not None
+
+
+class FileLock:
+    """An exclusive advisory lock on one path, used as a context manager.
+
+    Acquiring blocks until the current holder releases; the lock file
+    itself is left in place (removing it would race new acquirers on
+    POSIX flock semantics).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self._handle: int | None = None
+
+    def acquire(self) -> None:
+        if self._handle is not None:
+            raise RuntimeError(f"lock {self.path} is already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            except BaseException:
+                os.close(handle)
+                raise
+        self._handle = handle
+
+    def release(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+        finally:
+            os.close(handle)
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "held" if self._handle is not None else "free"
+        return f"FileLock({str(self.path)!r}, {state})"

@@ -126,8 +126,9 @@ class TestEstimateBatch:
         code, out, _ = run_cli(capsys, "estimate-batch", spec_path)
         assert code == 0
         payload = json.loads(out)
-        assert set(payload) == {"seed", "executor", "plan", "results",
-                                "stats"}
+        assert set(payload) == {"seed", "executor", "store_dir", "plan",
+                                "results", "stats"}
+        assert payload["store_dir"] is None
         assert payload["seed"] == 7
         assert len(payload["results"]) == len(BATCH_SPEC["requests"])
         first = payload["results"][0]
@@ -281,3 +282,94 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestStoreDir:
+    def test_warm_batch_materializes_nothing(self, capsys, spec_path,
+                                             tmp_path):
+        store_dir = str(tmp_path / "store")
+        code, cold_out, _ = run_cli(capsys, "estimate-batch", spec_path,
+                                    "--store-dir", store_dir)
+        assert code == 0
+        code, warm_out, _ = run_cli(capsys, "estimate-batch", spec_path,
+                                    "--store-dir", store_dir)
+        assert code == 0
+        cold = json.loads(cold_out)
+        warm = json.loads(warm_out)
+        assert cold["store_dir"] == store_dir
+        assert cold["stats"]["samples_materialized"] > 0
+        assert warm["stats"]["samples_materialized"] == 0
+        assert warm["stats"]["estimate_store_hits"] == \
+            warm["stats"]["trials"]
+        assert [r["estimates"] for r in cold["results"]] == \
+            [r["estimates"] for r in warm["results"]]
+
+    def test_store_does_not_change_estimates(self, capsys, spec_path,
+                                             tmp_path):
+        code, bare_out, _ = run_cli(capsys, "estimate-batch", spec_path)
+        code, stored_out, _ = run_cli(
+            capsys, "estimate-batch", spec_path,
+            "--store-dir", str(tmp_path / "store"))
+        bare = json.loads(bare_out)
+        stored = json.loads(stored_out)
+        assert [r["estimates"] for r in bare["results"]] == \
+            [r["estimates"] for r in stored["results"]]
+
+    def test_estimate_single_uses_store(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        args = ("estimate", "--scenario", "status_codes", "--rows",
+                "3000", "--fraction", "0.02", "--seed", "3",
+                "--store-dir", store_dir)
+        code, first, _ = run_cli(capsys, *args)
+        assert code == 0
+        code, second, _ = run_cli(capsys, *args)
+        assert code == 0
+        assert first == second
+        code, stats_out, _ = run_cli(capsys, "cache", "stats",
+                                     "--store-dir", store_dir)
+        assert code == 0
+        assert "estimates" in stats_out
+
+
+class TestCacheCommands:
+    def _populate(self, capsys, spec_path, store_dir):
+        code, _, _ = run_cli(capsys, "estimate-batch", spec_path,
+                             "--store-dir", store_dir)
+        assert code == 0
+
+    def test_stats_lists_kinds(self, capsys, spec_path, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self._populate(capsys, spec_path, store_dir)
+        code, out, _ = run_cli(capsys, "cache", "stats",
+                               "--store-dir", store_dir)
+        assert code == 0
+        for word in ("samples", "estimates", "quarantined", "total",
+                     "size budget"):
+            assert word in out
+
+    def test_prune_respects_budget(self, capsys, spec_path, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self._populate(capsys, spec_path, store_dir)
+        code, out, _ = run_cli(capsys, "cache", "prune",
+                               "--store-dir", store_dir,
+                               "--max-bytes", "2000")
+        assert code == 0
+        assert "evicted" in out
+        from repro.store import SampleStore
+
+        assert SampleStore(store_dir).stats()["total_bytes"] <= 2000
+
+    def test_clear_empties_store(self, capsys, spec_path, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self._populate(capsys, spec_path, store_dir)
+        code, out, _ = run_cli(capsys, "cache", "clear",
+                               "--store-dir", store_dir)
+        assert code == 0
+        assert "removed" in out
+        code, out, _ = run_cli(capsys, "cache", "stats",
+                               "--store-dir", store_dir)
+        assert "total       | 0" in out
+
+    def test_cache_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache"])

@@ -8,7 +8,7 @@ import pytest
 import repro
 
 SUBPACKAGES = ("storage", "compression", "sampling", "core", "workloads",
-               "advisor", "experiments")
+               "advisor", "experiments", "engine", "store")
 
 
 class TestExports:
