@@ -13,6 +13,8 @@ from repro.compression.delta import DeltaEncoding, delta_stored_size
 from repro.compression.dictionary import (DictionaryCompression,
                                           pointer_bytes_for)
 from repro.compression.global_dictionary import GlobalDictionaryCompression
+from repro.compression.kernels import (ColumnView, DISABLE_KERNELS_ENV,
+                                       build_column_views, kernels_enabled)
 from repro.compression.null_suppression import (NullSuppression,
                                                 ns_header_bytes,
                                                 ns_stored_size)
@@ -39,8 +41,12 @@ __all__ = [
     "PrefixCompression",
     "RunLengthEncoding",
     "COMPRESSION_INFO_BYTES",
+    "ColumnView",
+    "DISABLE_KERNELS_ENV",
     "RepackResult",
+    "build_column_views",
     "common_prefix",
+    "kernels_enabled",
     "compressed_page_capacity",
     "get_algorithm",
     "list_algorithms",

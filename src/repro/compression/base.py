@@ -39,11 +39,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Literal, Sequence
+from typing import TYPE_CHECKING, Literal, Sequence
 
-from repro.errors import CompressionError
-from repro.storage.record import split_record
+from repro.errors import CompressionError, KernelUnavailable
+from repro.storage.record import split_records
 from repro.storage.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compression.kernels import ColumnView
 
 Scope = Literal["page", "index"]
 
@@ -125,6 +128,21 @@ class CompressionAlgorithm(ABC):
         """Exactly invert :meth:`compress`."""
 
     # -- optional capabilities -----------------------------------------
+    def size_of(self, views: Sequence["ColumnView"], schema: Schema,
+                ) -> int:
+        """Exact ``compress(...).payload_size`` without building blobs.
+
+        ``views`` is the columnar form of one unit's records (see
+        :func:`repro.compression.kernels.build_column_views`), one view
+        per schema column. Implementations must be **bit-identical** to
+        the scalar path — the estimator treats the two routes as
+        interchangeable, including for persisted estimates. Raise
+        :class:`~repro.errors.KernelUnavailable` for any input the
+        kernel does not cover; callers fall back to :meth:`compress`.
+        """
+        raise KernelUnavailable(
+            f"{self.name} has no vectorized size kernel")
+
     def make_tracker(self, schema: Schema) -> PageSizeTracker:
         """An incremental size tracker for repacking (if supported)."""
         raise CompressionError(
@@ -149,28 +167,16 @@ class CompressionAlgorithm(ABC):
                   ) -> list[list[bytes]]:
         """Transpose records into per-column slice lists.
 
-        Uses fixed offsets when the schema is fully fixed-width (the
-        common case) and the general record splitter otherwise.
+        Delegates to the batch record splitter, which resolves memoized
+        fixed-width offsets once per schema (the common case) and walks
+        variable-width records individually otherwise.
         """
-        columns: list[list[bytes]] = [[] for _ in schema.columns]
-        if schema.is_fixed:
-            offsets = [0]
-            for col in schema.columns:
-                offsets.append(offsets[-1] + col.dtype.fixed_size)
-            width = offsets[-1]
-            for record in records:
-                if len(record) != width:
-                    raise CompressionError(
-                        f"record of {len(record)} bytes does not match "
-                        f"fixed schema width {width}")
-                for position in range(len(schema)):
-                    columns[position].append(
-                        record[offsets[position]:offsets[position + 1]])
-            return columns
-        for record in records:
-            for position, chunk in enumerate(split_record(schema, record)):
-                columns[position].append(chunk)
-        return columns
+        from repro.errors import EncodingError
+
+        try:
+            return split_records(schema, records)
+        except EncodingError as exc:
+            raise CompressionError(str(exc)) from exc
 
     @staticmethod
     def recordize(columns: Sequence[Sequence[bytes]]) -> list[bytes]:

@@ -80,6 +80,22 @@ class DeltaEncoding(CompressionAlgorithm):
             previous = value
         return CompressedColumn(b"".join(parts), payload)
 
+    def size_of(self, views, schema: Schema) -> int:
+        """Vectorized delta payload: first value + widths of diffs.
+
+        Integer columns go through the delta sizing block (BIGINT
+        deltas are carried as uint64 magnitudes, since a difference of
+        two int64 values can need 9 bytes); other columns reuse the NS
+        sizing block, matching the scalar fallback.
+        """
+        from repro.compression.kernels import (delta_column_size,
+                                               ns_column_size)
+
+        return sum(
+            delta_column_size(view) if _is_integer(col.dtype)
+            else ns_column_size(view)
+            for col, view in zip(schema.columns, views))
+
     def decompress(self, block: CompressedBlock, schema: Schema,
                    ) -> list[bytes]:
         if len(block.columns) != len(schema):

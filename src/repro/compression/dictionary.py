@@ -125,6 +125,48 @@ class _DictionaryCodec:
         payload = entries_payload + len(pointers) * width
         return CompressedColumn(b"".join(parts), payload)
 
+    def size_of_column(self, dtype: DataType, view) -> int:
+        """Vectorized payload of :meth:`compress_column`.
+
+        Distinct values come from one ``np.unique`` over the column's
+        comparison matrix; entry storage costs are then sized on the
+        unique rows only. Bit-identical to the scalar loop, including
+        the pointer-overflow failure mode.
+        """
+        from repro.compression import kernels
+
+        if self.entry_storage == "fixed" \
+                and not isinstance(dtype, VarCharType):
+            # Entries cost cardinality x fixed width: the count-only
+            # route avoids materialising the unique rows at all.
+            distinct = kernels.distinct_count(view)
+        else:
+            uniques = kernels.unique_rows(view)
+            distinct = int(uniques.shape[0])
+        width = self.pointer_width(distinct)
+        if distinct > (1 << (8 * width)):
+            raise CompressionError(
+                f"{distinct} dictionary entries exceed a "
+                f"{width}-byte pointer")
+        if isinstance(dtype, VarCharType):
+            entries_payload = int(
+                kernels.varchar_slice_lengths(uniques).sum())
+        elif self.entry_storage == "fixed":
+            entries_payload = distinct * dtype.fixed_size
+        elif isinstance(dtype, CharType):
+            entries_payload = distinct * ns_header_bytes(dtype) \
+                + int(kernels.stripped_lengths(uniques).sum())
+        elif isinstance(dtype, (IntegerType, BigIntType)):
+            entry_view = kernels.ColumnView(dtype, distinct, matrix=uniques)
+            entries_payload = distinct + int(
+                kernels.minimal_int_widths(entry_view.int_values).sum())
+        else:
+            from repro.errors import KernelUnavailable
+
+            raise KernelUnavailable(
+                f"no dictionary size kernel for {dtype.name}")
+        return entries_payload + view.count * width
+
     def _encode_entry(self, dtype: DataType, slice_: bytes) -> bytes:
         """Blob representation of one entry (always self-describing)."""
         if self.entry_storage == "fixed":
@@ -203,6 +245,11 @@ class DictionaryCompression(CompressionAlgorithm):
             for col, slices in zip(schema.columns, columns))
         return CompressedBlock(algorithm=self.name, row_count=len(records),
                                columns=compressed)
+
+    def size_of(self, views, schema: Schema) -> int:
+        """Vectorized per-page dictionary payload (``np.unique`` based)."""
+        return sum(self._codec.size_of_column(col.dtype, view)
+                   for col, view in zip(schema.columns, views))
 
     def decompress(self, block: CompressedBlock, schema: Schema,
                    ) -> list[bytes]:

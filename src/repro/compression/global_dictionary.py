@@ -54,6 +54,11 @@ class GlobalDictionaryCompression(CompressionAlgorithm):
         return CompressedBlock(algorithm=self.name, row_count=len(records),
                                columns=compressed)
 
+    def size_of(self, views, schema: Schema) -> int:
+        """Vectorized global-dictionary payload over the whole index."""
+        return sum(self._codec.size_of_column(col.dtype, view)
+                   for col, view in zip(schema.columns, views))
+
     def decompress(self, block: CompressedBlock, schema: Schema,
                    ) -> list[bytes]:
         if len(block.columns) != len(schema):

@@ -194,6 +194,24 @@ class NullSuppression(CompressionAlgorithm):
             f"null suppression unsupported for {dtype.name}")
 
     # ------------------------------------------------------------------
+    # Size-only kernel
+    # ------------------------------------------------------------------
+    def size_of(self, views, schema: Schema) -> int:
+        """Vectorized NS payload: trailing-pad scan + minimal-int widths.
+
+        ``runs`` mode stays on the scalar path — its interior-run escape
+        encoding has no closed per-value length — which also keeps the
+        fallback route exercised in production.
+        """
+        from repro.errors import KernelUnavailable
+        from repro.compression.kernels import ns_column_size
+
+        if self.mode != "trailing":
+            raise KernelUnavailable(
+                "NS runs mode has no vectorized size kernel")
+        return sum(ns_column_size(view) for view in views)
+
+    # ------------------------------------------------------------------
     # Decompression
     # ------------------------------------------------------------------
     def decompress(self, block: CompressedBlock, schema: Schema,

@@ -101,6 +101,40 @@ class PageCompression(CompressionAlgorithm):
         payload += len(pointers) * width
         return CompressedColumn(b"".join(parts), payload)
 
+    def size_of(self, views, schema: Schema) -> int:
+        """Vectorized composite payload: prefix + dictionary + NS.
+
+        For a CHAR column the distinct *remainders* biject onto the
+        distinct stripped values (all share the page prefix), so one
+        ``np.unique`` over the padded rows yields both the dictionary
+        cardinality and, via the stripped lengths of the unique rows,
+        the total entry bytes. Non-CHAR columns reuse the
+        null-suppressed-entry dictionary kernel.
+        """
+        from repro.compression import kernels
+
+        total = 0
+        for col, view in zip(schema.columns, views):
+            dtype = col.dtype
+            if not isinstance(dtype, CharType):
+                total += self._codec.size_of_column(dtype, view)
+                continue
+            header = ns_header_bytes(dtype)
+            lengths = view.char_stripped_lengths
+            prefix_len = kernels.common_prefix_length(view.matrix, lengths)
+            uniques = kernels.unique_rows(view)
+            distinct = int(uniques.shape[0])
+            width = self._codec.pointer_width(max(distinct, 1))
+            if distinct > (1 << (8 * width)):
+                raise CompressionError(
+                    f"{distinct} dictionary entries exceed a "
+                    f"{width}-byte pointer")
+            entry_lengths = int(kernels.stripped_lengths(uniques).sum())
+            total += (header + prefix_len) \
+                + distinct * header + entry_lengths \
+                - distinct * prefix_len + view.count * width
+        return total
+
     def decompress(self, block: CompressedBlock, schema: Schema,
                    ) -> list[bytes]:
         if len(block.columns) != len(schema):

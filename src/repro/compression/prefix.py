@@ -84,6 +84,29 @@ class PrefixCompression(CompressionAlgorithm):
             payload += header + len(remainder)
         return CompressedColumn(b"".join(parts), payload)
 
+    def size_of(self, views, schema: Schema) -> int:
+        """Vectorized prefix payload: common-prefix scan + NS lengths.
+
+        Per CHAR column the closed form is
+        ``(c + |P|) + n*c + sum(l_i) - n*|P|``; other dtypes reuse the
+        NS sizing block (the scalar fallback they compress with).
+        """
+        from repro.compression.kernels import (common_prefix_length,
+                                               ns_column_size)
+
+        total = 0
+        for col, view in zip(schema.columns, views):
+            dtype = col.dtype
+            if not isinstance(dtype, CharType):
+                total += ns_column_size(view)
+                continue
+            header = ns_header_bytes(dtype)
+            lengths = view.char_stripped_lengths
+            prefix_len = common_prefix_length(view.matrix, lengths)
+            total += (header + prefix_len) + view.count * header \
+                + int(lengths.sum()) - view.count * prefix_len
+        return total
+
     def decompress(self, block: CompressedBlock, schema: Schema,
                    ) -> list[bytes]:
         if len(block.columns) != len(schema):

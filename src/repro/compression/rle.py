@@ -106,6 +106,30 @@ class RunLengthEncoding(CompressionAlgorithm):
             payload += rle_run_stored_size(dtype, value)
         return CompressedColumn(b"".join(parts), payload)
 
+    def size_of(self, views, schema: Schema) -> int:
+        """Vectorized RLE payload: run boundaries + NS'd run values."""
+        from repro.errors import KernelUnavailable
+        from repro.compression import kernels
+
+        total = 0
+        for col, view in zip(schema.columns, views):
+            dtype = col.dtype
+            starts = kernels.run_starts(view.comparison_matrix)
+            runs = int(starts.sum())
+            total += runs * RUN_COUNT_BYTES
+            if isinstance(dtype, CharType):
+                total += runs * ns_header_bytes(dtype) \
+                    + int(view.char_stripped_lengths[starts].sum())
+            elif isinstance(dtype, VarCharType):
+                total += int(view.lengths[starts].sum())
+            elif isinstance(dtype, (IntegerType, BigIntType)):
+                total += runs + int(kernels.minimal_int_widths(
+                    view.int_values[starts]).sum())
+            else:
+                raise KernelUnavailable(
+                    f"no RLE size kernel for {dtype.name}")
+        return total
+
     def decompress(self, block: CompressedBlock, schema: Schema,
                    ) -> list[bytes]:
         if len(block.columns) != len(schema):

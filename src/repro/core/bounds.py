@@ -125,7 +125,12 @@ def dict_small_d_bound(n: int, d: int, k: int, p: int, f: float,
     Both converge to 1 whenever ``d = o(n)`` with ``f`` fixed — the
     paper's "small d" regime where the ``p/k`` term dominates. The
     returned bound is deterministic (holds for every sample), which is
-    stronger than the theorem's expected-ratio-error statement.
+    stronger than the theorem's expected-ratio-error statement. The
+    derivation is in terms of the drawn sample size ``r = f n``; when a
+    sampler rounds ``r`` to an integer, pass the effective fraction
+    ``r / n`` — at tiny ``r`` the nominal fraction can overstate the
+    sample by up to half a row, which is enough to break the
+    deterministic claim.
     """
     _require_positive(n=n, d=d, k=k, p=p, f=f)
     if f > 1:

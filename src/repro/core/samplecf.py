@@ -216,7 +216,7 @@ class SampleCF:
                              extra_details: dict | None = None,
                              ) -> SampleCFEstimate:
         sample_index = index.clone_with_records(sampled)
-        result = sample_index.compress(
+        result = sample_index.estimate_compression(
             self.algorithm, accounting=self.accounting,
             repack_pages=self.repack)
         distinct = len({index.leaf_record_key(record)

@@ -250,10 +250,13 @@ class EngineStats:
     finished estimate) loaded from a persistent
     :class:`~repro.store.store.SampleStore` counts as a store hit, not
     a materialization — a fully warm run therefore reports
-    ``samples_materialized == 0``. When constructed with a ``cache``
-    backref, :meth:`as_dict` additionally reports the memory tier's
-    current size and capacity as gauges (they are not counters and
-    never participate in :meth:`merge`).
+    ``samples_materialized == 0``. ``size_kernel_hits`` /
+    ``size_scalar_fallbacks`` count compressed *blocks* (leaf pages,
+    or one whole index for index-scoped algorithms) sized by the
+    vectorized kernels versus the scalar compress path. When
+    constructed with a ``cache`` backref, :meth:`as_dict` additionally
+    reports the memory tier's current size and capacity as gauges
+    (they are not counters and never participate in :meth:`merge`).
     """
 
     FIELDS = ("requests", "unique_requests", "trials",
@@ -261,7 +264,8 @@ class EngineStats:
               "sample_rows_drawn", "indexes_built", "index_reuse_hits",
               "estimates_computed", "sample_store_hits",
               "sample_store_writes", "estimate_store_hits",
-              "estimate_store_writes")
+              "estimate_store_writes", "size_kernel_hits",
+              "size_scalar_fallbacks")
 
     def __init__(self, cache: "SampleCache | None" = None) -> None:
         self._lock = threading.Lock()

@@ -229,9 +229,14 @@ def run_table_unit(unit: PlanUnit,
         request.page_size, request.fill_factor,
         on_build=lambda: context.stats.add("indexes_built"),
         on_reuse=lambda: context.stats.add("index_reuse_hits"))
-    result = entry.index.compress(
+    # Size-only path: the estimator consumes sizes, not blobs, so the
+    # vectorized kernels compute payloads directly (bit-identical to
+    # compress(); the parity suite and the store contract rely on it).
+    result = entry.index.estimate_compression(
         request.algorithm, accounting=request.accounting,
-        repack_pages=request.repack)
+        repack_pages=request.repack,
+        on_kernel=lambda: context.stats.add("size_kernel_hits"),
+        on_fallback=lambda: context.stats.add("size_scalar_fallbacks"))
     context.stats.add("estimates_computed")
     estimate = SampleCFEstimate(
         estimate=result.compression_fraction,

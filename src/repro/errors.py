@@ -55,6 +55,17 @@ class CompressionError(ReproError):
     """A compression algorithm could not process the given records."""
 
 
+class KernelUnavailable(ReproError):
+    """No vectorized size kernel covers this algorithm/column combination.
+
+    Raised by :meth:`CompressionAlgorithm.size_of` implementations to
+    signal "use the scalar path"; callers treat it as a routing decision,
+    never as a failure, which is why it is not a
+    :class:`CompressionError` subclass (a genuine compression failure
+    must not be silently absorbed by the fallback).
+    """
+
+
 class SamplingError(ReproError):
     """A sampler received invalid parameters or an empty population."""
 

@@ -170,6 +170,16 @@ _SPECS = (
                     "estimates.",
         bench_module="benchmarks/bench_store_warm_start.py",
         modules=("repro.store", "repro.engine")),
+    ExperimentSpec(
+        id="perf-size-kernels",
+        paper_ref="(engine performance)",
+        title="Vectorized size-only kernels",
+        description="Scalar compress vs. size-only vectorized kernels "
+                    "per codec on the canonical clustered CHAR index: "
+                    "cold and batch-shared speedups, with bit-identical "
+                    "payload sizes asserted.",
+        bench_module="benchmarks/bench_size_kernels.py",
+        modules=("repro.compression.kernels", "repro.storage.index")),
 )
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {spec.id: spec for spec in _SPECS}

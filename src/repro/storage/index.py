@@ -25,10 +25,10 @@ from enum import Enum
 from typing import Any, Iterator, Literal, Sequence
 
 from repro.constants import (DEFAULT_FILL_FACTOR, DEFAULT_PAGE_SIZE)
-from repro.errors import CompressionError, IndexError_
+from repro.errors import CompressionError, IndexError_, KernelUnavailable
 from repro.storage.btree import DEFAULT_FANOUT, BPlusTree
 from repro.storage.page import Page
-from repro.storage.record import decode_record, encode_record
+from repro.storage.record import (decode_record, encode_record, record_key)
 from repro.storage.rid import RID
 from repro.storage.schema import Column, Schema
 from repro.storage.types import BigIntType
@@ -93,6 +93,29 @@ class Index:
             projected.append(Column(RID_COLUMN, BigIntType()))
             self.leaf_schema = Schema(projected)
         self._tree = BPlusTree(page_size=page_size, max_fanout=max_fanout)
+        # Columnar leaf views for the size-only estimation path, built
+        # lazily and shared by every algorithm sizing this index. The
+        # views (plus their derived arrays) cost a small multiple of
+        # the leaf payload in memory for as long as the index lives —
+        # sample indexes are small and their count is bounded by the
+        # engine's sample cache capacity (REPRO_SAMPLE_CACHE_SIZE).
+        self._size_view_cache: dict[str, list] = {}
+
+    def __getstate__(self) -> dict:
+        """Pickle without the kernel view cache (numpy arrays, bulky).
+
+        Sample indexes travel inside pickled
+        :class:`~repro.engine.samples.MaterializedSample` objects (to
+        process-pool workers and the persistent store); the views are
+        cheap to rebuild and must not inflate those payloads.
+        """
+        state = dict(self.__dict__)
+        state.pop("_size_view_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._size_view_cache = {}
 
     # ------------------------------------------------------------------
     # Building
@@ -125,6 +148,7 @@ class Index:
         self._tree = BPlusTree.bulk_load(
             entries, page_size=self.page_size, max_fanout=self.max_fanout,
             fill_factor=self.fill_factor)
+        self._size_view_cache.clear()
         return self
 
     def build_from_rows(self, rows: Sequence[Sequence[Any]]) -> "Index":
@@ -138,6 +162,7 @@ class Index:
         """Insert one row (with its RID for non-clustered indexes)."""
         self.table_schema.validate_row(row)
         self._tree.insert(self.key_of(row), self._leaf_record(row, rid))
+        self._size_view_cache.clear()
 
     # ------------------------------------------------------------------
     # Lookup
@@ -216,11 +241,17 @@ class Index:
         return out
 
     def leaf_record_key(self, record: bytes) -> tuple[Any, ...]:
-        """Extract the index key from a leaf record's bytes."""
-        entry = decode_record(self.leaf_schema, record)
+        """Extract the index key from a leaf record's bytes.
+
+        Decodes only the key columns: a clustered leaf skips the
+        non-key payload, a non-clustered leaf skips its RID locator —
+        this runs once per sampled record on the estimation path.
+        """
         if self.kind is IndexKind.CLUSTERED:
-            return self.key_of(entry)
-        return tuple(entry[:len(self.key_columns)])
+            return record_key(self.table_schema, record,
+                              self._key_positions)
+        return record_key(self.leaf_schema, record,
+                          range(len(self.key_columns)))
 
     def clone_with_records(self, records: Sequence[bytes]) -> "Index":
         """A new index with identical configuration over ``records``.
@@ -327,6 +358,143 @@ class Index:
             pages_after=result.num_pages,
             details={"compressed_payload": result.payload_size,
                      "repacked": True})
+
+    # ------------------------------------------------------------------
+    # Size-only estimation (vectorized kernels with scalar fallback)
+    # ------------------------------------------------------------------
+    def estimate_compression(self, algorithm: CompressionAlgorithm,
+                             accounting: Accounting = "payload",
+                             repack_pages: bool = False,
+                             on_kernel=None,
+                             on_fallback=None) -> CompressionResult:
+        """Size-only :meth:`compress`: same result, no blobs built.
+
+        The estimator only consumes sizes, so this path computes each
+        unit's exact ``payload_size`` with the vectorized kernels
+        (:mod:`repro.compression.kernels`) where they apply, and falls
+        back to :meth:`compress`'s scalar arithmetic per block where
+        they don't — results are bit-identical either way, which is
+        what keeps kernel-produced estimates interchangeable with
+        persisted scalar ones. Columnar leaf views are cached on the
+        index, so a batch of algorithms over one (sample) index splits
+        the leaves once.
+
+        ``on_kernel`` / ``on_fallback`` are per-block accounting hooks
+        (one block per leaf page, or one for an index-scoped
+        algorithm); the engine charges them to its
+        ``size_kernel_hits`` / ``size_scalar_fallbacks`` stats.
+        Repacked page-scope compression stays entirely on the scalar
+        path: bin-packing compressed records into fresh pages needs
+        the incremental trackers, not just totals.
+        """
+        if self.num_entries == 0:
+            raise CompressionError(
+                f"index {self.name!r} is empty; nothing to compress")
+        if accounting not in ("payload", "physical"):
+            raise CompressionError(f"unknown accounting {accounting!r}")
+        if algorithm.scope != "index" and repack_pages:
+            if on_fallback is not None:
+                on_fallback()
+            return self.compress(algorithm, accounting=accounting,
+                                 repack_pages=True)
+        pages_before = self._tree.num_leaf_pages
+        uncompressed = self.uncompressed_size(accounting)
+        if algorithm.scope == "index":
+            # Records stay a thunk: with warm views the kernel path
+            # never materializes the full leaf-record list.
+            payload = self._block_payload(
+                algorithm, lambda: list(self.leaf_records()),
+                self._index_views(), on_kernel, on_fallback)
+            capacity = compressed_page_capacity(self.page_size)
+            pages_after = max(1, -(-payload // capacity))
+            compressed = payload if accounting == "payload" \
+                else pages_after * self.page_size
+            return CompressionResult(
+                algorithm=algorithm.name, accounting=accounting,
+                uncompressed_bytes=uncompressed,
+                compressed_bytes=compressed,
+                row_count=self.num_entries, pages_before=pages_before,
+                pages_after=pages_after,
+                details={"compressed_payload": payload, "repacked": False})
+        payload = 0
+        leaf_views = self._leaf_views()
+        for position, leaf in enumerate(self._tree.leaves()):
+            views = leaf_views[position] if leaf_views is not None \
+                else None
+            payload += self._block_payload(algorithm, leaf.records,
+                                           views, on_kernel, on_fallback)
+        if accounting == "payload":
+            compressed = payload
+        else:
+            compressed = pages_before * self.page_size
+        return CompressionResult(
+            algorithm=algorithm.name, accounting=accounting,
+            uncompressed_bytes=uncompressed, compressed_bytes=compressed,
+            row_count=self.num_entries, pages_before=pages_before,
+            pages_after=pages_before,
+            details={"compressed_payload": payload, "repacked": False})
+
+    def _block_payload(self, algorithm: CompressionAlgorithm,
+                       records, views, on_kernel, on_fallback) -> int:
+        """One block's payload: kernel when covered, scalar otherwise.
+
+        ``records`` may be a thunk; it is only invoked on the scalar
+        fallback, so kernel-served blocks never pay for materializing
+        a record list.
+        """
+        if views is not None:
+            try:
+                size = algorithm.size_of(views, self.leaf_schema)
+            except KernelUnavailable:
+                size = None
+            if size is not None:
+                if on_kernel is not None:
+                    on_kernel()
+                return size
+        if on_fallback is not None:
+            on_fallback()
+        if callable(records):
+            records = records()
+        return algorithm.compress(records, self.leaf_schema).payload_size
+
+    def _leaf_views(self) -> list | None:
+        """Cached per-leaf columnar views (``None`` when disabled).
+
+        Built as row slices of the whole-index parent views from
+        :meth:`_index_views`, so leaf-scope and index-scope sizing —
+        and every algorithm and leaf within them — share one record
+        split and one set of derived arrays.
+        """
+        from repro.compression.kernels import (build_leaf_views,
+                                               kernels_enabled)
+
+        if not kernels_enabled():
+            return None
+        cached = self._size_view_cache.get("leaves")
+        if cached is None:
+            cached = build_leaf_views(
+                self.leaf_schema,
+                [leaf.records for leaf in self._tree.leaves()],
+                parents=self._index_views())
+            self._size_view_cache["leaves"] = [cached]
+        else:
+            cached = cached[0]
+        return cached
+
+    def _index_views(self):
+        """Cached whole-index columnar views (shared parent views)."""
+        from repro.compression.kernels import (build_column_views,
+                                               kernels_enabled)
+
+        if not kernels_enabled():
+            return None
+        cached = self._size_view_cache.get("index")
+        if cached is None:
+            cached = [build_column_views(self.leaf_schema,
+                                         list(self.leaf_records()),
+                                         trusted_lengths=True)]
+            self._size_view_cache["index"] = cached
+        return cached[0]
 
     def _compress_index_scope(self, algorithm: CompressionAlgorithm,
                               accounting: Accounting, uncompressed: int,

@@ -23,6 +23,8 @@ import struct
 from enum import IntEnum
 from typing import Iterator
 
+import numpy as np
+
 from repro.constants import (MIN_PAGE_SIZE, PAGE_HEADER_SIZE, SLOT_SIZE)
 from repro.errors import PageFormatError, PageFullError, RecordNotFoundError
 
@@ -197,18 +199,26 @@ class Page:
         except ValueError as exc:
             raise PageFormatError(f"unknown page type {raw_type}") from exc
         page = cls(len(image), page_id=page_id, page_type=page_type)
-        cursor = PAGE_HEADER_SIZE
-        for _ in range(slots):
-            if cursor + SLOT_SIZE > len(image):
-                raise PageFormatError("slot directory overruns page")
-            offset, length = struct.unpack_from(">HH", image, cursor)
-            cursor += SLOT_SIZE
-            if offset + length > len(image) or offset < PAGE_HEADER_SIZE:
-                raise PageFormatError(
-                    f"slot points outside page: offset={offset}, "
-                    f"length={length}")
-            page._records.append(bytes(image[offset:offset + length]))
-            page._payload_bytes += length
+        if PAGE_HEADER_SIZE + SLOT_SIZE * slots > len(image):
+            raise PageFormatError("slot directory overruns page")
+        # One vectorized parse of the whole slot directory: pages are
+        # re-materialized in bulk on the store-load and process-pool
+        # paths, where a per-slot struct.unpack loop shows up.
+        directory = np.frombuffer(image, dtype=">u2",
+                                  count=2 * slots,
+                                  offset=PAGE_HEADER_SIZE)
+        offsets = directory[0::2].astype(np.int64)
+        lengths = directory[1::2].astype(np.int64)
+        bad = (offsets + lengths > len(image)) | (offsets < PAGE_HEADER_SIZE)
+        if bad.any():
+            first = int(np.argmax(bad))
+            raise PageFormatError(
+                f"slot points outside page: offset={int(offsets[first])}, "
+                f"length={int(lengths[first])}")
+        page._records = [bytes(image[offset:offset + length])
+                         for offset, length in zip(offsets.tolist(),
+                                                   lengths.tolist())]
+        page._payload_bytes = int(lengths.sum())
         if page.used_bytes > page.page_size:
             raise PageFormatError("page image overflows its declared size")
         return page

@@ -10,11 +10,31 @@ size defines the denominator of the compression fraction.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Sequence
 
 from repro.errors import EncodingError
 from repro.storage.schema import Schema
 from repro.storage.types import VarCharType
+
+
+@lru_cache(maxsize=256)
+def fixed_column_offsets(schema: Schema) -> tuple[int, ...] | None:
+    """Fence-post byte offsets of a fully fixed-width schema's columns.
+
+    Returns ``(0, w0, w0+w1, ..., row_width)`` — one more entry than
+    there are columns — or ``None`` when any column is variable-width.
+    Schemas hash by their column list, so every page split / columnize
+    over the same schema shares one computed layout instead of
+    rebuilding it per call.
+    """
+    offsets = [0]
+    for col in schema.columns:
+        size = col.dtype.fixed_size
+        if size is None:
+            return None
+        offsets.append(offsets[-1] + size)
+    return tuple(offsets)
 
 
 def encode_record(schema: Schema, row: Sequence[Any]) -> bytes:
@@ -65,6 +85,14 @@ def split_record(schema: Schema, data: bytes) -> list[bytes]:
     II-A: "In the case of multi-column indexes, each column is compressed
     independently"), so they consume records in this split form.
     """
+    offsets = fixed_column_offsets(schema)
+    if offsets is not None:
+        if len(data) != offsets[-1]:
+            raise EncodingError(
+                f"record of {len(data)} bytes does not match fixed "
+                f"schema width {offsets[-1]}")
+        return [data[offsets[i]:offsets[i + 1]]
+                for i in range(len(offsets) - 1)]
     slices: list[bytes] = []
     offset = 0
     for col in schema.columns:
@@ -92,8 +120,82 @@ def split_record(schema: Schema, data: bytes) -> list[bytes]:
     return slices
 
 
+def split_records(schema: Schema, records: Sequence[bytes],
+                  ) -> list[list[bytes]]:
+    """Batch form of :func:`split_record`: one slice list per *column*.
+
+    Splitting a whole page at once amortizes the schema walk: fixed
+    schemas resolve their memoized offsets once for the entire batch,
+    variable schemas pay one :func:`split_record` per record (as
+    before) but build the transposed per-column lists directly.
+    """
+    columns: list[list[bytes]] = [[] for _ in schema.columns]
+    offsets = fixed_column_offsets(schema)
+    if offsets is not None:
+        width = offsets[-1]
+        spans = [(offsets[i], offsets[i + 1])
+                 for i in range(len(offsets) - 1)]
+        for record in records:
+            if len(record) != width:
+                raise EncodingError(
+                    f"record of {len(record)} bytes does not match "
+                    f"fixed schema width {width}")
+            for position, (start, end) in enumerate(spans):
+                columns[position].append(record[start:end])
+        return columns
+    for record in records:
+        for position, chunk in enumerate(split_record(schema, record)):
+            columns[position].append(chunk)
+    return columns
+
+
 def record_key(schema: Schema, data: bytes, key_positions: Sequence[int],
                ) -> tuple[Any, ...]:
-    """Extract the key tuple at ``key_positions`` from record bytes."""
-    row = decode_record(schema, data)
-    return tuple(row[i] for i in key_positions)
+    """Extract the key tuple at ``key_positions`` from record bytes.
+
+    Only the requested columns are decoded; the rest of the record is
+    skipped over (fixed-width columns by their memoized offsets,
+    VARCHARs by their length prefix). Truncated or oversized records
+    still raise :class:`EncodingError`, exactly like a full decode.
+    """
+    wanted = set(key_positions)
+    values: dict[int, Any] = {}
+    offsets = fixed_column_offsets(schema)
+    if offsets is not None:
+        if len(data) != offsets[-1]:
+            raise EncodingError(
+                f"record of {len(data)} bytes does not match fixed "
+                f"schema width {offsets[-1]}")
+        for position in wanted:
+            col = schema.columns[position]
+            values[position] = col.dtype.decode(
+                data[offsets[position]:offsets[position + 1]])
+        return tuple(values[i] for i in key_positions)
+    offset = 0
+    for position, col in enumerate(schema.columns):
+        dtype = col.dtype
+        if dtype.fixed_size is not None:
+            end = offset + dtype.fixed_size
+            if end > len(data):
+                raise EncodingError(
+                    f"record truncated in column {col.name!r}")
+        elif isinstance(dtype, VarCharType):
+            if offset + VarCharType.LENGTH_PREFIX_BYTES > len(data):
+                raise EncodingError(
+                    f"record truncated in column {col.name!r}")
+            length = int.from_bytes(
+                data[offset:offset + VarCharType.LENGTH_PREFIX_BYTES], "big")
+            end = offset + VarCharType.LENGTH_PREFIX_BYTES + length
+            if end > len(data):
+                raise EncodingError(
+                    f"record truncated in column {col.name!r}")
+        else:  # pragma: no cover - no other variable types exist
+            raise EncodingError(
+                f"cannot decode variable-width type {dtype.name}")
+        if position in wanted:
+            values[position] = dtype.decode(data[offset:end])
+        offset = end
+    if offset != len(data):
+        raise EncodingError(
+            f"{len(data) - offset} trailing bytes after decoding record")
+    return tuple(values[i] for i in key_positions)

@@ -1,0 +1,377 @@
+"""Unit tests for the size-only vectorized compression kernels."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.compression.kernels import (ColumnView, DISABLE_KERNELS_ENV,
+                                       build_column_views, build_leaf_views,
+                                       distinct_count, kernels_enabled,
+                                       magnitude_widths, minimal_int_widths,
+                                       stripped_lengths, unique_rows)
+from repro.compression.registry import get_algorithm, list_algorithms
+from repro.engine import EstimationEngine, EstimationRequest
+from repro.errors import EncodingError, KernelUnavailable
+from repro.storage.index import Index, IndexKind
+from repro.storage.record import (decode_record, encode_record,
+                                  fixed_column_offsets, record_key,
+                                  split_record, split_records)
+from repro.storage.schema import Column, Schema
+from repro.storage.types import minimal_int_bytes
+from repro.workloads.generators import make_table
+
+
+@pytest.fixture
+def kernels_on(monkeypatch):
+    """Force-enable kernels: these tests assert kernel-path behavior.
+
+    The CI matrix runs the whole suite with ``REPRO_DISABLE_KERNELS=1``;
+    tests that count kernel hits or inspect the view cache must pin the
+    fast path on locally or they would (correctly) observe fallbacks.
+    """
+    monkeypatch.delenv(DISABLE_KERNELS_ENV, raising=False)
+
+
+def fixed_schema() -> Schema:
+    return Schema([Column.of("name", "char(10)"),
+                   Column.of("qty", "integer"),
+                   Column.of("big", "bigint")])
+
+
+def mixed_schema() -> Schema:
+    return Schema([Column.of("name", "char(6)"),
+                   Column.of("note", "varchar(40)"),
+                   Column.of("qty", "integer")])
+
+
+# ----------------------------------------------------------------------
+# Vector primitives
+# ----------------------------------------------------------------------
+class TestPrimitives:
+    def test_minimal_int_widths_boundaries(self):
+        values = []
+        for width in range(1, 9):
+            hi = (1 << (8 * width - 1)) - 1
+            lo = -(1 << (8 * width - 1))
+            values.extend([hi, hi - 1, lo, lo + 1])
+            if width < 8:
+                values.extend([hi + 1, lo - 1])
+        values.extend([0, 1, -1])
+        got = minimal_int_widths(np.array(values, dtype=np.int64))
+        want = [minimal_int_bytes(v) for v in values]
+        assert got.tolist() == want
+
+    def test_magnitude_widths_beyond_int64(self):
+        # a BIGINT delta can need 9 bytes: magnitude up to 2**64 - 1
+        magnitudes = np.array([(1 << 63) - 1, 1 << 63, (1 << 64) - 1],
+                              dtype=np.uint64)
+        assert magnitude_widths(magnitudes).tolist() == [8, 9, 9]
+        # cross-check against the scalar on the extreme true delta
+        assert minimal_int_bytes((2 ** 63 - 1) - (-2 ** 63)) == 9
+
+    def test_stripped_lengths_matches_rstrip(self):
+        raws = [b"abc       ", b"          ", b"a b c d  x", b"xxxxxxxxxx",
+                b"\x00         ", b"   mid    "]
+        raws = [r[:10].ljust(10, b" ") for r in raws]
+        matrix = np.frombuffer(b"".join(raws), np.uint8).reshape(6, 10)
+        got = stripped_lengths(matrix)
+        assert got.tolist() == [len(r.rstrip(b" ")) for r in raws]
+
+    def test_unique_rows_and_distinct_count(self):
+        matrix = np.frombuffer(b"aabbaaccaabb", np.uint8).reshape(6, 2)
+        view = ColumnView(None, 6, matrix=matrix)
+        assert unique_rows(view).shape == (3, 2)
+        assert distinct_count(view) == 3
+
+    def test_distinct_count_prefers_raw_slices(self):
+        view = ColumnView(None, 4, raw_slices=[b"x", b"y", b"x", b"z"])
+        assert distinct_count(view) == 3
+
+
+# ----------------------------------------------------------------------
+# Columnar views
+# ----------------------------------------------------------------------
+class TestColumnViews:
+    def test_fixed_views_match_slices(self):
+        schema = fixed_schema()
+        rows = [("ab", 7, -1), ("zzz", -300, 2 ** 40), ("", 0, -2 ** 63)]
+        records = [encode_record(schema, row) for row in rows]
+        views = build_column_views(schema, records)
+        assert len(views) == 3
+        for position, view in enumerate(views):
+            expected = [split_record(schema, r)[position] for r in records]
+            assert [view.matrix[i].tobytes()
+                    for i in range(view.count)] == expected
+
+    def test_varchar_views_carry_offsets_and_lengths(self):
+        schema = mixed_schema()
+        rows = [("a", "hello", 1), ("b", "", 2), ("c", "a longer note", 3)]
+        records = [encode_record(schema, row) for row in rows]
+        views = build_column_views(schema, records)
+        note = views[1]
+        slices = [split_record(schema, r)[1] for r in records]
+        assert note.lengths.tolist() == [len(s) for s in slices]
+        for i, s in enumerate(slices):
+            start = int(note.offsets[i])
+            assert note.payload[start:start + len(s)].tobytes() == s
+
+    def test_padded_matrix_equality_is_exact(self):
+        schema = Schema([Column.of("v", "varchar(8)")])
+        rows = [("a",), ("a\x00",), ("a",), ("",)]
+        records = [encode_record(schema, r) for r in rows]
+        (view,) = build_column_views(schema, records)
+        padded = view.padded_matrix
+        assert (padded[0] == padded[2]).all()
+        assert not (padded[0] == padded[1]).all()
+        assert distinct_count(view) == 3
+
+    def test_rejects_empty_and_misfit_batches(self):
+        schema = fixed_schema()
+        record = encode_record(schema, ("a", 1, 2))
+        assert build_column_views(schema, []) is None
+        assert build_column_views(schema, [record[:-1]]) is None
+        assert build_column_views(schema, [record, record + b"x"]) is None
+
+    def test_leaf_views_slice_one_parent(self):
+        schema = fixed_schema()
+        records = [encode_record(schema, (f"r{i}", i, -i))
+                   for i in range(10)]
+        leaves = [records[:4], records[4:9], records[9:]]
+        leaf_views = build_leaf_views(schema, leaves)
+        assert [v[0].count for v in leaf_views] == [4, 5, 1]
+        # derived arrays come from the shared parent, sliced
+        parent = leaf_views[0][1]._parent
+        assert parent is leaf_views[2][1]._parent
+        ints = np.concatenate([v[1].int_values for v in leaf_views])
+        assert ints.tolist() == list(range(10))
+        assert "ints" in parent._derived
+
+    def test_leaf_views_reject_empty_leaf(self):
+        schema = fixed_schema()
+        record = encode_record(schema, ("a", 1, 2))
+        assert build_leaf_views(schema, [[record], []]) is None
+
+
+# ----------------------------------------------------------------------
+# size_of dispatch
+# ----------------------------------------------------------------------
+class TestSizeOf:
+    def test_runs_mode_is_unavailable(self):
+        schema = Schema([Column.of("a", "char(8)")])
+        records = [encode_record(schema, ("ab",))]
+        views = build_column_views(schema, records)
+        with pytest.raises(KernelUnavailable):
+            get_algorithm("null_suppression_runs").size_of(views, schema)
+
+    def test_every_other_registered_algorithm_is_covered(self):
+        schema = Schema([Column.of("a", "char(8)")])
+        records = [encode_record(schema, (v,))
+                   for v in ("ab", "ab", "x", "", "long one")]
+        views = build_column_views(schema, records)
+        for name in list_algorithms():
+            if name == "null_suppression_runs":
+                continue
+            algorithm = get_algorithm(name)
+            assert algorithm.size_of(views, schema) == \
+                algorithm.compress(records, schema).payload_size, name
+
+
+# ----------------------------------------------------------------------
+# Satellite: memoized offsets and batch splitting
+# ----------------------------------------------------------------------
+class TestRecordHelpers:
+    def test_fixed_column_offsets_memoized(self):
+        first = fixed_column_offsets(fixed_schema())
+        second = fixed_column_offsets(fixed_schema())
+        assert first == (0, 10, 14, 22)
+        assert first is second  # same cached tuple, not a rebuild
+
+    def test_variable_schema_has_no_offsets(self):
+        assert fixed_column_offsets(mixed_schema()) is None
+
+    def test_split_records_matches_split_record(self):
+        for schema, rows in (
+                (fixed_schema(), [("a", 1, 2), ("bb", -3, 4)]),
+                (mixed_schema(), [("a", "note", 1), ("b", "", 2)])):
+            records = [encode_record(schema, row) for row in rows]
+            batch = split_records(schema, records)
+            for position in range(len(schema)):
+                assert batch[position] == [
+                    split_record(schema, r)[position] for r in records]
+
+    def test_split_records_rejects_bad_width(self):
+        schema = fixed_schema()
+        with pytest.raises(EncodingError):
+            split_records(schema, [b"short"])
+
+
+# ----------------------------------------------------------------------
+# Satellite: record_key decodes only the requested positions
+# ----------------------------------------------------------------------
+class TestRecordKey:
+    def test_matches_full_decode(self):
+        for schema, row in ((fixed_schema(), ("widget", 42, -7)),
+                            (mixed_schema(), ("ab", "some note", 9))):
+            record = encode_record(schema, row)
+            full = decode_record(schema, record)
+            for positions in ([0], [1], [2], [2, 0], [1, 1], [0, 1, 2]):
+                assert record_key(schema, record, positions) == \
+                    tuple(full[i] for i in positions)
+
+    def test_rejects_truncated_and_oversized(self):
+        for schema, row in ((fixed_schema(), ("w", 1, 2)),
+                            (mixed_schema(), ("ab", "note", 9))):
+            record = encode_record(schema, row)
+            with pytest.raises(EncodingError):
+                record_key(schema, record[:-1], [0])
+            with pytest.raises(EncodingError):
+                record_key(schema, record + b"x", [0])
+
+    def test_skips_decoding_unrequested_columns(self, monkeypatch):
+        schema = mixed_schema()
+        record = encode_record(schema, ("ab", "note", 9))
+        calls = []
+        original = type(schema[1].dtype).decode
+
+        def spy(self, data):
+            calls.append(data)
+            return original(self, data)
+
+        monkeypatch.setattr(type(schema[1].dtype), "decode", spy)
+        assert record_key(schema, record, [2]) == (9,)
+        assert calls == []  # the varchar column was skipped, not decoded
+
+
+# ----------------------------------------------------------------------
+# Index.estimate_compression
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def char_index():
+    table = make_table(1200, 60, 18, seed=77)
+    index = Index("t", table.schema, ["a"], page_size=2048)
+    index.build_from_rows(list(table.rows()))
+    return index
+
+
+class TestEstimateCompression:
+    @pytest.mark.parametrize("name", list_algorithms())
+    @pytest.mark.parametrize("accounting", ["payload", "physical"])
+    @pytest.mark.parametrize("repack", [False, True])
+    def test_identical_to_compress(self, char_index, name, accounting,
+                                   repack):
+        algorithm = get_algorithm(name)
+        assert char_index.estimate_compression(
+            algorithm, accounting=accounting, repack_pages=repack) == \
+            char_index.compress(algorithm, accounting=accounting,
+                                repack_pages=repack)
+
+    def test_counts_kernel_blocks(self, char_index, kernels_on):
+        hits = {"kernel": 0, "fallback": 0}
+        char_index.estimate_compression(
+            get_algorithm("dictionary"),
+            on_kernel=lambda: hits.__setitem__("kernel",
+                                               hits["kernel"] + 1),
+            on_fallback=lambda: hits.__setitem__("fallback",
+                                                 hits["fallback"] + 1))
+        assert hits["kernel"] == char_index.size().leaf_pages
+        assert hits["fallback"] == 0
+
+    def test_counts_scalar_fallbacks_for_uncovered_codec(self, char_index):
+        hits = {"kernel": 0, "fallback": 0}
+        char_index.estimate_compression(
+            get_algorithm("null_suppression_runs"),
+            on_kernel=lambda: hits.__setitem__("kernel",
+                                               hits["kernel"] + 1),
+            on_fallback=lambda: hits.__setitem__("fallback",
+                                                 hits["fallback"] + 1))
+        assert hits["kernel"] == 0
+        assert hits["fallback"] == char_index.size().leaf_pages
+
+    def test_repack_goes_scalar(self, char_index):
+        hits = {"fallback": 0}
+        char_index.estimate_compression(
+            get_algorithm("dictionary"), accounting="physical",
+            repack_pages=True,
+            on_fallback=lambda: hits.__setitem__("fallback",
+                                                 hits["fallback"] + 1))
+        assert hits["fallback"] == 1
+
+    def test_index_scope_is_one_block(self, char_index, kernels_on):
+        hits = {"kernel": 0}
+        char_index.estimate_compression(
+            get_algorithm("global_dictionary"),
+            on_kernel=lambda: hits.__setitem__("kernel",
+                                               hits["kernel"] + 1))
+        assert hits["kernel"] == 1
+
+    def test_env_flag_disables_kernels(self, char_index, kernels_on,
+                                       monkeypatch):
+        enabled = char_index.estimate_compression(
+            get_algorithm("null_suppression"))
+        monkeypatch.setenv(DISABLE_KERNELS_ENV, "1")
+        assert not kernels_enabled()
+        hits = {"kernel": 0, "fallback": 0}
+        disabled = char_index.estimate_compression(
+            get_algorithm("null_suppression"),
+            on_kernel=lambda: hits.__setitem__("kernel",
+                                               hits["kernel"] + 1),
+            on_fallback=lambda: hits.__setitem__("fallback",
+                                                 hits["fallback"] + 1))
+        assert hits["kernel"] == 0 and hits["fallback"] > 0
+        assert disabled == enabled
+
+    def test_view_cache_survives_reuse_but_not_pickle(self, char_index,
+                                                      kernels_on):
+        char_index.estimate_compression(get_algorithm("null_suppression"))
+        assert char_index._size_view_cache
+        clone = pickle.loads(pickle.dumps(char_index))
+        assert clone._size_view_cache == {}
+        assert clone.estimate_compression(get_algorithm("dictionary")) \
+            == char_index.compress(get_algorithm("dictionary"))
+
+    def test_cache_invalidated_by_insert(self, kernels_on):
+        table = make_table(300, 20, 12, seed=3)
+        index = Index("t", table.schema, ["a"], page_size=1024)
+        rows = list(table.rows())
+        index.build_from_rows(rows[:-1])
+        before = index.estimate_compression(get_algorithm("dictionary"))
+        assert index._size_view_cache
+        index.insert(rows[-1])
+        assert not index._size_view_cache
+        after = index.estimate_compression(get_algorithm("dictionary"))
+        assert after == index.compress(get_algorithm("dictionary"))
+        assert after != before
+
+
+# ----------------------------------------------------------------------
+# Engine wiring
+# ----------------------------------------------------------------------
+class TestEngineWiring:
+    def _run(self, seed=901):
+        table = make_table(800, 40, 16, seed=5)
+        requests = [
+            EstimationRequest(table=table, columns=("a",), algorithm=name,
+                              fraction=0.2, trials=2,
+                              kind=IndexKind.CLUSTERED)
+            for name in ("null_suppression", "dictionary",
+                         "null_suppression_runs")]
+        engine = EstimationEngine(seed=seed)
+        return engine.execute(requests)
+
+    def test_stats_count_kernels_and_fallbacks(self, kernels_on):
+        batch = self._run()
+        assert batch.stats["size_kernel_hits"] > 0
+        # the runs-mode codec exercises the scalar fallback per leaf
+        assert batch.stats["size_scalar_fallbacks"] > 0
+
+    def test_disabled_kernels_match_bit_for_bit(self, kernels_on,
+                                                monkeypatch):
+        enabled = self._run()
+        assert enabled.stats["size_kernel_hits"] > 0
+        monkeypatch.setenv(DISABLE_KERNELS_ENV, "1")
+        disabled = self._run()
+        assert disabled.stats["size_kernel_hits"] == 0
+        assert disabled.stats["size_scalar_fallbacks"] > 0
+        for fast, slow in zip(enabled.results, disabled.results):
+            assert fast.estimates == slow.estimates
