@@ -1,7 +1,9 @@
 """Compression-aware physical design: the paper's motivating application."""
 
-from repro.advisor.candidates import (CandidateIndex, enumerate_candidates,
+from repro.advisor.candidates import (CandidateIndex, candidate_request,
+                                      enumerate_candidates,
                                       enumerate_candidates_batch,
+                                      resolve_algorithms,
                                       uncompressed_index_bytes,
                                       workload_key_sets)
 from repro.advisor.capacity import (CapacityEntry, CapacityPlan,
@@ -9,23 +11,38 @@ from repro.advisor.capacity import (CapacityEntry, CapacityPlan,
 from repro.advisor.cost import (CostModel, Query, TableStats, WorkloadCost,
                                 covers, stats_for_tables, workload_cost)
 from repro.advisor.selection import (AdvisorResult, advise_from_data,
-                                     design_summary, select_indexes)
+                                     candidate_gain, design_summary,
+                                     select_indexes)
+from repro.advisor.whatif import (CandidateState, PruneEvent,
+                                  WhatIfAdvisor, WhatIfReport,
+                                  WhatIfResult, advise_what_if,
+                                  prior_cf_interval)
 
 __all__ = [
     "AdvisorResult",
     "CandidateIndex",
+    "CandidateState",
     "CapacityEntry",
     "CapacityPlan",
     "CostModel",
+    "PruneEvent",
     "Query",
     "TableStats",
+    "WhatIfAdvisor",
+    "WhatIfReport",
+    "WhatIfResult",
     "WorkloadCost",
     "advise_from_data",
+    "advise_what_if",
+    "candidate_gain",
+    "candidate_request",
     "covers",
     "design_summary",
     "enumerate_candidates",
     "enumerate_candidates_batch",
     "plan_capacity",
+    "prior_cf_interval",
+    "resolve_algorithms",
     "select_indexes",
     "stats_for_tables",
     "uncompressed_index_bytes",

@@ -147,6 +147,37 @@ def enumerate_candidates(tables: dict[str, Table],
     return candidates
 
 
+def resolve_algorithms(algorithms: Sequence[CompressionAlgorithm | str],
+                       ) -> list[CompressionAlgorithm]:
+    """Registry lookups for name entries; rejects an empty list."""
+    resolved = [get_algorithm(a) if isinstance(a, str) else a
+                for a in algorithms]
+    if not resolved:
+        raise AdvisorError("need at least one compression algorithm")
+    return resolved
+
+
+def candidate_request(table: Table, table_name: str,
+                      key_columns: tuple[str, ...],
+                      algorithm: CompressionAlgorithm, fraction: float,
+                      trials: int) -> "EstimationRequest":
+    """The engine request that sizes one compressed candidate.
+
+    Single source of truth for the advisor's request shape: the eager
+    batch path and the lazy what-if path both build candidates through
+    here, so the two can never drift apart in sampler, index kind,
+    accounting, or page layout — which is what makes their estimates
+    (and therefore their selected designs) comparable trial for trial.
+    """
+    from repro.engine.requests import EstimationRequest  # lazy: cycle
+
+    return EstimationRequest(
+        table=table, columns=key_columns, algorithm=algorithm,
+        fraction=fraction, trials=trials, kind=IndexKind.NONCLUSTERED,
+        page_size=table.page_size,
+        label=f"{table_name}:{','.join(key_columns)}:{algorithm.name}")
+
+
 def enumerate_candidates_batch(
         tables: dict[str, Table], queries: Sequence[Query],
         algorithms: Sequence[CompressionAlgorithm | str] = ("page",),
@@ -183,12 +214,8 @@ def enumerate_candidates_batch(
     times over the same data" scenario.
     """
     from repro.engine.engine import EstimationEngine  # lazy: cycle guard
-    from repro.engine.requests import EstimationRequest
 
-    resolved = [get_algorithm(a) if isinstance(a, str) else a
-                for a in algorithms]
-    if not resolved:
-        raise AdvisorError("need at least one compression algorithm")
+    resolved = resolve_algorithms(algorithms)
     if engine is None:
         engine = EstimationEngine(seed=seed if seed is not None else 0,
                                   store=store)
@@ -206,12 +233,9 @@ def enumerate_candidates_batch(
     for table_name, key_columns in key_sets:
         table = tables[table_name]
         for algorithm in resolved:
-            requests.append(EstimationRequest(
-                table=table, columns=key_columns, algorithm=algorithm,
-                fraction=fraction, trials=trials,
-                kind=IndexKind.NONCLUSTERED, page_size=table.page_size,
-                label=f"{table_name}:{','.join(key_columns)}"
-                      f":{algorithm.name}"))
+            requests.append(candidate_request(
+                table, table_name, key_columns, algorithm, fraction,
+                trials))
     batch = engine.execute(requests, executor=executor)
     candidates: list[CandidateIndex] = []
     cursor = 0

@@ -46,12 +46,38 @@ class AdvisorResult:
         return 1.0 - self.cost_after / self.cost_before
 
 
+def candidate_gain(candidate: CandidateIndex, queries: Sequence[Query],
+                   tables: dict[str, TableStats],
+                   chosen: Sequence[CandidateIndex], model: CostModel,
+                   current: float) -> tuple[float, float]:
+    """``(cost reduction, new total)`` from adding one candidate.
+
+    The marginal-benefit evaluation both the eager greedy loop and the
+    lazy what-if loop score candidates with — shared so their pruning
+    arithmetic can never drift from the selection it predicts. The
+    reduction is non-increasing in ``candidate.size_bytes`` (a bigger
+    index touches at least as many pages for every query), which is the
+    monotonicity the what-if bounds rely on.
+    """
+    trial = workload_cost(queries, tables, list(chosen) + [candidate],
+                          model)
+    return current - trial.total, trial.total
+
+
 def select_indexes(candidates: Sequence[CandidateIndex],
                    queries: Sequence[Query],
                    tables: dict[str, TableStats],
                    storage_bound_bytes: float,
                    model: CostModel | None = None) -> AdvisorResult:
-    """Greedy benefit-per-byte selection under the storage bound."""
+    """Greedy benefit-per-byte selection under the storage bound.
+
+    Determinism contract: each round scans the remaining candidates in
+    their input order and keeps a strictly better density only, so
+    **ties break toward the earlier candidate** and a candidate whose
+    addition does not reduce cost is never chosen (the zero-improvement
+    path leaves the design as-is). The what-if advisor reproduces this
+    scan exactly; tests pin both behaviours.
+    """
     if storage_bound_bytes <= 0:
         raise AdvisorError(
             f"storage bound must be positive, got {storage_bound_bytes}")
@@ -69,16 +95,15 @@ def select_indexes(candidates: Sequence[CandidateIndex],
         for candidate in remaining:
             if candidate.size_bytes > budget:
                 continue
-            trial = workload_cost(queries, tables, chosen + [candidate],
-                                  model)
-            reduction = current - trial.total
+            reduction, total = candidate_gain(candidate, queries, tables,
+                                              chosen, model, current)
             if reduction <= 0:
                 continue
             density = reduction / candidate.size_bytes
             if density > best_density:
                 best_density = density
                 best_candidate = candidate
-                best_cost = trial.total
+                best_cost = total
         if best_candidate is None:
             break
         chosen.append(best_candidate)

@@ -19,6 +19,9 @@ Examples::
     echo '{"workloads": {...}, "requests": [...]}' | \
         python -m repro estimate-batch -
     python -m repro estimate-batch spec.json --store-dir ~/.repro-store
+    python -m repro advise design.json --what-if --max-trials 5
+    python -m repro advise design.json --what-if --no-prune \
+        --executor process
     python -m repro cache stats --store-dir ~/.repro-store
     python -m repro cache prune --store-dir ~/.repro-store \
         --max-bytes 104857600
@@ -35,6 +38,17 @@ The ``estimate-batch`` spec is a JSON object with named ``workloads``
 ``requests`` over them; all requests run as one shared-sample
 :class:`~repro.engine.engine.EstimationEngine` batch and the output
 JSON reports per-request estimates plus the engine's reuse stats.
+
+The ``advise`` spec describes a physical-design problem: named
+``tables`` (workload shorthands, or ``"columns": [[name, k, d], ...]``
+with ``"n"`` for a multi-column table), a ``queries`` list
+(``table`` / ``columns`` / ``selectivity`` / ``weight``), and a
+``storage_bound_bytes``. The default path is the eager engine-backed
+advisor; ``--what-if`` switches to the lazy
+:class:`~repro.advisor.whatif.WhatIfAdvisor`, which prunes candidates
+via Theorem 1/2 CF bounds and allocates trials adaptively — the JSON
+output then includes the pruning/early-stop report alongside the
+selected design (identical to the eager one for the same seed).
 """
 
 from __future__ import annotations
@@ -62,8 +76,11 @@ from repro.experiments.registry import list_experiments
 from repro.experiments.report import fmt_bytes, format_table
 from repro.sampling.rng import make_rng
 from repro.store import SampleStore
-from repro.workloads.generators import histogram_to_table, make_histogram
+from repro.workloads.generators import (histogram_to_table,
+                                        make_histogram,
+                                        make_multicolumn_table)
 from repro.workloads.scenarios import SCENARIOS, get_scenario
+from repro.advisor import Query, WhatIfAdvisor, advise_from_data
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -132,6 +149,52 @@ def _build_parser() -> argparse.ArgumentParser:
                             "a repeated batch over the same workloads "
                             "reports 0 sample materializations (all "
                             "tiers served from disk)")
+
+    advise = commands.add_parser(
+        "advise",
+        help="run the physical-design advisor over a JSON design spec")
+    advise.add_argument("spec",
+                        help="path to a JSON design spec, or '-' for "
+                             "stdin")
+    advise.add_argument("--what-if", action="store_true",
+                        help="lazy what-if mode: drive the greedy loop "
+                             "through the engine, pruning candidates "
+                             "whose Theorem 1/2 CF bounds cannot win "
+                             "and allocating trials adaptively")
+    advise.add_argument("--prune", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="(what-if) bound-based pruning; --no-prune "
+                             "still runs lazily but estimates every "
+                             "viable candidate at the full budget")
+    advise.add_argument("--adaptive",
+                        action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="(what-if) staged trial allocation; "
+                             "--no-adaptive estimates survivors at "
+                             "--max-trials straight away")
+    advise.add_argument("--max-trials", type=int, default=None,
+                        help="per-candidate trial budget (overrides the "
+                             "spec's 'trials'); the what-if winner is "
+                             "always estimated at the full budget, "
+                             "losers may stop early")
+    advise.add_argument("--fraction", type=float, default=None,
+                        help="sampling fraction (overrides the spec)")
+    advise.add_argument("--storage-bound", type=float, default=None,
+                        help="storage bound in bytes (overrides the "
+                             "spec's 'storage_bound_bytes')")
+    advise.add_argument("--seed", type=int, default=None,
+                        help="override the spec's master seed")
+    advise.add_argument("--executor", choices=list(EXECUTOR_NAMES),
+                        default=None,
+                        help="how estimation batches run")
+    advise.add_argument("--workers", type=int, default=None,
+                        help="worker count for thread/process executors")
+    advise.add_argument("--store-dir", default=None,
+                        help="persistent sample/estimate store; repeated "
+                             "advise runs over the same spec warm-start "
+                             "from disk")
+    advise.add_argument("--indent", type=int, default=2,
+                        help="JSON output indentation (default: 2)")
 
     cache = commands.add_parser(
         "cache",
@@ -396,6 +459,130 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> str:
     return json.dumps(payload, indent=indent)
 
 
+def _build_advise_table(name: str, spec: Any):
+    """One named table for the advisor: multi-column or workload-based."""
+    if not isinstance(spec, dict):
+        raise ReproError(f"table {name!r} must be a JSON object")
+    if "columns" in spec:
+        if "n" not in spec:
+            raise ReproError(
+                f"table {name!r} with 'columns' needs a row count 'n'")
+        try:
+            specs = [(str(cname), int(k), int(d))
+                     for cname, k, d in spec["columns"]]
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"table {name!r} 'columns' must be [name, k, d] "
+                f"triples") from None
+        return make_multicolumn_table(
+            name, int(spec["n"]), specs,
+            page_size=int(spec.get("page_size", 8192)),
+            seed=int(spec.get("seed", 0)))
+    workload = _build_batch_workload(name, {**spec, "storage": True})
+    return workload["table"]
+
+
+def _build_advise_query(position: int, item: Any,
+                        tables: dict[str, Any]) -> Query:
+    if not isinstance(item, dict):
+        raise ReproError(f"query #{position} must be a JSON object")
+    table = item.get("table")
+    if table not in tables:
+        raise ReproError(
+            f"query #{position} references unknown table {table!r}; "
+            f"defined: {sorted(tables)}")
+    columns = item.get("columns")
+    if not isinstance(columns, list) or not columns:
+        raise ReproError(
+            f"query #{position} needs a non-empty 'columns' list")
+    return Query(
+        name=str(item.get("name", f"q{position}")), table=table,
+        columns=tuple(str(column) for column in columns),
+        selectivity=float(item.get("selectivity", 1.0)),
+        weight=float(item.get("weight", 1.0)))
+
+
+def _candidate_entry(candidate) -> dict[str, Any]:
+    return {
+        "name": candidate.name,
+        "table": candidate.table,
+        "key_columns": list(candidate.key_columns),
+        "compressed": candidate.compressed,
+        "algorithm": candidate.algorithm,
+        "size_bytes": candidate.size_bytes,
+        "estimated_cf": candidate.estimated_cf,
+    }
+
+
+def _cmd_advise(args: argparse.Namespace) -> str:
+    spec = _load_batch_spec(args.spec)
+    table_specs = spec.get("tables")
+    query_specs = spec.get("queries")
+    if not isinstance(table_specs, dict) or not table_specs:
+        raise ReproError("advise spec needs a non-empty 'tables' object")
+    if not isinstance(query_specs, list) or not query_specs:
+        raise ReproError("advise spec needs a non-empty 'queries' list")
+    bound = (args.storage_bound if args.storage_bound is not None
+             else spec.get("storage_bound_bytes"))
+    if bound is None:
+        raise ReproError("advise spec needs 'storage_bound_bytes' "
+                         "(or pass --storage-bound)")
+    tables = {name: _build_advise_table(name, tspec)
+              for name, tspec in table_specs.items()}
+    queries = [_build_advise_query(position, item, tables)
+               for position, item in enumerate(query_specs)]
+    algorithms = spec.get("algorithms", ["page"])
+    fraction = (args.fraction if args.fraction is not None
+                else float(spec.get("fraction", 0.01)))
+    trials = (args.max_trials if args.max_trials is not None
+              else int(spec.get("trials", 1)))
+    seed = args.seed if args.seed is not None else int(spec.get("seed", 0))
+    executor_name = args.executor or spec.get("executor")
+    executor = (make_executor(executor_name, max_workers=args.workers)
+                if executor_name else None)
+    store_dir = args.store_dir or spec.get("store_dir")
+    payload: dict[str, Any] = {
+        "mode": "what-if" if args.what_if else "eager",
+        "seed": seed,
+        "fraction": fraction,
+        "max_trials": trials,
+        "algorithms": list(algorithms),
+        "storage_bound_bytes": float(bound),
+        "store_dir": store_dir,
+    }
+    if args.what_if:
+        advisor = WhatIfAdvisor(
+            tables, queries, algorithms=algorithms, fraction=fraction,
+            max_trials=trials, seed=seed, executor=executor,
+            store=store_dir, prune=args.prune, adaptive=args.adaptive)
+        result = advisor.advise(float(bound))
+        payload["prune"] = args.prune
+        payload["adaptive"] = args.adaptive
+        payload["what_if"] = result.report.as_dict()
+        stats = advisor.engine.stats.snapshot()
+        payload["engine"] = {
+            name: stats[name]
+            for name in ("trials", "samples_materialized",
+                         "sample_cache_hits", "whatif_rounds",
+                         "whatif_pruned", "whatif_early_stops",
+                         "whatif_trials_saved")}
+    else:
+        result = advise_from_data(
+            tables, queries, float(bound), algorithms=algorithms,
+            fraction=fraction, trials=trials, seed=seed,
+            executor=executor, store=store_dir)
+    payload.update({
+        "cost_before": result.cost_before,
+        "cost_after": result.cost_after,
+        "improvement": result.improvement,
+        "bytes_used": result.bytes_used,
+        "chosen": [_candidate_entry(c) for c in result.chosen],
+        "steps": list(result.steps),
+    })
+    indent = args.indent if args.indent and args.indent > 0 else None
+    return json.dumps(payload, indent=indent)
+
+
 def _cmd_cache(args: argparse.Namespace) -> str:
     store = SampleStore(args.store_dir)
     if args.cache_command == "stats":
@@ -459,6 +646,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _cmd_estimate(args)
         elif args.command == "estimate-batch":
             output = _cmd_estimate_batch(args)
+        elif args.command == "advise":
+            output = _cmd_advise(args)
         elif args.command == "cache":
             output = _cmd_cache(args)
         elif args.command == "bounds":

@@ -14,8 +14,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import EstimationError
+from repro.storage.types import (BigIntType, CharType, DataType,
+                                 IntegerType)
 
 
 def _require_positive(**named_values: float) -> None:
@@ -175,6 +178,204 @@ def dict_large_d_bound(alpha: float, f: float, k: int, p: int,
     underestimate = (1.0 + beta) / (retained + beta)
     return RatioErrorBound(overestimate=overestimate,
                            underestimate=underestimate)
+
+
+# ----------------------------------------------------------------------
+# CF intervals — the what-if advisor's pruning currency
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CFInterval:
+    """A closed interval guaranteed (or believed) to contain a CF.
+
+    ``deterministic=True`` means the interval holds for *every* sample
+    (it came from schema arithmetic or an exhaustive case split);
+    ``False`` marks probabilistic intervals (Theorem 1 confidence
+    bounds, empirical spreads) that hold with high probability only.
+    The distinction travels through :meth:`intersect` so a pruning
+    decision knows the strength of the evidence it rests on.
+    """
+
+    low: float
+    high: float
+    deterministic: bool = True
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.low) or math.isnan(self.high):
+            raise EstimationError("CF interval bounds cannot be NaN")
+        if self.low > self.high:
+            raise EstimationError(
+                f"malformed CF interval [{self.low}, {self.high}]")
+        if self.low < 0.0:
+            raise EstimationError(
+                f"a compression fraction cannot be negative, interval "
+                f"starts at {self.low}")
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    @property
+    def is_point(self) -> bool:
+        return self.low == self.high
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def intersect(self, other: "CFInterval") -> "CFInterval":
+        """Tightest interval consistent with both.
+
+        If the two are disjoint — which can only happen when a
+        probabilistic operand is invalid — the call degrades to the
+        deterministic operand (or ``self``) instead of fabricating an
+        empty interval, so a missed confidence bound can never crash a
+        pruning pass, only weaken it.
+        """
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            if self.deterministic and not other.deterministic:
+                return self
+            if other.deterministic and not self.deterministic:
+                return other
+            return self
+        return CFInterval(low, high,
+                          self.deterministic and other.deterministic)
+
+
+#: The interval that claims nothing: any CF, any expansion.
+TRIVIAL_CF_INTERVAL = CFInterval(0.0, math.inf, deterministic=True)
+
+
+def ns_stored_size_range(dtype: DataType, mode: str = "trailing",
+                         ) -> tuple[int, int] | None:
+    """Deterministic [min, max] stored bytes of one NS value.
+
+    Mirrors :func:`repro.compression.null_suppression.ns_stored_size`
+    case by case: a CHAR(k) body survives with 0..k bytes after
+    trailing-pad stripping (0..2k in ``runs`` mode, where escape
+    tokens can double a pathological value) behind its length header;
+    integers store 1 length byte plus 1..width minimal two's-complement
+    bytes. Returns ``None`` for types NS cannot bound without data
+    (variable-width columns), which callers must treat as "no bound".
+    """
+    from repro.compression.null_suppression import ns_header_bytes
+
+    if isinstance(dtype, CharType):
+        header = ns_header_bytes(dtype, mode)
+        body_max = dtype.k if mode == "trailing" else 2 * dtype.k
+        return (header, header + body_max)
+    if isinstance(dtype, (IntegerType, BigIntType)):
+        return (2, 1 + dtype.fixed_size)
+    return None
+
+
+def ns_prior_cf_interval(dtypes: Sequence[DataType],
+                         mode: str = "trailing") -> CFInterval:
+    """Theorem 1's deterministic envelope for an NS estimate.
+
+    For a fixed-width record layout every leaf entry stores exactly
+    ``U = sum(fixed widths)`` uncompressed bytes, so the payload CF —
+    the mean of the per-entry stored fractions — is confined to
+    ``[sum(min_i)/U, sum(max_i)/U]`` for *any* sample (and for the
+    exact CF of the full index, by the same argument). This is the
+    ``[a, b]`` range Theorem 1's sharper Popoviciu form
+    (:func:`ns_stddev_bound_range`) wants, exposed as an interval so
+    the what-if advisor can prune candidates before estimating them.
+    """
+    minimum = 0
+    maximum = 0
+    uncompressed = 0
+    for dtype in dtypes:
+        span = ns_stored_size_range(dtype, mode)
+        if span is None or dtype.fixed_size is None:
+            return TRIVIAL_CF_INTERVAL
+        minimum += span[0]
+        maximum += span[1]
+        uncompressed += dtype.fixed_size
+    if uncompressed <= 0:
+        return TRIVIAL_CF_INTERVAL
+    return CFInterval(minimum / uncompressed, maximum / uncompressed,
+                      deterministic=True)
+
+
+def dict_prior_cf_interval(dtypes: Sequence[DataType], r: int,
+                           pointer_bytes: int | None,
+                           entry_storage: str = "fixed") -> CFInterval:
+    """Theorem 2's deterministic envelope for a dictionary estimate.
+
+    The paper's simplified model ``CF = d/n + p/k`` brackets the codec
+    exactly once ``d`` is replaced by its extreme values: a sample of
+    ``r`` rows observes between 1 and ``r`` distinct values per column,
+    so per column the payload lies in ``[r*p_min + e_min,
+    r*p_max + r*e_max]`` (pointers plus dictionary entries). With a
+    fixed pointer width the ``p`` terms coincide; a derived width
+    ranges over ``[1, pointer_bytes_for(r)]``. Holds for every sample
+    and for the exact CF (``d <= n`` plays the role of ``d' <= r``),
+    whether the dictionary is page-scoped (each page holds at least one
+    and at most all of its rows' values) or index-scoped.
+    """
+    from repro.compression.dictionary import pointer_bytes_for
+    from repro.compression.null_suppression import ns_header_bytes
+
+    _require_positive(r=r)
+    low = 0.0
+    high = 0.0
+    uncompressed = 0
+    for dtype in dtypes:
+        width = dtype.fixed_size
+        if width is None:
+            return TRIVIAL_CF_INTERVAL
+        if pointer_bytes is not None:
+            p_min = p_max = pointer_bytes
+        else:
+            p_min, p_max = 1, pointer_bytes_for(r)
+        if entry_storage == "fixed":
+            entry_min, entry_max = width, width
+        else:
+            try:
+                header = ns_header_bytes(dtype)
+            except Exception:
+                return TRIVIAL_CF_INTERVAL
+            entry_min, entry_max = header, header + width
+        # At least one dictionary entry exists somewhere; at most every
+        # row contributes one (per page or globally alike).
+        low += r * p_min + entry_min
+        high += r * p_max + r * entry_max
+        uncompressed += width
+    if uncompressed <= 0:
+        return TRIVIAL_CF_INTERVAL
+    total_uncompressed = r * uncompressed
+    return CFInterval(low / total_uncompressed, high / total_uncompressed,
+                      deterministic=True)
+
+
+def mix_trials_interval(prior: CFInterval, values: Sequence[float],
+                        total_trials: int) -> CFInterval:
+    """Deterministic interval for a ``total_trials``-mean given a prefix.
+
+    The eager advisor's per-candidate estimate is the mean over
+    ``total_trials`` trials. After observing the first ``t`` of them,
+    that mean equals ``(t * mean_t + sum of the missing trials) / T``,
+    and each missing trial lies in ``prior`` — so the full mean is
+    deterministically confined to the convex mix below. The interval
+    tightens linearly in ``t`` and collapses to a point at ``t == T``,
+    which is what lets the what-if advisor's bound get sharper with
+    every trial it spends.
+    """
+    _require_positive(total_trials=total_trials)
+    t = len(values)
+    if t > total_trials:
+        raise EstimationError(
+            f"observed {t} trials of a {total_trials}-trial estimate")
+    if t == 0:
+        return prior
+    mean_t = sum(values) / t
+    if t == total_trials:
+        return CFInterval(mean_t, mean_t, deterministic=True)
+    remaining = total_trials - t
+    low = (t * mean_t + remaining * prior.low) / total_trials
+    high = (t * mean_t + remaining * prior.high) / total_trials
+    return CFInterval(low, high, deterministic=prior.deterministic)
 
 
 def theorem2_minimum_n(d_of_n, k: int, p: int, f: float,

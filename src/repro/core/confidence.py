@@ -25,7 +25,7 @@ from repro.errors import EstimationError
 from repro.sampling.rng import SeedLike, make_rng
 from repro.sampling.row_samplers import WithReplacementSampler
 from repro.compression.base import CompressionAlgorithm
-from repro.core.bounds import ns_stddev_bound_range
+from repro.core.bounds import CFInterval, ns_stddev_bound_range
 from repro.core.cf_models import ColumnHistogram
 
 
@@ -119,6 +119,84 @@ def bootstrap_cf_ci(sample: ColumnHistogram,
         high=max(high, point),
         confidence=confidence,
         method="bootstrap_percentile")
+
+
+def _mean_extrapolation_halfwidth(sigma_trial: float, t: int,
+                                  total_trials: int,
+                                  confidence: float) -> float:
+    """Half-width of a CI for a ``T``-trial mean seen through ``t`` trials.
+
+    Write ``M_T = (t * M_t + (T - t) * M_rest) / T`` with the trials
+    i.i.d. and each trial's estimator having standard deviation at most
+    ``sigma_trial``. Then ``M_T - M_t = (T - t)/T * (M_rest - M_t)``
+    and ``Var[M_rest - M_t] <= sigma^2 (1/(T - t) + 1/t)``, giving the
+    closed-form half-width below. It vanishes at ``t == T``.
+    """
+    if not 1 <= t <= total_trials:
+        raise EstimationError(
+            f"observed {t} trials of a {total_trials}-trial estimate")
+    if t == total_trials:
+        return 0.0
+    remaining = total_trials - t
+    z = _z_value(confidence)
+    spread = math.sqrt(1.0 / remaining + 1.0 / t)
+    return z * sigma_trial * (remaining / total_trials) * spread
+
+
+def ns_trial_mean_interval(values, total_trials: int, r: int,
+                           stored_fraction_range: tuple[float, float] =
+                           (0.0, 1.0),
+                           confidence: float = 0.999) -> CFInterval:
+    """Theorem 1 interval for an NS multi-trial mean, from a prefix.
+
+    ``values`` are the first ``t`` trial estimates of a
+    ``total_trials``-trial request (each trial over ``r`` sampled
+    rows). Theorem 1 bounds every trial's standard deviation by
+    ``(b - a) / (2 sqrt(r))``, so the final mean lies within the
+    closed-form half-width of the observed partial mean. The interval
+    is probabilistic (``deterministic=False``) but doubly conservative:
+    Popoviciu is worst-case and the trials are independent.
+    """
+    if r <= 0:
+        raise EstimationError(f"sample size must be positive, got {r}")
+    t = len(values)
+    low_fraction, high_fraction = stored_fraction_range
+    sigma = ns_stddev_bound_range(r, low_fraction, high_fraction)
+    half = _mean_extrapolation_halfwidth(sigma, t, total_trials,
+                                         confidence)
+    mean_t = float(np.mean(np.asarray(values, dtype=np.float64)))
+    return CFInterval(max(0.0, mean_t - half), mean_t + half,
+                      deterministic=False)
+
+
+def empirical_trial_mean_interval(values, total_trials: int,
+                                  inflation: float = 4.0,
+                                  confidence: float = 0.999,
+                                  ) -> CFInterval | None:
+    """Distribution-free-ish interval for a multi-trial mean.
+
+    For algorithms without a Theorem 1 analogue the only handle on a
+    trial's variability is the observed spread itself: the sample
+    standard deviation over the first ``t >= 2`` trials, inflated by
+    ``inflation`` to hedge against underestimating sigma from few
+    observations. Returns ``None`` when fewer than two trials exist
+    (no spread to observe). Deliberately marked non-deterministic;
+    callers intersect it with a deterministic envelope so an unlucky
+    spread can only weaken pruning, never unsound-crash it.
+    """
+    if inflation < 1.0:
+        raise EstimationError(
+            f"inflation must be at least 1, got {inflation}")
+    t = len(values)
+    if t < 2:
+        return None
+    arr = np.asarray(values, dtype=np.float64)
+    sigma = float(arr.std(ddof=1)) * inflation
+    half = _mean_extrapolation_halfwidth(sigma, t, total_trials,
+                                         confidence)
+    mean_t = float(arr.mean())
+    return CFInterval(max(0.0, mean_t - half), mean_t + half,
+                      deterministic=False)
 
 
 def ns_sample_size_for_width(target_halfwidth: float,

@@ -33,20 +33,25 @@ from repro.engine.engine import EstimationEngine, default_engine
 from repro.engine.executors import (PlanExecutor, ProcessPoolPlanExecutor,
                                     SerialExecutor, ThreadPoolPlanExecutor,
                                     make_executor)
-from repro.engine.plan import EstimationPlan, PlanNode, plan_batch
+from repro.engine.plan import (EstimationPlan, PlanNode, expand_trials,
+                               plan_batch)
 from repro.engine.requests import (BatchResult, EstimationRequest,
                                    RequestResult, derive_seed)
-from repro.engine.samples import (DEFAULT_SAMPLE_CACHE_SIZE,
+from repro.engine.samples import (DEFAULT_SAMPLE_CACHE_BYTES,
+                                  DEFAULT_SAMPLE_CACHE_SIZE,
+                                  SAMPLE_CACHE_BYTES_ENV,
                                   SAMPLE_CACHE_SIZE_ENV, EngineStats,
                                   MaterializedSample, SampleCache,
                                   materialize_histogram_sample,
                                   materialize_table_sample,
+                                  resolve_sample_cache_bytes,
                                   resolve_sample_cache_size)
 from repro.engine.units import (PlanUnit, UnitContext, plan_units,
                                 run_plan_unit)
 
 __all__ = [
     "BatchResult",
+    "DEFAULT_SAMPLE_CACHE_BYTES",
     "DEFAULT_SAMPLE_CACHE_SIZE",
     "EngineStats",
     "EstimationEngine",
@@ -58,6 +63,7 @@ __all__ = [
     "PlanUnit",
     "ProcessPoolPlanExecutor",
     "RequestResult",
+    "SAMPLE_CACHE_BYTES_ENV",
     "SAMPLE_CACHE_SIZE_ENV",
     "SampleCache",
     "SerialExecutor",
@@ -65,11 +71,13 @@ __all__ = [
     "UnitContext",
     "default_engine",
     "derive_seed",
+    "expand_trials",
     "make_executor",
     "materialize_histogram_sample",
     "materialize_table_sample",
     "plan_batch",
     "plan_units",
+    "resolve_sample_cache_bytes",
     "resolve_sample_cache_size",
     "run_plan_unit",
 ]

@@ -35,7 +35,7 @@ from repro.sampling.rng import SeedLike
 from repro.core.samplecf import SampleCFEstimate
 from repro.engine.executors import (PlanExecutor, SerialExecutor,
                                     make_executor)
-from repro.engine.plan import EstimationPlan, plan_batch
+from repro.engine.plan import EstimationPlan, expand_trials, plan_batch
 from repro.engine.requests import (BatchResult, EstimationRequest,
                                    RequestResult)
 from repro.engine.samples import EngineStats, SampleCache
@@ -71,6 +71,10 @@ class EstimationEngine:
         ``REPRO_SAMPLE_CACHE_SIZE`` environment variable, falling back
         to 64. Samples persist across ``execute`` calls, so repeated
         advisor/sweep runs over the same tables reuse prior draws.
+    sample_cache_bytes:
+        Memory-tier byte budget: the LRU additionally evicts until the
+        summed sample payloads fit. ``None`` resolves via
+        ``REPRO_SAMPLE_CACHE_BYTES``, falling back to 256 MiB.
     store:
         Optional disk tier: a :class:`~repro.store.store.SampleStore`
         handle or a directory path to open one at. With a store, every
@@ -83,13 +87,14 @@ class EstimationEngine:
     def __init__(self, seed: SeedLike = 0,
                  executor: PlanExecutor | str | None = None,
                  sample_cache_size: int | None = None,
+                 sample_cache_bytes: int | None = None,
                  store: "SampleStore | str | os.PathLike | None" = None,
                  ) -> None:
         self.master_seed = _resolve_master_seed(seed)
         if isinstance(executor, str):
             executor = make_executor(executor)
         self.executor: PlanExecutor = executor or SerialExecutor()
-        self.cache = SampleCache(sample_cache_size)
+        self.cache = SampleCache(sample_cache_size, sample_cache_bytes)
         if store is not None:
             from repro.store.store import open_store  # lazy: cycle guard
 
@@ -104,6 +109,19 @@ class EstimationEngine:
              ) -> EstimationPlan:
         """Canonicalize a batch without executing it."""
         return plan_batch(requests, self.master_seed)
+
+    def trial_requests(self, request: EstimationRequest,
+                       ) -> tuple[EstimationRequest, ...]:
+        """Per-trial expansion of ``request`` under this engine's seed.
+
+        Trial ``j`` of the result executes bit-identically to trial
+        ``j`` of the full request on this engine (same resolved seed,
+        same sample/store keys), so callers can run any subset of a
+        request's trials incrementally — later batches reuse the
+        samples earlier ones materialized instead of re-running
+        finished trials. See :func:`~repro.engine.plan.expand_trials`.
+        """
+        return expand_trials(request, self.master_seed)
 
     # ------------------------------------------------------------------
     # Execution

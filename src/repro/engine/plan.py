@@ -21,9 +21,10 @@ into an :class:`EstimationPlan`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
+from repro.errors import EstimationError
 from repro.engine.requests import (EstimationRequest, as_requests,
                                    derive_seed, sampler_key,
                                    source_cache_key)
@@ -123,6 +124,33 @@ def resolve_trial_seeds(request: EstimationRequest,
     scope = request.sample_scope()
     return tuple(derive_seed("engine-trial", master_seed, scope, trial)
                  for trial in range(request.trials))
+
+
+def expand_trials(request: EstimationRequest,
+                  master_seed: int) -> tuple[EstimationRequest, ...]:
+    """Split a multi-trial request into per-trial requests, seed-exact.
+
+    Trial ``j`` of the returned tuple is a single-trial request whose
+    explicit integer seed is exactly what :func:`resolve_trial_seeds`
+    would assign trial ``j`` of the original request under
+    ``master_seed``. Because a unit's execution depends only on the
+    request content and its resolved seed — and the sample-cache /
+    store keys are derived from the same pair — executing any subset
+    of the expansion, in any batch composition, on any executor,
+    reproduces the corresponding trials of the full request bit for
+    bit and still shares samples with same-scope requests.
+
+    This is the engine's incremental-execution primitive: the what-if
+    advisor uses it to run trials ``[t, t')`` of a candidate only when
+    its confidence interval is still too wide to decide the greedy
+    round, without ever re-running trials ``[0, t)``.
+    """
+    if request.seed_is_opaque():
+        raise EstimationError(
+            "a Generator-seeded request has one unsplittable trial")
+    seeds = resolve_trial_seeds(request, master_seed)
+    return tuple(
+        replace(request, trials=1, seed=int(seed)) for seed in seeds)
 
 
 def plan_batch(requests: Sequence[EstimationRequest],

@@ -67,6 +67,10 @@ class MaterializedSample:
     histogram: ColumnHistogram | None = None
     extra: dict = field(default_factory=dict)
     indexes: dict[tuple, SampleIndexEntry] = field(default_factory=dict)
+    #: Approximate payload bytes this sample pins in memory (decoded
+    #: rows at their encoded widths, or the sampled histogram's bytes).
+    #: Set at materialization; the byte-aware LRU evicts against it.
+    nbytes: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -111,6 +115,29 @@ class MaterializedSample:
             return entry
 
 
+def rows_payload_bytes(schema, rows) -> int:
+    """Approximate encoded bytes of decoded ``rows`` under ``schema``.
+
+    Fixed-width columns cost their width; variable-width values are
+    priced through :meth:`~repro.storage.types.DataType.encoded_size`.
+    This is a gauge for cache accounting, not an exact heap measure —
+    it deliberately ignores Python object overhead, which is roughly
+    proportional anyway.
+    """
+    fixed = 0
+    variable_columns = []
+    for position, column in enumerate(schema.columns):
+        size = column.dtype.fixed_size
+        if size is None:
+            variable_columns.append((position, column.dtype))
+        else:
+            fixed += size
+    total = fixed * len(rows)
+    for position, dtype in variable_columns:
+        total += sum(dtype.encoded_size(row[position]) for row in rows)
+    return total
+
+
 def materialize_table_sample(table: Table,
                              sampler: RowSampler | BlockSampler,
                              fraction: float,
@@ -134,12 +161,15 @@ def materialize_table_sample(table: Table,
             fraction=fraction, seed=seed, path="block", rows=rows,
             rids=tuple(block.rids),
             extra={"pages_sampled": len(block.page_ids),
-                   "pages_available": block.pages_available})
+                   "pages_available": block.pages_available},
+            nbytes=sum(len(record) for record in block.records))
     positions = sampler.sample_positions(table.num_rows, r, rng)
     rows = tuple(table.rows_at([int(p) for p in positions]))
     rids = tuple(table.rid_at(int(p)) for p in positions)
     return MaterializedSample(fraction=fraction, seed=seed,
-                              path="storage", rows=rows, rids=rids)
+                              path="storage", rows=rows, rids=rids,
+                              nbytes=rows_payload_bytes(table.schema,
+                                                        rows))
 
 
 def materialize_histogram_sample(histogram: ColumnHistogram,
@@ -150,7 +180,8 @@ def materialize_histogram_sample(histogram: ColumnHistogram,
     r = rows_for_fraction(histogram.n, fraction)
     sample = sampler.sample_histogram(histogram, r, rng)
     return MaterializedSample(fraction=fraction, seed=seed,
-                              path="histogram", histogram=sample)
+                              path="histogram", histogram=sample,
+                              nbytes=int(sample.total_bytes))
 
 
 #: Fallback LRU capacity when neither kwarg nor environment sets one.
@@ -160,6 +191,28 @@ DEFAULT_SAMPLE_CACHE_SIZE = 64
 #: many tables may want more; memory-constrained workers, less).
 SAMPLE_CACHE_SIZE_ENV = "REPRO_SAMPLE_CACHE_SIZE"
 
+#: Fallback byte budget for the sample LRU. Entry capacity alone lets
+#: 64 paper-scale samples pin gigabytes; the byte bound is what
+#: actually protects a worker's memory.
+DEFAULT_SAMPLE_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Environment override for the byte budget.
+SAMPLE_CACHE_BYTES_ENV = "REPRO_SAMPLE_CACHE_BYTES"
+
+
+def _resolve_env_int(value: int | None, env_name: str,
+                     default: int) -> int:
+    if value is not None:
+        return int(value)
+    raw = os.environ.get(env_name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise EstimationError(
+            f"{env_name} must be an integer, got {raw!r}")
+
 
 def resolve_sample_cache_size(size: int | None = None) -> int:
     """The LRU capacity to use: explicit kwarg > environment > default.
@@ -168,34 +221,54 @@ def resolve_sample_cache_size(size: int | None = None) -> int:
     size (engines, process-pool workers) funnels through this, so one
     ``REPRO_SAMPLE_CACHE_SIZE`` setting governs the whole process tree.
     """
-    if size is not None:
-        return int(size)
-    raw = os.environ.get(SAMPLE_CACHE_SIZE_ENV)
-    if raw is None or not raw.strip():
-        return DEFAULT_SAMPLE_CACHE_SIZE
-    try:
-        return int(raw)
-    except ValueError:
-        raise EstimationError(
-            f"{SAMPLE_CACHE_SIZE_ENV} must be an integer, got {raw!r}")
+    return _resolve_env_int(size, SAMPLE_CACHE_SIZE_ENV,
+                            DEFAULT_SAMPLE_CACHE_SIZE)
+
+
+def resolve_sample_cache_bytes(max_bytes: int | None = None) -> int:
+    """The LRU byte budget: explicit kwarg > environment > default."""
+    return _resolve_env_int(max_bytes, SAMPLE_CACHE_BYTES_ENV,
+                            DEFAULT_SAMPLE_CACHE_BYTES)
+
+
+def _entry_nbytes(value: object) -> int:
+    """Byte charge of one cache entry (0 for byte-less test doubles)."""
+    return int(getattr(value, "nbytes", 0) or 0)
 
 
 class SampleCache:
-    """Thread-safe LRU over materialized samples with single-flight.
+    """Thread-safe byte-aware LRU over samples with single-flight.
 
     ``get_or_create`` returns ``(sample, was_hit)``. Concurrent callers
     asking for the same key block until the one materializing thread
     finishes; a failed materialization wakes waiters so one of them
     retries (and surfaces the error if it persists).
+
+    Eviction is bounded two ways: at most ``capacity`` entries *and*
+    at most ``max_bytes`` of sample payload (each entry's
+    :attr:`MaterializedSample.nbytes`), evicting least-recently-used
+    entries until both hold — so one paper-scale sample can push out
+    many small ones instead of silently pinning memory by entry count.
+    The most recent entry always stays, even when it alone exceeds the
+    byte budget (evicting the sample a unit is about to use would only
+    force an immediate re-draw).
     """
 
-    def __init__(self, capacity: int | None = None) -> None:
+    def __init__(self, capacity: int | None = None,
+                 max_bytes: int | None = None) -> None:
         capacity = resolve_sample_cache_size(capacity)
         if capacity <= 0:
             raise EstimationError(
                 f"sample cache capacity must be positive, got {capacity}")
+        max_bytes = resolve_sample_cache_bytes(max_bytes)
+        if max_bytes <= 0:
+            raise EstimationError(
+                f"sample cache byte budget must be positive, "
+                f"got {max_bytes}")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
+        self._bytes = 0
         self._entries: OrderedDict[tuple, MaterializedSample] = \
             OrderedDict()
         self._pending: dict[tuple, threading.Event] = {}
@@ -203,6 +276,12 @@ class SampleCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes currently held (the eviction gauge)."""
+        with self._lock:
+            return self._bytes
 
     def get_or_create(self, key: tuple,
                       factory: Callable[[], MaterializedSample],
@@ -230,10 +309,16 @@ class SampleCache:
                 event.set()
                 raise
             with self._lock:
+                previous = self._entries.pop(key, None)
+                if previous is not None:
+                    self._bytes -= _entry_nbytes(previous)
                 self._entries[key] = value
-                self._entries.move_to_end(key)
-                while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
+                self._bytes += _entry_nbytes(value)
+                while len(self._entries) > 1 and (
+                        len(self._entries) > self.capacity
+                        or self._bytes > self.max_bytes):
+                    _, evicted = self._entries.popitem(last=False)
+                    self._bytes -= _entry_nbytes(evicted)
                 self._pending.pop(key, None)
             event.set()
             return value, False
@@ -241,6 +326,7 @@ class SampleCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._bytes = 0
 
 
 class EngineStats:
@@ -253,10 +339,22 @@ class EngineStats:
     ``samples_materialized == 0``. ``size_kernel_hits`` /
     ``size_scalar_fallbacks`` count compressed *blocks* (leaf pages,
     or one whole index for index-scoped algorithms) sized by the
-    vectorized kernels versus the scalar compress path. When
-    constructed with a ``cache`` backref, :meth:`as_dict` additionally
-    reports the memory tier's current size and capacity as gauges
-    (they are not counters and never participate in :meth:`merge`).
+    vectorized kernels versus the scalar compress path.
+
+    The ``whatif_*`` fields are the lazy advisor's movement:
+    ``whatif_rounds`` counts greedy selection rounds driven through the
+    engine, ``whatif_pruned`` counts per-round candidate prunes whose
+    bound excluded them from winning (no engine units spent),
+    ``whatif_early_stops`` counts candidates whose adaptive allocation
+    stopped short of the full trial budget, and ``whatif_trials_saved``
+    is the total trial units those decisions avoided — so for an
+    advisor run over ``K`` compressed candidates at budget ``T``,
+    ``trials == K * T - whatif_trials_saved`` reconciles exactly.
+
+    When constructed with a ``cache`` backref, :meth:`as_dict`
+    additionally reports the memory tier's current entry count, byte
+    load, and both bounds as gauges (they are not counters and never
+    participate in :meth:`merge`).
     """
 
     FIELDS = ("requests", "unique_requests", "trials",
@@ -265,7 +363,9 @@ class EngineStats:
               "estimates_computed", "sample_store_hits",
               "sample_store_writes", "estimate_store_hits",
               "estimate_store_writes", "size_kernel_hits",
-              "size_scalar_fallbacks")
+              "size_scalar_fallbacks", "whatif_rounds",
+              "whatif_pruned", "whatif_early_stops",
+              "whatif_trials_saved")
 
     def __init__(self, cache: "SampleCache | None" = None) -> None:
         self._lock = threading.Lock()
@@ -314,4 +414,6 @@ class EngineStats:
         if self._cache is not None:
             data["sample_cache_size"] = len(self._cache)
             data["sample_cache_capacity"] = self._cache.capacity
+            data["sample_cache_bytes"] = self._cache.nbytes
+            data["sample_cache_max_bytes"] = self._cache.max_bytes
         return data

@@ -171,6 +171,18 @@ _SPECS = (
         bench_module="benchmarks/bench_store_warm_start.py",
         modules=("repro.store", "repro.engine")),
     ExperimentSpec(
+        id="app-whatif",
+        paper_ref="Section I application / Theorems 1-2",
+        title="What-if advisor with bound pruning",
+        description="Lazy engine-backed greedy selection: Theorem 1/2 "
+                    "CF bounds prune candidates that cannot win, "
+                    "adaptive allocation stops trials early; engine "
+                    "units and wall-clock vs. the eager advisor, with "
+                    "bit-identical selected designs asserted.",
+        bench_module="benchmarks/bench_whatif_advisor.py",
+        modules=("repro.advisor.whatif", "repro.core.bounds",
+                 "repro.engine")),
+    ExperimentSpec(
         id="perf-size-kernels",
         paper_ref="(engine performance)",
         title="Vectorized size-only kernels",

@@ -196,6 +196,107 @@ class TestSelection:
         assert "workload cost" in text
 
 
+class TestSelectionDeterminism:
+    """Pins for the greedy loop's edge behaviour.
+
+    The lazy what-if advisor replicates ``select_indexes``'s scan
+    exactly, so its parity guarantees are only as strong as these
+    pins: ties break toward the earlier candidate in input order, and
+    a round with no strictly-positive improvement terminates the loop.
+    """
+
+    @staticmethod
+    def _twin_setup():
+        stats = {"t1": TableStats("t1", 1000, 100),
+                 "t2": TableStats("t2", 1000, 100)}
+        queries = [Query("q1", "t1", ("a",), selectivity=1.0, weight=1),
+                   Query("q2", "t2", ("a",), selectivity=1.0, weight=1)]
+        size = 4.0 * PAGE
+        first = CandidateIndex(table="t1", key_columns=("a",),
+                               compressed=False, algorithm=None,
+                               size_bytes=size, size_source="schema")
+        second = CandidateIndex(table="t2", key_columns=("a",),
+                                compressed=False, algorithm=None,
+                                size_bytes=size, size_source="schema")
+        return stats, queries, first, second
+
+    def test_capacity_constrained_tie_prefers_input_order(self):
+        """Two equal-density candidates, room for one: first one wins."""
+        stats, queries, first, second = self._twin_setup()
+        bound = first.size_bytes  # exactly one fits
+        result = select_indexes([first, second], queries, stats, bound,
+                                CostModel(PAGE))
+        assert result.chosen == (first,)
+        flipped = select_indexes([second, first], queries, stats, bound,
+                                 CostModel(PAGE))
+        assert flipped.chosen == (second,)
+
+    def test_tie_with_room_for_both_keeps_input_order(self):
+        stats, queries, first, second = self._twin_setup()
+        bound = 2 * first.size_bytes
+        result = select_indexes([first, second], queries, stats, bound,
+                                CostModel(PAGE))
+        assert result.chosen == (first, second)
+
+    def test_zero_improvement_leaves_design_empty(self):
+        """Candidates that cover no query terminate the loop at once."""
+        stats, queries, _, _ = self._twin_setup()
+        useless = CandidateIndex(table="t1", key_columns=("b",),
+                                 compressed=False, algorithm=None,
+                                 size_bytes=PAGE, size_source="schema")
+        result = select_indexes([useless], queries, stats, 10**6,
+                                CostModel(PAGE))
+        assert result.chosen == ()
+        assert result.steps == ()
+        assert result.cost_after == result.cost_before
+        assert result.improvement == 0
+
+    def test_index_worse_than_scan_never_chosen(self):
+        """An index costing more pages than the heap is zero gain."""
+        stats = {"t1": TableStats("t1", 1000, 10)}
+        queries = [Query("q1", "t1", ("a",), selectivity=1.0, weight=1)]
+        fat = CandidateIndex(table="t1", key_columns=("a",),
+                             compressed=False, algorithm=None,
+                             size_bytes=100.0 * PAGE,
+                             size_source="schema")
+        result = select_indexes([fat], queries, stats, 10**9,
+                                CostModel(PAGE))
+        assert result.chosen == ()
+        assert result.cost_after == result.cost_before
+
+    def test_candidate_gain_matches_selection_arithmetic(self):
+        from repro.advisor.selection import candidate_gain
+        from repro.advisor.cost import workload_cost
+
+        stats, queries, first, _ = self._twin_setup()
+        model = CostModel(PAGE)
+        current = workload_cost(queries, stats, [], model).total
+        reduction, total = candidate_gain(first, queries, stats, [],
+                                          model, current)
+        assert total == workload_cost(queries, stats, [first],
+                                      model).total
+        assert reduction == current - total
+
+    def test_candidate_gain_monotone_in_size(self):
+        """The monotonicity the what-if density bounds rely on."""
+        from repro.advisor.selection import candidate_gain
+        from repro.advisor.cost import workload_cost
+
+        stats, queries, first, _ = self._twin_setup()
+        model = CostModel(PAGE)
+        current = workload_cost(queries, stats, [], model).total
+        previous = float("inf")
+        for pages in (1, 2, 4, 8, 50, 200):
+            sized = CandidateIndex(
+                table="t1", key_columns=("a",), compressed=False,
+                algorithm=None, size_bytes=float(pages * PAGE),
+                size_source="schema")
+            reduction, _ = candidate_gain(sized, queries, stats, [],
+                                          model, current)
+            assert reduction <= previous
+            previous = reduction
+
+
 class TestEngineBackedPath:
     def test_stats_for_tables(self, tables):
         stats = stats_for_tables(tables)

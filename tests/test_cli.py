@@ -242,6 +242,131 @@ class TestEstimateBatch:
         assert json.loads(out)["plan"]["requests"] == 4
 
 
+ADVISE_SPEC = {
+    "tables": {
+        "orders": {"n": 1200,
+                   "columns": [["status", 10, 5], ["customer", 24, 150]],
+                   "page_size": 1024, "seed": 5},
+        "parts": {"n": 700, "d": 60, "k": 20, "seed": 6,
+                  "page_size": 1024},
+    },
+    "queries": [
+        {"name": "q_status", "table": "orders", "columns": ["status"],
+         "selectivity": 0.2, "weight": 10},
+        {"name": "q_customer", "table": "orders",
+         "columns": ["customer"], "selectivity": 0.05, "weight": 5},
+        {"name": "q_a", "table": "parts", "columns": ["a"],
+         "selectivity": 0.1, "weight": 2},
+    ],
+    "storage_bound_bytes": 60_000,
+    "algorithms": ["null_suppression", "dictionary"],
+    "fraction": 0.1,
+    "trials": 3,
+    "seed": 9,
+}
+
+
+@pytest.fixture
+def advise_path(tmp_path):
+    path = tmp_path / "design.json"
+    path.write_text(json.dumps(ADVISE_SPEC), encoding="utf-8")
+    return str(path)
+
+
+class TestAdvise:
+    def test_eager_mode(self, capsys, advise_path):
+        code, out, _ = run_cli(capsys, "advise", advise_path)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["mode"] == "eager"
+        assert payload["cost_after"] <= payload["cost_before"]
+        assert payload["bytes_used"] <= payload["storage_bound_bytes"]
+        assert "what_if" not in payload
+
+    def test_what_if_mode_matches_eager(self, capsys, advise_path):
+        code, eager_out, _ = run_cli(capsys, "advise", advise_path)
+        assert code == 0
+        code, lazy_out, _ = run_cli(capsys, "advise", advise_path,
+                                    "--what-if")
+        assert code == 0
+        eager = json.loads(eager_out)
+        lazy = json.loads(lazy_out)
+        assert lazy["mode"] == "what-if"
+        assert lazy["chosen"] == eager["chosen"]
+        assert lazy["steps"] == eager["steps"]
+        assert lazy["cost_after"] == eager["cost_after"]
+        report = lazy["what_if"]
+        assert report["units_executed"] <= report["units_eager"]
+        assert lazy["engine"]["trials"] == report["units_executed"]
+
+    def test_what_if_flags(self, capsys, advise_path):
+        code, out, _ = run_cli(capsys, "advise", advise_path,
+                               "--what-if", "--no-prune",
+                               "--no-adaptive", "--max-trials", "2")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["prune"] is False
+        assert payload["adaptive"] is False
+        assert payload["max_trials"] == 2
+        assert payload["what_if"]["max_trials"] == 2
+
+    def test_storage_bound_override(self, capsys, advise_path):
+        code, out, _ = run_cli(capsys, "advise", advise_path,
+                               "--what-if", "--storage-bound", "10")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["storage_bound_bytes"] == 10.0
+        assert payload["chosen"] == []
+
+    def test_store_dir_warm_start(self, capsys, advise_path, tmp_path):
+        store = str(tmp_path / "store")
+        code, cold_out, _ = run_cli(capsys, "advise", advise_path,
+                                    "--what-if", "--store-dir", store)
+        assert code == 0
+        code, warm_out, _ = run_cli(capsys, "advise", advise_path,
+                                    "--what-if", "--store-dir", store)
+        assert code == 0
+        cold = json.loads(cold_out)
+        warm = json.loads(warm_out)
+        assert warm["chosen"] == cold["chosen"]
+        assert warm["engine"]["samples_materialized"] == 0
+
+    def test_missing_sections_rejected(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"tables": {}}), encoding="utf-8")
+        code, _, err = run_cli(capsys, "advise", str(path))
+        assert code == 1
+        assert "tables" in err
+
+    def test_missing_bound_rejected(self, capsys, tmp_path):
+        spec = {k: v for k, v in ADVISE_SPEC.items()
+                if k != "storage_bound_bytes"}
+        path = tmp_path / "nobound.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        code, _, err = run_cli(capsys, "advise", str(path))
+        assert code == 1
+        assert "storage_bound_bytes" in err
+
+    def test_unknown_query_table_rejected(self, capsys, tmp_path):
+        spec = dict(ADVISE_SPEC)
+        spec["queries"] = [{"table": "ghost", "columns": ["a"]}]
+        path = tmp_path / "ghost.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        code, _, err = run_cli(capsys, "advise", str(path))
+        assert code == 1
+        assert "ghost" in err
+
+    def test_bad_columns_spec_rejected(self, capsys, tmp_path):
+        spec = dict(ADVISE_SPEC)
+        spec["tables"] = {"orders": {"n": 100, "columns": [["only-two",
+                                                           10]]}}
+        path = tmp_path / "badcols.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        code, _, err = run_cli(capsys, "advise", str(path))
+        assert code == 1
+        assert "columns" in err
+
+
 class TestBounds:
     def test_theorem1_paper_example(self, capsys):
         code, out, _ = run_cli(

@@ -148,6 +148,8 @@ class TestSampleCache:
     def test_capacity_validated(self):
         with pytest.raises(EstimationError):
             SampleCache(capacity=0)
+        with pytest.raises(EstimationError):
+            SampleCache(capacity=4, max_bytes=0)
 
     def test_failed_creator_wakes_waiters_one_retries(self):
         """Single-flight failure under real threads.
@@ -225,6 +227,80 @@ class TestSampleCache:
             thread.join(timeout=10.0)
         assert len(outcomes) == 4  # the error persists and surfaces
         assert len(cache) == 0
+
+
+class _Sized:
+    """A cache entry double carrying only a byte size."""
+
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = nbytes
+
+
+class TestSampleCacheBytes:
+    """Byte-aware eviction: the LRU counts payload bytes, not entries."""
+
+    def test_large_sample_evicts_several_small_ones(self):
+        cache = SampleCache(capacity=100, max_bytes=1000)
+        for position in range(5):
+            cache.get_or_create((position,), lambda: _Sized(100))
+        assert len(cache) == 5
+        assert cache.nbytes == 500
+        cache.get_or_create(("big",), lambda: _Sized(950))
+        # 500 + 950 > 1000: every small entry must go, LRU-first.
+        assert len(cache) == 1
+        assert cache.nbytes == 950
+        _, hit = cache.get_or_create(("big",), lambda: _Sized(950))
+        assert hit
+
+    def test_partial_eviction_stops_at_budget(self):
+        cache = SampleCache(capacity=100, max_bytes=1000)
+        for position in range(4):
+            cache.get_or_create((position,), lambda: _Sized(250))
+        cache.get_or_create(("extra",), lambda: _Sized(300))
+        # 1300 -> evict two oldest (250 each) to reach 800 <= 1000.
+        assert cache.nbytes == 800
+        assert len(cache) == 3
+        _, hit = cache.get_or_create((0,), lambda: _Sized(250))
+        assert not hit  # the oldest was evicted
+
+    def test_single_oversized_entry_is_kept(self):
+        """Evicting the entry a unit is about to use would thrash."""
+        cache = SampleCache(capacity=100, max_bytes=1000)
+        cache.get_or_create(("huge",), lambda: _Sized(5000))
+        assert len(cache) == 1
+        assert cache.nbytes == 5000
+
+    def test_clear_resets_bytes(self):
+        cache = SampleCache(capacity=4, max_bytes=1000)
+        cache.get_or_create(("k",), lambda: _Sized(400))
+        cache.clear()
+        assert cache.nbytes == 0
+
+    def test_env_override(self, monkeypatch):
+        from repro.engine import (SAMPLE_CACHE_BYTES_ENV,
+                                  resolve_sample_cache_bytes)
+
+        monkeypatch.setenv(SAMPLE_CACHE_BYTES_ENV, "4096")
+        assert resolve_sample_cache_bytes() == 4096
+        assert SampleCache(capacity=4).max_bytes == 4096
+        monkeypatch.setenv(SAMPLE_CACHE_BYTES_ENV, "not-a-number")
+        with pytest.raises(EstimationError):
+            resolve_sample_cache_bytes()
+
+    def test_materialized_samples_carry_bytes(self):
+        """Real engine samples charge real bytes into the gauge."""
+        engine = EstimationEngine(seed=3)
+        request = EstimationRequest(
+            histogram=make_histogram(2000, 40, 12, seed=5),
+            algorithm="null_suppression", fraction=0.1)
+        engine.execute([request])
+        assert engine.cache.nbytes > 0
+
+    def test_byte_gauges_in_stats(self):
+        engine = EstimationEngine(seed=3, sample_cache_bytes=12345)
+        data = engine.stats.as_dict()
+        assert data["sample_cache_max_bytes"] == 12345
+        assert data["sample_cache_bytes"] == 0
 
 
 class TestEngineSharing:
