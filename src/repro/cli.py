@@ -19,6 +19,11 @@ Examples::
     echo '{"workloads": {...}, "requests": [...]}' | \
         python -m repro estimate-batch -
     python -m repro estimate-batch spec.json --store-dir ~/.repro-store
+    python -m repro worker serve --port 7071 --store-dir /shared/store
+    python -m repro estimate-batch spec.json --executor remote \
+        --workers hostA:7071,hostB:7071 --store-dir /shared/store
+    python -m repro estimate --scenario customer_names --trials 32 \
+        --adaptive --tolerance 0.005
     python -m repro advise design.json --what-if --max-trials 5
     python -m repro advise design.json --what-if --no-prune \
         --executor process
@@ -115,7 +120,16 @@ def _build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--fraction", type=float, default=0.01,
                           help="sampling fraction f (default: 0.01)")
     estimate.add_argument("--trials", type=int, default=1,
-                          help="independent estimation trials")
+                          help="independent estimation trials (with "
+                               "--adaptive: the trial budget)")
+    estimate.add_argument("--adaptive", action="store_true",
+                          help="staged 1/2/4/... trial allocation: stop "
+                               "early once the trial-mean confidence "
+                               "interval is within --tolerance of the "
+                               "full-budget mean")
+    estimate.add_argument("--tolerance", type=float, default=0.005,
+                          help="(--adaptive) CF half-width target for "
+                               "early stopping (default: 0.005)")
     estimate.add_argument("--seed", type=int, default=0)
     estimate.add_argument("--truth", action="store_true",
                           help="also compute the exact CF and the "
@@ -137,11 +151,15 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--executor", choices=list(EXECUTOR_NAMES),
                        default=None,
                        help="override the spec's executor choice: serial, "
-                            "thread[s] (one process, GIL-bound), or "
+                            "thread[s] (one process, GIL-bound), "
                             "process (parallel workers; requests must "
-                            "be picklable)")
-    batch.add_argument("--workers", type=int, default=None,
-                       help="worker count for thread/process executors")
+                            "be picklable), or remote (shard across "
+                            "'repro worker serve' hosts)")
+    batch.add_argument("--workers", default=None,
+                       help="worker count for thread/process executors, "
+                            "or comma-separated host:port addresses for "
+                            "--executor remote (default: the "
+                            "REPRO_REMOTE_WORKERS environment variable)")
     batch.add_argument("--indent", type=int, default=2,
                        help="JSON output indentation (default: 2)")
     batch.add_argument("--store-dir", default=None,
@@ -187,8 +205,10 @@ def _build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--executor", choices=list(EXECUTOR_NAMES),
                         default=None,
                         help="how estimation batches run")
-    advise.add_argument("--workers", type=int, default=None,
-                        help="worker count for thread/process executors")
+    advise.add_argument("--workers", default=None,
+                        help="worker count for thread/process executors, "
+                             "or comma-separated host:port addresses "
+                             "for --executor remote")
     advise.add_argument("--store-dir", default=None,
                         help="persistent sample/estimate store; repeated "
                              "advise runs over the same spec warm-start "
@@ -214,6 +234,34 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--store-dir", required=True,
                          help="store directory to operate on")
 
+    worker = commands.add_parser(
+        "worker",
+        help="run a long-lived estimation worker for --executor remote")
+    worker_commands = worker.add_subparsers(dest="worker_command",
+                                            required=True)
+    worker_serve = worker_commands.add_parser(
+        "serve",
+        help="accept unit shards from remote executors until killed")
+    worker_serve.add_argument("--host", default="127.0.0.1",
+                              help="interface to bind (default: "
+                                   "127.0.0.1)")
+    worker_serve.add_argument("--port", type=int, default=0,
+                              help="port to bind; 0 picks an ephemeral "
+                                   "one (printed on the ready line)")
+    worker_serve.add_argument("--store-dir", default=None,
+                              help="persistent sample/estimate store "
+                                   "shared with the parent and the "
+                                   "other workers; racing shards then "
+                                   "materialize each sample once")
+    worker_serve.add_argument("--simulate-cost-scale", type=float,
+                              default=None,
+                              help="scheduler-evaluation harness: sleep "
+                                   "scale*predicted_cost seconds per "
+                                   "unit to emulate off-box service "
+                                   "time (estimates are unaffected)")
+    worker_serve.add_argument("--fail-after-units", type=int,
+                              default=None, help=argparse.SUPPRESS)
+
     bounds = commands.add_parser(
         "bounds", help="evaluate the paper's analytic bounds")
     which = bounds.add_subparsers(dest="theorem", required=True)
@@ -235,6 +283,29 @@ def _build_parser() -> argparse.ArgumentParser:
     theorem3.add_argument("--p", type=int, default=2)
     theorem3.add_argument("--fraction", type=float, required=True)
     return parser
+
+
+def _cli_executor(name: str | None, workers: str | None):
+    """Build the executor a CLI flag pair describes (or ``None``).
+
+    ``--workers`` is overloaded the way the executors need it: an
+    integer worker count for the local pools, a comma-separated
+    ``host:port`` list for ``--executor remote``.
+    """
+    if name is None:
+        return None
+    if name == "remote":
+        return make_executor(name, workers=workers)
+    if workers is None:
+        return make_executor(name)
+    try:
+        count = int(workers)
+    except ValueError:
+        raise ReproError(
+            f"--workers must be an integer count for --executor "
+            f"{name}; got {workers!r} (host:port lists are for "
+            f"--executor remote)") from None
+    return make_executor(name, max_workers=count)
 
 
 def _cmd_algorithms() -> str:
@@ -287,7 +358,31 @@ def _cmd_estimate(args: argparse.Namespace) -> str:
              f"{histogram.dtype.name})",
              f"algorithm : {algorithm.name}",
              f"fraction  : {args.fraction:.4%}"]
-    if args.trials <= 1:
+    if args.adaptive:
+        if args.trials <= 1:
+            raise ReproError("--adaptive needs --trials > 1 (the "
+                             "trial budget)")
+        from repro.engine.requests import EstimationRequest
+        from repro.experiments.runner import run_request_trials_adaptive
+
+        request = EstimationRequest(
+            histogram=histogram, algorithm=algorithm,
+            fraction=args.fraction, trials=args.trials,
+            page_size=args.page_size)
+        outcome = run_request_trials_adaptive(
+            request, engine=engine, tolerance=args.tolerance)
+        estimates = outcome.values
+        point = outcome.mean
+        status = "converged" if outcome.converged else "budget spent"
+        halfwidth = (f"{outcome.halfwidth:.6f}"
+                     if outcome.halfwidth is not None else "n/a")
+        lines.append(f"estimate  : mean CF' = {point:.6f} over "
+                     f"{outcome.trials_run}/{outcome.trials_budget} "
+                     f"trials ({status}; stages "
+                     f"{'/'.join(map(str, outcome.stages))}, "
+                     f"mean-CI half-width {halfwidth} vs tolerance "
+                     f"{args.tolerance})")
+    elif args.trials <= 1:
         estimate = estimator.estimate_histogram(histogram, args.fraction,
                                                 seed=args.seed)
         lines.append(f"estimate  : CF' = {estimate.estimate:.6f} "
@@ -420,8 +515,8 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> str:
     executor_name = args.executor or spec.get("executor", "serial")
     store_dir = args.store_dir or spec.get("store_dir")
     engine = EstimationEngine(
-        seed=seed, executor=make_executor(executor_name,
-                                          max_workers=args.workers),
+        seed=seed,
+        executor=_cli_executor(executor_name, args.workers),
         store=store_dir)
     plan = engine.plan(requests)
     batch = engine.execute(plan)
@@ -538,8 +633,7 @@ def _cmd_advise(args: argparse.Namespace) -> str:
               else int(spec.get("trials", 1)))
     seed = args.seed if args.seed is not None else int(spec.get("seed", 0))
     executor_name = args.executor or spec.get("executor")
-    executor = (make_executor(executor_name, max_workers=args.workers)
-                if executor_name else None)
+    executor = _cli_executor(executor_name, args.workers)
     store_dir = args.store_dir or spec.get("store_dir")
     payload: dict[str, Any] = {
         "mode": "what-if" if args.what_if else "eager",
@@ -612,6 +706,26 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     return f"removed {removed} entries from {store.root}"
 
 
+def _cmd_worker(args: argparse.Namespace) -> str:
+    """Run a worker loop until interrupted (``worker serve``)."""
+    from repro.engine.remote import serve
+
+    def ready(address: tuple[str, int]) -> None:
+        # The machine-readable ready line spawn_local_workers waits on.
+        print(f"repro-worker-ready {address[0]}:{address[1]}",
+              flush=True)
+
+    try:
+        serve(host=args.host, port=args.port, store=args.store_dir,
+              simulate_cost_scale=args.simulate_cost_scale,
+              fail_after_units=args.fail_after_units,
+              exit_on_failure=args.fail_after_units is not None,
+              ready=ready)
+    except KeyboardInterrupt:
+        pass
+    return "worker stopped"
+
+
 def _cmd_bounds(args: argparse.Namespace) -> str:
     if args.theorem == "theorem1":
         bound = ns_stddev_bound(n=args.n, f=args.fraction)
@@ -650,6 +764,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _cmd_advise(args)
         elif args.command == "cache":
             output = _cmd_cache(args)
+        elif args.command == "worker":
+            output = _cmd_worker(args)
         elif args.command == "bounds":
             output = _cmd_bounds(args)
         else:  # pragma: no cover - argparse enforces choices

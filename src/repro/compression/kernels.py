@@ -30,8 +30,8 @@ ones, including entries already persisted in a
 
 Codecs opt in by implementing
 :meth:`~repro.compression.base.CompressionAlgorithm.size_of`; anything
-uncovered (an exotic dtype, NS ``runs`` mode, a third-party algorithm)
-raises :class:`~repro.errors.KernelUnavailable` and the caller falls
+uncovered (an exotic dtype, a third-party algorithm) raises
+:class:`~repro.errors.KernelUnavailable` and the caller falls
 back to the scalar path. Setting ``REPRO_DISABLE_KERNELS=1`` forces
 the fallback everywhere, which CI uses to keep the scalar path tested.
 """
@@ -48,7 +48,7 @@ from repro.errors import KernelUnavailable
 from repro.storage.record import fixed_column_offsets, split_records
 from repro.storage.schema import Schema
 from repro.storage.types import (BigIntType, CharType, DataType, IntegerType,
-                                 VarCharType)
+                                 VarCharType, length_header_bytes)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compression.base import CompressionAlgorithm
@@ -420,6 +420,74 @@ def ns_column_size(view: ColumnView) -> int:
         return view.count + int(minimal_int_widths(view.int_values).sum())
     raise KernelUnavailable(
         f"no NS size kernel for {dtype.name}")
+
+
+def ns_runs_char_body_lengths(view: ColumnView) -> np.ndarray:
+    """Per-row encoded body lengths of a CHAR column under NS ``runs``.
+
+    The vectorized counterpart of ``_encode_runs`` applied to each
+    row's trailing-stripped value: interior maximal runs of pad or
+    ASCII-zero bytes are priced at the escape-token rate (3 bytes per
+    255-byte chunk; a remainder shorter than the minimum run length
+    stays literal), literal escape bytes cost 2, everything else 1.
+
+    Runs are found on the row-major flattening of the byte matrix: a
+    *run start* is a runnable byte at a row boundary, after a
+    non-runnable byte, or after a different byte. Cumulative-summing
+    the start mask labels every runnable byte with its run, and two
+    ``bincount`` passes aggregate run lengths and per-row costs — no
+    Python-level loop at any size.
+    """
+    from repro.compression.null_suppression import (_ESCAPE, _MIN_RUN,
+                                                    _ZERO_BYTE)
+
+    matrix = view.matrix
+    count, width = matrix.shape
+    stripped = view.char_stripped_lengths
+    lengths = np.zeros(count, dtype=np.int64)
+    if count == 0 or width == 0:
+        return lengths
+    # Bytes at or past a row's stripped length are the trailing pad the
+    # header already accounts for; they never reach the body.
+    valid = np.arange(width)[None, :] < stripped[:, None]
+    runnable = valid & ((matrix == _PAD) | (matrix == _ZERO_BYTE))
+    escapes = valid & (matrix == _ESCAPE)
+    flat_runnable = runnable.ravel()
+    flat_bytes = matrix.ravel()
+    continues = np.zeros(count * width, dtype=bool)
+    continues[1:] = (flat_runnable[1:] & flat_runnable[:-1]
+                     & (flat_bytes[1:] == flat_bytes[:-1]))
+    continues[::width] = False  # runs never cross a row boundary
+    starts = flat_runnable & ~continues
+    start_positions = np.flatnonzero(starts)
+    run_costs = np.zeros(count, dtype=np.int64)
+    if start_positions.size:
+        run_ids = np.cumsum(starts) - 1
+        run_lengths = np.bincount(run_ids[flat_runnable],
+                                  minlength=start_positions.size)
+        remainders = run_lengths % 255
+        per_run = (3 * (run_lengths // 255)
+                   + np.where(remainders >= _MIN_RUN, 3, remainders))
+        run_costs = np.bincount(start_positions // width,
+                                weights=per_run,
+                                minlength=count).astype(np.int64)
+    literals = (valid & ~runnable).sum(axis=1)
+    return literals + escapes.sum(axis=1) + run_costs
+
+
+def ns_runs_column_size(view: ColumnView) -> int:
+    """Runs-mode null-suppression payload of one column.
+
+    CHAR bodies pay the runs-mode header (sized for up to ``2k`` — an
+    all-escape value doubles); VARCHAR and integer columns are
+    mode-free and share the trailing-mode arithmetic.
+    """
+    dtype = view.dtype
+    if isinstance(dtype, CharType):
+        header = length_header_bytes(2 * dtype.k)
+        return view.count * header \
+            + int(ns_runs_char_body_lengths(view).sum())
+    return ns_column_size(view)
 
 
 def delta_column_size(view: ColumnView) -> int:

@@ -197,18 +197,18 @@ class NullSuppression(CompressionAlgorithm):
     # Size-only kernel
     # ------------------------------------------------------------------
     def size_of(self, views, schema: Schema) -> int:
-        """Vectorized NS payload: trailing-pad scan + minimal-int widths.
+        """Vectorized NS payload for both modes.
 
-        ``runs`` mode stays on the scalar path — its interior-run escape
-        encoding has no closed per-value length — which also keeps the
-        fallback route exercised in production.
+        ``trailing`` is a pad scan plus minimal-int widths; ``runs``
+        additionally prices interior pad/zero runs at the escape-token
+        rate via a flattened run-boundary scan (see
+        :func:`~repro.compression.kernels.ns_runs_char_body_lengths`).
         """
-        from repro.errors import KernelUnavailable
-        from repro.compression.kernels import ns_column_size
+        from repro.compression.kernels import (ns_column_size,
+                                               ns_runs_column_size)
 
-        if self.mode != "trailing":
-            raise KernelUnavailable(
-                "NS runs mode has no vectorized size kernel")
+        if self.mode == "runs":
+            return sum(ns_runs_column_size(view) for view in views)
         return sum(ns_column_size(view) for view in views)
 
     # ------------------------------------------------------------------

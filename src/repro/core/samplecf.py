@@ -289,7 +289,13 @@ def true_cf_table(table: Table, key_columns: Sequence[str],
                   repack: bool = False,
                   page_size: int = DEFAULT_PAGE_SIZE,
                   fill_factor: float = 1.0) -> float:
-    """Exact CF: build the full index and compress all of it."""
+    """Exact CF: build the full index and size-compress all of it.
+
+    Uses :meth:`~repro.storage.index.Index.estimate_compression` —
+    bit-identical to :meth:`~repro.storage.index.Index.compress` but
+    on the vectorized size kernels, so no compressed blobs are built
+    just to be thrown away.
+    """
     if isinstance(algorithm, str):
         algorithm = get_algorithm(algorithm)
     index = Index("truth", table.schema, key_columns, kind=kind,
@@ -297,8 +303,8 @@ def true_cf_table(table: Table, key_columns: Sequence[str],
     pairs = [(row, table.rid_at(position))
              for position, row in enumerate(table.rows())]
     index.build(pairs)
-    result = index.compress(algorithm, accounting=accounting,
-                            repack_pages=repack)
+    result = index.estimate_compression(algorithm, accounting=accounting,
+                                        repack_pages=repack)
     return result.compression_fraction
 
 

@@ -33,6 +33,9 @@ from repro.engine.engine import EstimationEngine, default_engine
 from repro.engine.executors import (PlanExecutor, ProcessPoolPlanExecutor,
                                     SerialExecutor, ThreadPoolPlanExecutor,
                                     make_executor)
+from repro.engine.remote import (RemotePlanExecutor, UnitCostModel,
+                                 lpt_assign, round_robin_assign,
+                                 spawn_local_workers, start_worker_thread)
 from repro.engine.plan import (EstimationPlan, PlanNode, expand_trials,
                                plan_batch)
 from repro.engine.requests import (BatchResult, EstimationRequest,
@@ -62,6 +65,7 @@ __all__ = [
     "PlanNode",
     "PlanUnit",
     "ProcessPoolPlanExecutor",
+    "RemotePlanExecutor",
     "RequestResult",
     "SAMPLE_CACHE_BYTES_ENV",
     "SAMPLE_CACHE_SIZE_ENV",
@@ -69,9 +73,11 @@ __all__ = [
     "SerialExecutor",
     "ThreadPoolPlanExecutor",
     "UnitContext",
+    "UnitCostModel",
     "default_engine",
     "derive_seed",
     "expand_trials",
+    "lpt_assign",
     "make_executor",
     "materialize_histogram_sample",
     "materialize_table_sample",
@@ -79,5 +85,8 @@ __all__ = [
     "plan_units",
     "resolve_sample_cache_bytes",
     "resolve_sample_cache_size",
+    "round_robin_assign",
     "run_plan_unit",
+    "spawn_local_workers",
+    "start_worker_thread",
 ]

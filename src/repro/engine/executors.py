@@ -9,7 +9,7 @@ resolved at plan time and shared state (sample cache, index cache) is
 single-flight, all three executors produce byte-identical estimates —
 the determinism property suite locks that in.
 
-Three executors exist:
+Four executors exist:
 
 * :class:`SerialExecutor` — one unit after another, calling thread;
 * :class:`ThreadPoolPlanExecutor` — overlap in one process; useful when
@@ -20,7 +20,12 @@ Three executors exist:
   whole unit list is serialized *once*, so a table shared by many units
   ships once and keeps shared identity inside each worker); each worker
   runs a private sample cache and returns its stats deltas for the
-  parent to merge.
+  parent to merge;
+* :class:`~repro.engine.remote.RemotePlanExecutor` — shards units
+  across long-lived worker *processes-as-hosts* over a socket
+  protocol, with cost-model LPT scheduling, work stealing, and
+  degradation to the local process pool (see
+  :mod:`repro.engine.remote`).
 """
 
 from __future__ import annotations
@@ -229,6 +234,7 @@ _EXECUTOR_ALIASES = {
     "threads": "threads",
     "process": "process",
     "processes": "process",
+    "remote": "remote",
 }
 
 #: Every name :func:`make_executor` accepts — the CLI derives its
@@ -237,8 +243,16 @@ EXECUTOR_NAMES = tuple(sorted(_EXECUTOR_ALIASES))
 
 
 def make_executor(name: str, max_workers: int | None = None,
+                  workers: str | Sequence | None = None,
                   ) -> PlanExecutor:
-    """Executor factory used by the CLI and experiment configs."""
+    """Executor factory used by the CLI and experiment configs.
+
+    ``workers`` is the remote executor's address list (``"host:port,
+    host:port"`` or pairs); when omitted, ``"remote"`` reads the
+    ``REPRO_REMOTE_WORKERS`` environment variable — which is what lets
+    plain string executor names (batch specs, ``engine_sweep``
+    arguments) reach remote workers without new plumbing.
+    """
     canonical = _EXECUTOR_ALIASES.get(name)
     if canonical == "serial":
         return SerialExecutor()
@@ -246,6 +260,11 @@ def make_executor(name: str, max_workers: int | None = None,
         return ThreadPoolPlanExecutor(max_workers=max_workers)
     if canonical == "process":
         return ProcessPoolPlanExecutor(max_workers=max_workers)
+    if canonical == "remote":
+        from repro.engine.remote import RemotePlanExecutor  # lazy: cycle
+
+        return RemotePlanExecutor(workers=workers,
+                                  max_local_workers=max_workers)
     raise EstimationError(
         f"unknown executor {name!r}; known: "
-        f"['serial', 'threads', 'process']")
+        f"['serial', 'threads', 'process', 'remote']")

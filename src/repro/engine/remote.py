@@ -1,0 +1,839 @@
+"""Remote plan execution: shard units across worker processes-as-hosts.
+
+The engine already reduces every batch to a flat list of picklable
+:class:`~repro.engine.units.PlanUnit` objects whose randomness was
+resolved at plan time, and the persistent
+:class:`~repro.store.store.SampleStore` already makes concurrent
+cross-process materialization single-flight. This module adds the last
+scale-out piece from the ROADMAP: a :class:`RemotePlanExecutor` that
+ships each shard's unit sublist once to a long-lived worker process
+(``repro worker serve --store-dir ...``) over a length-prefixed socket
+protocol, and merges order-tagged results plus
+:class:`~repro.engine.samples.EngineStats` deltas back in the parent.
+
+Scheduling is the perf core:
+
+* a :class:`UnitCostModel` predicts per-unit cost from the sample row
+  count (``rows_for_fraction(n, f)``) times an algorithm-class weight,
+  and calibrates itself from observed per-unit worker timings (an EMA
+  of seconds per predicted cost unit, per algorithm);
+* predicted costs feed an LPT (longest-processing-time-first) shard
+  assignment (:func:`lpt_assign`), with :func:`round_robin_assign` as
+  the measurable baseline;
+* dispatch is chunked and pull-based: a worker whose queue drains
+  steals half of the largest remaining victim queue, so one straggler
+  host cannot serialize the batch's tail.
+
+Robustness is part of the contract: a socket timeout or dead worker
+marks the link failed, its undispatched and in-flight units return to
+a shared pool that surviving workers drain (retry-on-fresh-worker),
+and when no worker is reachable at all the executor degrades to the
+local process pool. Results stay bit-identical to
+:class:`~repro.engine.executors.SerialExecutor` throughout — the
+determinism property suite asserts it, including mid-run worker death.
+
+Wire protocol (one 8-byte big-endian length prefix per pickled frame):
+
+=============================  =======================================
+parent -> worker               worker -> parent
+=============================  =======================================
+``("ping",)``                  ``("pong", info_dict)``
+``("install", blob, store)``   ``("installed", count)``
+``("run", positions)``         ``("results", [(pos, est, sec), ...],
+                               stats_delta)``
+``("shutdown",)``              ``("bye",)``
+=============================  =======================================
+
+``install`` may repeat on one connection (work stealing appends to the
+worker's unit table); each unit therefore ships at most twice — once to
+its LPT home, once more if stolen or reassigned after a failure.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import EstimationError
+from repro.sampling.base import rows_for_fraction
+from repro.engine.samples import EngineStats, SampleCache
+from repro.engine.units import PlanUnit, UnitContext, run_plan_unit
+
+#: Environment variable ``make_executor("remote")`` reads worker
+#: addresses from (comma-separated ``host:port`` pairs), so string
+#: executor names keep working everywhere an ``executor=`` reaches.
+REMOTE_WORKERS_ENV = "REPRO_REMOTE_WORKERS"
+
+_LENGTH = struct.Struct(">Q")
+
+#: Refuse frames above this size — a corrupt length prefix must not
+#: trigger a multi-terabyte allocation.
+MAX_FRAME_BYTES = 1 << 34
+
+
+# ----------------------------------------------------------------------
+# Frame protocol
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, message: object) -> None:
+    """Send one length-prefixed pickled frame."""
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(blob)) + blob)
+
+
+def recv_frame(sock: socket.socket) -> object | None:
+    """Receive one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LENGTH.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise EstimationError(
+            f"remote frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit (corrupt stream?)")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                allow_eof: bool = False) -> bytes | None:
+    parts = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ConnectionError("remote peer closed mid-frame")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+#: Relative per-sampled-row cost by algorithm class, measured against
+#: trailing-mode NS (= 1.0) on the canonical clustered CHAR index.
+#: These only order the LPT assignment; calibration refines the scale.
+ALGORITHM_WEIGHTS = {
+    "page": 0.6,
+    "null_suppression": 1.0,
+    "null_suppression_runs": 1.6,
+    "rle": 1.1,
+    "delta": 1.1,
+    "prefix": 1.2,
+    "dictionary": 1.3,
+    "global_dictionary": 1.2,
+}
+
+#: Histograms estimate in closed form over ``d`` buckets, not ``r``
+#: decoded rows — orders of magnitude cheaper per sampled row.
+_HISTOGRAM_DISCOUNT = 0.05
+
+
+class UnitCostModel:
+    """Predicts a unit's execution cost; calibrates from observations.
+
+    ``predict`` returns abstract cost units (sampled rows x algorithm
+    weight) — all LPT needs is the right *ordering*. ``observe`` folds
+    measured per-unit seconds into an EMA of seconds per cost unit, per
+    algorithm, so ``predict_seconds`` converges on real timings across
+    batches on one executor (worker replies carry per-unit seconds).
+    """
+
+    def __init__(self, ema_alpha: float = 0.2) -> None:
+        if not 0.0 < ema_alpha <= 1.0:
+            raise EstimationError(
+                f"EMA alpha must be in (0, 1], got {ema_alpha}")
+        self.ema_alpha = ema_alpha
+        self._lock = threading.Lock()
+        self._seconds_per_cost: dict[str, float] = {}
+
+    @staticmethod
+    def predict(unit: PlanUnit) -> float:
+        request = unit.request
+        if request.is_table:
+            rows = rows_for_fraction(request.table.num_rows,
+                                     request.fraction)
+            scale = 1.0
+        else:
+            rows = rows_for_fraction(request.histogram.n,
+                                     request.fraction)
+            scale = _HISTOGRAM_DISCOUNT
+        weight = ALGORITHM_WEIGHTS.get(request.algorithm.name, 1.0)
+        return max(1.0, rows * scale * weight)
+
+    def observe(self, unit: PlanUnit, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        rate = seconds / self.predict(unit)
+        name = unit.request.algorithm.name
+        with self._lock:
+            previous = self._seconds_per_cost.get(name)
+            if previous is None:
+                self._seconds_per_cost[name] = rate
+            else:
+                self._seconds_per_cost[name] = (
+                    self.ema_alpha * rate
+                    + (1.0 - self.ema_alpha) * previous)
+
+    def predict_seconds(self, unit: PlanUnit) -> float | None:
+        """Calibrated wall-clock prediction; ``None`` before any data."""
+        with self._lock:
+            rate = self._seconds_per_cost.get(
+                unit.request.algorithm.name)
+            if rate is None and self._seconds_per_cost:
+                rate = (sum(self._seconds_per_cost.values())
+                        / len(self._seconds_per_cost))
+        if rate is None:
+            return None
+        return rate * self.predict(unit)
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._seconds_per_cost)
+
+
+# ----------------------------------------------------------------------
+# Shard assignment
+# ----------------------------------------------------------------------
+def lpt_assign(costs: Sequence[float], shards: int) -> list[list[int]]:
+    """Longest-processing-time-first assignment to ``shards`` bins.
+
+    Returns per-shard index lists, each ordered by descending cost (so
+    chunked dispatch sends the expensive units first and the tail stays
+    small). Ties break on index for determinism.
+    """
+    if shards <= 0:
+        raise EstimationError(f"need a positive shard count, got {shards}")
+    order = sorted(range(len(costs)),
+                   key=lambda i: (-float(costs[i]), i))
+    loads = [0.0] * shards
+    out: list[list[int]] = [[] for _ in range(shards)]
+    for index in order:
+        shard = min(range(shards), key=lambda s: (loads[s], s))
+        out[shard].append(index)
+        loads[shard] += float(costs[index])
+    return out
+
+
+def round_robin_assign(costs: Sequence[float],
+                       shards: int) -> list[list[int]]:
+    """Cost-blind round-robin — the baseline LPT must beat."""
+    if shards <= 0:
+        raise EstimationError(f"need a positive shard count, got {shards}")
+    out: list[list[int]] = [[] for _ in range(shards)]
+    for index in range(len(costs)):
+        out[index % shards].append(index)
+    return out
+
+
+SCHEDULERS: dict[str, Callable[[Sequence[float], int], list[list[int]]]] \
+    = {"lpt": lpt_assign, "round_robin": round_robin_assign}
+
+
+def makespan(costs: Sequence[float],
+             assignment: list[list[int]]) -> float:
+    """The slowest shard's summed cost under an assignment."""
+    return max((sum(float(costs[i]) for i in shard)
+                for shard in assignment), default=0.0)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _InjectedFailure(Exception):
+    """Raised by the fault-injection hook to kill a connection."""
+
+
+@dataclass
+class WorkerState:
+    """One worker process's long-lived runtime state.
+
+    The cache, stats, and store persist across connections (that is the
+    point of a long-lived worker: its memory LRU and the shared disk
+    store stay warm between batches); the per-connection unit table
+    does not — positions are batch-local.
+    """
+
+    context: UnitContext = field(default_factory=lambda: UnitContext(
+        cache=SampleCache(), stats=EngineStats()))
+    #: Per-unit sleep of ``scale * UnitCostModel.predict(unit)``
+    #: seconds before executing. A scheduler-evaluation harness knob:
+    #: it emulates hosts whose service time is off-box (real CPU on a
+    #: remote machine, I/O), so scaling and LPT-vs-round-robin makespan
+    #: can be measured independently of the parent host's core count.
+    #: Estimates are unaffected.
+    simulate_cost_scale: float | None = None
+    #: Fault injection: abort the connection (process workers exit)
+    #: after this many executed units. Tests only.
+    fail_after_units: int | None = None
+    #: ``True`` in subprocess workers: injected failures hard-exit.
+    exit_on_failure: bool = False
+    executed_units: int = 0
+
+    def _maybe_fail(self) -> None:
+        if self.fail_after_units is None:
+            return
+        if self.executed_units >= self.fail_after_units:
+            if self.exit_on_failure:
+                os._exit(17)
+            raise _InjectedFailure(
+                f"injected failure after {self.executed_units} units")
+
+
+def handle_connection(sock: socket.socket, state: WorkerState) -> str:
+    """Serve one parent connection until EOF or shutdown.
+
+    Factored out of the accept loop so tests can drive the full
+    protocol over an in-process ``socket.socketpair()``. Returns why
+    the connection ended (``"eof"`` or ``"shutdown"``).
+    """
+    units: dict[int, PlanUnit] = {}
+    while True:
+        message = recv_frame(sock)
+        if message is None:
+            return "eof"
+        kind = message[0]
+        if kind == "ping":
+            send_frame(sock, ("pong", {
+                "pid": os.getpid(),
+                "store": (str(state.context.store.root)
+                          if state.context.store is not None else None)}))
+        elif kind == "install":
+            _, blob, store_blob = message
+            pairs = pickle.loads(blob)
+            units.update(pairs)
+            if store_blob is not None and state.context.store is None:
+                state.context.store = pickle.loads(store_blob)
+            send_frame(sock, ("installed", len(pairs)))
+        elif kind == "run":
+            try:
+                reply = _run_positions(message[1], units, state)
+            except KeyError as exc:
+                # A protocol error, not a crash: tell the parent (it
+                # buries this worker) instead of dying replyless.
+                reply = ("error", f"unit position {exc} never installed")
+            send_frame(sock, reply)
+        elif kind == "shutdown":
+            send_frame(sock, ("bye",))
+            return "shutdown"
+        else:
+            raise EstimationError(f"unknown remote message {kind!r}")
+
+
+def _run_positions(positions: Sequence[int], units: dict[int, PlanUnit],
+                   state: WorkerState) -> tuple:
+    context = state.context
+    before = context.stats.snapshot()
+    out = []
+    for position in positions:
+        state._maybe_fail()
+        unit = units[position]
+        started = time.perf_counter()
+        if state.simulate_cost_scale:
+            time.sleep(state.simulate_cost_scale
+                       * UnitCostModel.predict(unit))
+        estimate = run_plan_unit(unit, context)
+        out.append((position, estimate,
+                    time.perf_counter() - started))
+        state.executed_units += 1
+    delta = EngineStats.delta(before, context.stats.snapshot())
+    return ("results", out, delta)
+
+
+def serve(host: str = "127.0.0.1", port: int = 0,
+          store: object = None,
+          simulate_cost_scale: float | None = None,
+          fail_after_units: int | None = None,
+          exit_on_failure: bool = False,
+          ready: Callable[[tuple[str, int]], None] | None = None,
+          stop_event: threading.Event | None = None) -> None:
+    """Run a worker loop: accept parents, serve the unit protocol.
+
+    ``ready`` is called once with the bound ``(host, port)`` (port 0
+    binds an ephemeral one). Each connection is served on its own
+    thread — the shared state's cache and stats are thread-safe, and
+    the store is cross-process-safe by construction.
+    """
+    state = WorkerState(simulate_cost_scale=simulate_cost_scale,
+                        fail_after_units=fail_after_units,
+                        exit_on_failure=exit_on_failure)
+    if store is not None:
+        from repro.store.store import open_store
+
+        state.context.store = open_store(store)
+    listener = socket.create_server((host, port))
+    try:
+        listener.settimeout(0.25)
+        if ready is not None:
+            ready(listener.getsockname()[:2])
+        while stop_event is None or not stop_event.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            thread = threading.Thread(
+                target=_serve_connection, args=(conn, state), daemon=True)
+            thread.start()
+    finally:
+        listener.close()
+
+
+def _serve_connection(conn: socket.socket, state: WorkerState) -> None:
+    try:
+        handle_connection(conn, state)
+    except (_InjectedFailure, ConnectionError, OSError, EOFError):
+        pass  # the parent observes the drop and reassigns
+    finally:
+        conn.close()
+
+
+def start_worker_thread(store: object = None,
+                        simulate_cost_scale: float | None = None,
+                        fail_after_units: int | None = None,
+                        ) -> tuple[tuple[str, int], Callable[[], None]]:
+    """An in-process worker on an ephemeral port (tests, fake-remote).
+
+    Returns ``(address, shutdown)``. The worker shares this process's
+    interpreter but speaks the real socket protocol, so everything —
+    framing, install/run/steal round trips, stats merging — exercises
+    the production path.
+    """
+    box: dict[str, tuple[str, int]] = {}
+    bound = threading.Event()
+    stop = threading.Event()
+
+    def ready(address: tuple[str, int]) -> None:
+        box["address"] = address
+        bound.set()
+
+    thread = threading.Thread(
+        target=serve,
+        kwargs={"store": store,
+                "simulate_cost_scale": simulate_cost_scale,
+                "fail_after_units": fail_after_units,
+                "ready": ready, "stop_event": stop},
+        daemon=True)
+    thread.start()
+    if not bound.wait(timeout=10):
+        raise EstimationError("worker thread failed to bind")
+
+    def shutdown() -> None:
+        stop.set()
+        thread.join(timeout=5)
+
+    return box["address"], shutdown
+
+
+def spawn_local_workers(count: int, store_dir: str | os.PathLike | None
+                        = None,
+                        simulate_cost_scale: float | None = None,
+                        fail_after_units: int | None = None,
+                        ) -> tuple[list[subprocess.Popen],
+                                   list[tuple[str, int]]]:
+    """Spawn ``count`` worker *processes* on ephemeral localhost ports.
+
+    The process form of :func:`start_worker_thread` — used by the
+    benchmark and CLI-level tests. Each worker prints a
+    ``repro-worker-ready HOST:PORT`` line once bound; this returns the
+    processes plus their addresses. Callers terminate the processes
+    when done.
+    """
+    if count <= 0:
+        raise EstimationError(f"need a positive worker count, got {count}")
+    import repro
+
+    source_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = source_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    processes: list[subprocess.Popen] = []
+    addresses: list[tuple[str, int]] = []
+    try:
+        for _ in range(count):
+            command = [sys.executable, "-m", "repro", "worker", "serve",
+                       "--host", "127.0.0.1", "--port", "0"]
+            if store_dir is not None:
+                command += ["--store-dir", str(store_dir)]
+            if simulate_cost_scale is not None:
+                command += ["--simulate-cost-scale",
+                            repr(float(simulate_cost_scale))]
+            if fail_after_units is not None:
+                command += ["--fail-after-units", str(fail_after_units)]
+            process = subprocess.Popen(
+                command, env=env, stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL, text=True)
+            processes.append(process)
+        for process in processes:
+            line = process.stdout.readline().strip()
+            if not line.startswith("repro-worker-ready "):
+                raise EstimationError(
+                    f"worker failed to start (got {line!r})")
+            host, _, port = line.split(" ", 1)[1].rpartition(":")
+            addresses.append((host, int(port)))
+    except Exception:
+        for process in processes:
+            process.terminate()
+        raise
+    return processes, addresses
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def parse_worker_addresses(spec: str | Sequence | None,
+                           ) -> list[tuple[str, int]]:
+    """Normalize a worker spec: ``"host:port,host:port"`` or pairs.
+
+    ``None`` (or empty) falls back to ``REPRO_REMOTE_WORKERS``; an
+    empty result is allowed — the executor then runs its local
+    fallback, which is the documented degradation mode.
+    """
+    if spec is None or (isinstance(spec, str) and not spec.strip()):
+        spec = os.environ.get(REMOTE_WORKERS_ENV, "")
+    if isinstance(spec, str):
+        entries: Sequence = [part for part in spec.split(",")
+                             if part.strip()]
+    else:
+        entries = spec
+    addresses = []
+    for entry in entries:
+        if isinstance(entry, str):
+            host, separator, port = entry.strip().rpartition(":")
+            if not separator or not host:
+                raise EstimationError(
+                    f"worker address {entry!r} is not host:port")
+            try:
+                addresses.append((host, int(port)))
+            except ValueError:
+                raise EstimationError(
+                    f"worker address {entry!r} has a non-integer "
+                    f"port") from None
+        else:
+            host, port = entry
+            addresses.append((str(host), int(port)))
+    return addresses
+
+
+class _WorkerLink:
+    """One parent-held connection to a worker, plus its dispatch queue."""
+
+    def __init__(self, address: tuple[str, int], timeout: float) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.sock: socket.socket | None = None
+        self.queue: deque[int] = deque()
+        self.installed: set[int] = set()
+        self.store_sent = False
+        self.dead = False
+
+    def connect(self, connect_timeout: float) -> bool:
+        try:
+            self.sock = socket.create_connection(
+                self.address, timeout=connect_timeout)
+            self.sock.settimeout(self.timeout)
+            send_frame(self.sock, ("ping",))
+            reply = recv_frame(self.sock)
+            return isinstance(reply, tuple) and reply[0] == "pong"
+        except (OSError, ConnectionError, pickle.PickleError):
+            self.close()
+            return False
+
+    def request(self, message: object) -> tuple:
+        assert self.sock is not None
+        send_frame(self.sock, message)
+        reply = recv_frame(self.sock)
+        if reply is None:
+            raise ConnectionError(
+                f"worker {self.address} closed the connection")
+        return reply
+
+    def close(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            finally:
+                self.sock = None
+
+
+class RemotePlanExecutor:
+    """Shard plan units across remote worker processes.
+
+    Parameters
+    ----------
+    workers:
+        ``"host:port,host:port"``, a sequence of addresses, or ``None``
+        to read ``REPRO_REMOTE_WORKERS``. Unreachable workers are
+        skipped; with none reachable the batch runs on the local
+        fallback (:class:`~repro.engine.executors.ProcessPoolPlanExecutor`).
+    scheduler:
+        ``"lpt"`` (default) or ``"round_robin"`` — how predicted unit
+        costs map to initial shards.
+    chunk_units:
+        Units per ``run`` round trip. Small chunks bound the work lost
+        to a dying worker and keep the stealing tail fine-grained.
+    steal:
+        Whether idle workers steal half of the largest remaining queue.
+    timeout:
+        Per-round-trip socket timeout (seconds); an expiry counts as a
+        worker failure and the shard's units are reassigned.
+    max_local_workers:
+        Pool size for the local fallback.
+
+    Determinism: unit randomness is resolved at plan time and workers
+    funnel through the same :func:`~repro.engine.units.run_plan_unit`
+    as every other executor, so results are bit-identical to
+    :class:`~repro.engine.executors.SerialExecutor` no matter how the
+    batch lands on workers, which workers die, or whether the fallback
+    runs — only the stats accounting differs.
+    """
+
+    name = "remote"
+
+    def __init__(self, workers: str | Sequence | None = None,
+                 scheduler: str = "lpt",
+                 chunk_units: int = 4,
+                 steal: bool = True,
+                 timeout: float = 600.0,
+                 connect_timeout: float = 5.0,
+                 max_local_workers: int | None = None,
+                 cost_model: UnitCostModel | None = None) -> None:
+        self.addresses = parse_worker_addresses(workers)
+        if scheduler not in SCHEDULERS:
+            raise EstimationError(
+                f"unknown scheduler {scheduler!r}; known: "
+                f"{sorted(SCHEDULERS)}")
+        if chunk_units <= 0:
+            raise EstimationError(
+                f"need a positive chunk size, got {chunk_units}")
+        self.scheduler = scheduler
+        self.chunk_units = chunk_units
+        self.steal = steal
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.max_local_workers = max_local_workers
+        self.cost_model = cost_model or UnitCostModel()
+
+    # -- public entry --------------------------------------------------
+    def run(self, units: Sequence[PlanUnit],
+            context: UnitContext | None = None) -> list:
+        units = list(units)
+        for unit in units:
+            if not isinstance(unit, PlanUnit):
+                raise EstimationError(
+                    "the remote executor ships PlanUnit objects to "
+                    f"workers; got {type(unit).__name__}")
+        if context is None:
+            context = UnitContext(cache=SampleCache(8),
+                                  stats=EngineStats())
+        results: list = [None] * len(units)
+        shippable = [position for position, unit in enumerate(units)
+                     if not unit.request.seed_is_opaque()]
+        pending = shippable
+        if shippable:
+            links = self._connect()
+            if links:
+                pending = self._dispatch(units, shippable, links,
+                                         results, context)
+            if pending:
+                context.stats.add("remote_fallback_units", len(pending))
+                self._run_local_fallback(units, pending, results, context)
+        # Opaque Generator seeds cannot ship (pickling would fork the
+        # stream); they run in the parent, exactly like the process pool.
+        for position, unit in enumerate(units):
+            if unit.request.seed_is_opaque():
+                results[position] = run_plan_unit(unit, context)
+        return results
+
+    # -- connection management -----------------------------------------
+    def _connect(self) -> list[_WorkerLink]:
+        links = []
+        for address in self.addresses:
+            link = _WorkerLink(address, self.timeout)
+            if link.connect(self.connect_timeout):
+                links.append(link)
+        return links
+
+    # -- dispatch core -------------------------------------------------
+    def _dispatch(self, units: list[PlanUnit], positions: list[int],
+                  links: list[_WorkerLink], results: list,
+                  context: UnitContext) -> list[int]:
+        """Run ``positions`` across ``links``; returns what remains."""
+        costs = {position: self.cost_model.predict(units[position])
+                 for position in positions}
+        assignment = SCHEDULERS[self.scheduler](
+            [costs[position] for position in positions], len(links))
+        for link, shard in zip(links, assignment):
+            link.queue.extend(positions[index] for index in shard)
+        state = _DispatchState(units=units, results=results,
+                               context=context, links=links)
+        threads = [threading.Thread(target=self._drive_worker,
+                                    args=(link, state), daemon=True)
+                   for link in links]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with state.lock:
+            leftover = [position for position in positions
+                        if position not in state.done]
+        return leftover
+
+    def _drive_worker(self, link: _WorkerLink,
+                      state: _DispatchState) -> None:
+        try:
+            while True:
+                chunk = self._next_chunk(link, state)
+                if not chunk:
+                    return
+                self._ship_missing(link, state, chunk)
+                reply = link.request(("run", chunk))
+                if reply[0] != "results":
+                    raise ConnectionError(
+                        f"unexpected reply {reply[0]!r} from "
+                        f"{link.address}")
+                _, rows, delta = reply
+                with state.lock:
+                    for position, estimate, seconds in rows:
+                        state.results[position] = estimate
+                        state.done.add(position)
+                        self.cost_model.observe(state.units[position],
+                                                seconds)
+                    state.in_flight.pop(link, None)
+                state.context.stats.merge(delta)
+                state.context.stats.add("remote_units", len(rows))
+        except (ConnectionError, OSError, socket.timeout,
+                pickle.PickleError, EstimationError):
+            self._bury_worker(link, state)
+        finally:
+            link.close()
+
+    def _next_chunk(self, link: _WorkerLink,
+                    state: _DispatchState) -> list[int]:
+        """Pop this worker's next chunk, stealing when its queue dries.
+
+        An idle worker does not exit while any peer is still busy: a
+        peer may yet die and orphan its units, and a live worker is the
+        cheapest place to retry them. It polls instead of waiting on a
+        condition because wake-ups are rare (a steal or a burial) and
+        the poll interval is far below any unit's execution time.
+        """
+        while True:
+            with state.lock:
+                if not link.queue:
+                    self._steal_into(link, state)
+                if link.queue:
+                    chunk = []
+                    while link.queue and len(chunk) < self.chunk_units:
+                        chunk.append(link.queue.popleft())
+                    # Record in-flight so a mid-chunk death requeues.
+                    state.in_flight[link] = list(chunk)
+                    return chunk
+                busy = any(
+                    other is not link and not other.dead
+                    and (other.queue or state.in_flight.get(other))
+                    for other in state.links)
+                if not busy and not state.orphans:
+                    return []
+            time.sleep(0.005)
+
+    def _steal_into(self, thief: _WorkerLink,
+                    state: _DispatchState) -> None:
+        """Move work into an idle worker's queue (caller holds lock)."""
+        if state.orphans:
+            take = min(len(state.orphans),
+                       max(self.chunk_units, len(state.orphans) // 2))
+            for _ in range(take):
+                thief.queue.append(state.orphans.popleft())
+            state.context.stats.add("remote_retried_units", take)
+            return
+        if not self.steal:
+            return
+        victim = max((link for link in state.links
+                      if link is not thief and not link.dead),
+                     key=lambda link: len(link.queue), default=None)
+        if victim is None or len(victim.queue) < 2:
+            return
+        take = len(victim.queue) // 2
+        for _ in range(take):
+            thief.queue.append(victim.queue.pop())  # steal the tail
+        state.context.stats.add("remote_steals", 1)
+
+    def _ship_missing(self, link: _WorkerLink, state: _DispatchState,
+                      chunk: list[int]) -> None:
+        """Install any chunk units this worker has not seen (one blob)."""
+        missing = [position for position in chunk
+                   if position not in link.installed]
+        if not missing:
+            return
+        blob = pickle.dumps(
+            tuple((position, state.units[position])
+                  for position in missing),
+            protocol=pickle.HIGHEST_PROTOCOL)
+        store_blob = None
+        if not link.store_sent and state.context.store is not None:
+            store_blob = pickle.dumps(state.context.store,
+                                      protocol=pickle.HIGHEST_PROTOCOL)
+        reply = link.request(("install", blob, store_blob))
+        if reply[0] != "installed":
+            raise ConnectionError(
+                f"unexpected reply {reply[0]!r} from {link.address}")
+        link.installed.update(missing)
+        link.store_sent = True
+
+    def _bury_worker(self, link: _WorkerLink,
+                     state: _DispatchState) -> None:
+        """Return a dead worker's unfinished units to the shared pool."""
+        with state.lock:
+            link.dead = True
+            requeue = [position
+                       for position in state.in_flight.pop(link, [])
+                       if position not in state.done]
+            requeue.extend(link.queue)
+            link.queue.clear()
+            state.orphans.extend(requeue)
+        state.context.stats.add("remote_worker_failures", 1)
+
+    # -- local fallback ------------------------------------------------
+    def _run_local_fallback(self, units: list[PlanUnit],
+                            positions: list[int], results: list,
+                            context: UnitContext) -> None:
+        from repro.engine.executors import ProcessPoolPlanExecutor
+
+        subset = [units[position] for position in positions]
+        try:
+            values = ProcessPoolPlanExecutor(
+                max_workers=self.max_local_workers).run(subset, context)
+        except EstimationError:
+            values = [run_plan_unit(unit, context) for unit in subset]
+        for position, value in zip(positions, values):
+            results[position] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RemotePlanExecutor(workers={self.addresses!r}, "
+                f"scheduler={self.scheduler!r}, "
+                f"chunk_units={self.chunk_units}, steal={self.steal})")
+
+
+@dataclass
+class _DispatchState:
+    """Shared bookkeeping for one dispatch round."""
+
+    units: list[PlanUnit]
+    results: list
+    context: UnitContext
+    links: list[_WorkerLink]
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    done: set[int] = field(default_factory=set)
+    orphans: deque[int] = field(default_factory=deque)
+    in_flight: dict[_WorkerLink, list[int]] = field(default_factory=dict)

@@ -351,6 +351,14 @@ class EngineStats:
     advisor run over ``K`` compressed candidates at budget ``T``,
     ``trials == K * T - whatif_trials_saved`` reconciles exactly.
 
+    The ``remote_*`` fields are the remote executor's movement:
+    ``remote_units`` counts units completed on workers,
+    ``remote_steals`` counts queue-stealing events,
+    ``remote_retried_units`` counts units rerun after their original
+    worker died, ``remote_worker_failures`` counts worker deaths
+    observed mid-batch, and ``remote_fallback_units`` counts units the
+    local fallback executed because no worker could.
+
     When constructed with a ``cache`` backref, :meth:`as_dict`
     additionally reports the memory tier's current entry count, byte
     load, and both bounds as gauges (they are not counters and never
@@ -365,7 +373,9 @@ class EngineStats:
               "estimate_store_writes", "size_kernel_hits",
               "size_scalar_fallbacks", "whatif_rounds",
               "whatif_pruned", "whatif_early_stops",
-              "whatif_trials_saved")
+              "whatif_trials_saved", "remote_units", "remote_steals",
+              "remote_retried_units", "remote_worker_failures",
+              "remote_fallback_units")
 
     def __init__(self, cache: "SampleCache | None" = None) -> None:
         self._lock = threading.Lock()

@@ -4,12 +4,14 @@ from repro.experiments.registry import (EXPERIMENTS, ExperimentSpec,
                                         get_experiment, list_experiments)
 from repro.experiments.report import (banner, fmt_bytes, fmt_float,
                                       format_markdown_table, format_table)
-from repro.experiments.runner import (SweepPoint, Timed, engine_sweep,
-                                      run_request_trials, run_trials,
-                                      summarize_request, summarize_trials,
-                                      sweep, timed)
+from repro.experiments.runner import (AdaptiveTrials, SweepPoint, Timed,
+                                      engine_sweep, run_request_trials,
+                                      run_request_trials_adaptive,
+                                      run_trials, summarize_request,
+                                      summarize_trials, sweep, timed)
 
 __all__ = [
+    "AdaptiveTrials",
     "EXPERIMENTS",
     "ExperimentSpec",
     "SweepPoint",
@@ -23,6 +25,7 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "run_request_trials",
+    "run_request_trials_adaptive",
     "run_trials",
     "summarize_request",
     "summarize_trials",

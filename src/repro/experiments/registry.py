@@ -192,6 +192,19 @@ _SPECS = (
                     "payload sizes asserted.",
         bench_module="benchmarks/bench_size_kernels.py",
         modules=("repro.compression.kernels", "repro.storage.index")),
+    ExperimentSpec(
+        id="perf-remote",
+        paper_ref="(engine performance)",
+        title="Remote plan executor scaling",
+        description="Plan units sharded across store-warmed socket "
+                    "workers: cost-model LPT scheduling with a "
+                    "work-stealing tail vs. round-robin, simulated-"
+                    "service throughput scaling at 1/2/4 workers, and "
+                    "zero sample materializations against a warm "
+                    "shared store — with bit-identical estimates "
+                    "asserted against the serial executor.",
+        bench_module="benchmarks/bench_remote_executor.py",
+        modules=("repro.engine.remote", "repro.store")),
 )
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {spec.id: spec for spec in _SPECS}

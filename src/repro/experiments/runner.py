@@ -136,6 +136,96 @@ def run_request_trials(request: "EstimationRequest",
     return batch.results[0].values
 
 
+@dataclass(frozen=True)
+class AdaptiveTrials:
+    """Outcome of a staged (1/2/4/...) trial allocation.
+
+    ``values`` holds the trials actually run — trial ``j`` is
+    bit-identical to trial ``j`` of a full-budget
+    :func:`run_request_trials` on the same engine, so a converged run
+    is a *prefix* of the exhaustive one, not a different experiment.
+    """
+
+    values: np.ndarray
+    #: The budget the allocation was allowed to spend.
+    trials_budget: int
+    #: Stage sizes executed, in order (e.g. ``(1, 1, 2, 4)``).
+    stages: tuple[int, ...]
+    #: Half-width of the final confidence interval for the full-budget
+    #: trial mean; ``None`` when fewer than two trials ran.
+    halfwidth: float | None
+    #: Whether the tolerance was met before the budget ran out.
+    converged: bool
+
+    @property
+    def trials_run(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+
+def run_request_trials_adaptive(request: "EstimationRequest",
+                                trials: int | None = None,
+                                engine: "EstimationEngine | None" = None,
+                                seed: SeedLike = None,
+                                executor: "PlanExecutor | str | None"
+                                = None,
+                                store: "SampleStore | str | None" = None,
+                                tolerance: float = 0.005,
+                                confidence: float = 0.99,
+                                ) -> AdaptiveTrials:
+    """Staged trial allocation for a plain request, outside the advisor.
+
+    The what-if advisor's 1/2/4/... schedule, surfaced for ordinary
+    sweeps: run stages of doubling size through
+    :meth:`~repro.engine.engine.EstimationEngine.trial_requests` (so
+    each stage replays bit-identically to the corresponding trials of
+    the full request), and stop once the confidence interval for the
+    *full-budget* trial mean has half-width at most ``tolerance`` —
+    i.e. once the remaining trials provably cannot move the answer
+    beyond the tolerance. Requires a non-opaque seed (staged replay
+    needs reproducible per-trial identities).
+    """
+    from repro.core.confidence import empirical_trial_mean_interval
+
+    budget = trials if trials is not None else request.trials
+    if budget <= 0:
+        raise ExperimentError(
+            f"need a positive trial budget, got {budget}")
+    if tolerance <= 0:
+        raise ExperimentError(
+            f"need a positive tolerance, got {tolerance}")
+    resolved = _resolve_engine(engine, seed, store)
+    per_trial = resolved.trial_requests(request.with_trials(budget))
+    values: list[float] = []
+    stages: list[int] = []
+    halfwidth: float | None = None
+    converged = False
+    while len(values) < budget:
+        # Doubling schedule: 1, then as many as already ran (1, 2, 4,
+        # ...), clipped to the budget.
+        count = min(max(1, len(values)), budget - len(values))
+        batch = resolved.execute(
+            list(per_trial[len(values):len(values) + count]),
+            executor=executor)
+        values.extend(float(result.values[0])
+                      for result in batch.results)
+        stages.append(count)
+        interval = empirical_trial_mean_interval(
+            np.asarray(values, dtype=np.float64), budget,
+            confidence=confidence)
+        if interval is not None:
+            halfwidth = float(interval.width) / 2.0
+            if halfwidth <= tolerance:
+                converged = True
+                break
+    return AdaptiveTrials(values=np.asarray(values, dtype=np.float64),
+                          trials_budget=budget, stages=tuple(stages),
+                          halfwidth=halfwidth, converged=converged)
+
+
 def summarize_request(true_value: float, request: "EstimationRequest",
                       trials: int | None = None,
                       engine: "EstimationEngine | None" = None,

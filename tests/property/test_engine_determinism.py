@@ -3,8 +3,10 @@
 The engine's contract: with an integer master seed, the same batch
 *content* yields byte-identical results regardless of
 
-* executor choice (serial vs. thread pool vs. process pool — the
-  process pool additionally round-trips every unit through pickle),
+* executor choice (serial vs. thread pool vs. process pool vs. remote
+  worker sockets — process and remote additionally round-trip every
+  unit through pickle),
+* remote faults (a worker dying mid-shard, every worker unreachable),
 * request submission order,
 * cache state (cold vs. warm, shared vs. private engines),
 * object identity (sources rebuilt from the same generator seeds).
@@ -20,8 +22,9 @@ import pytest
 
 from repro.workloads.generators import make_histogram, make_table
 from repro.engine import (EstimationEngine, EstimationRequest,
-                          ProcessPoolPlanExecutor, SerialExecutor,
-                          ThreadPoolPlanExecutor)
+                          ProcessPoolPlanExecutor, RemotePlanExecutor,
+                          SerialExecutor, ThreadPoolPlanExecutor)
+from repro.engine.remote import start_worker_thread
 
 MASTER_SEED = 20100301
 
@@ -135,3 +138,74 @@ class TestEngineDeterminism:
         one = EstimationEngine(seed=1).execute(build_requests())
         two = EstimationEngine(seed=2).execute(build_requests())
         assert fingerprint(one) != fingerprint(two)
+
+
+class TestRemoteDeterminism:
+    """The remote executor is an executor, not a different estimator."""
+
+    def _workers(self, count, **kwargs):
+        started = [start_worker_thread(**kwargs) for _ in range(count)]
+        addresses = [address for address, _ in started]
+        shutdowns = [shutdown for _, shutdown in started]
+        return addresses, shutdowns
+
+    def test_remote_matches_serial(self, reference):
+        """Three socket workers, shuffled submission: bit-identical."""
+        addresses, shutdowns = self._workers(3)
+        try:
+            executor = RemotePlanExecutor(workers=addresses,
+                                          chunk_units=2)
+            assert run(executor, order_seed=None) == reference
+            assert run(executor, order_seed=11) == reference
+        finally:
+            for shutdown in shutdowns:
+                shutdown()
+
+    def test_remote_round_robin_matches_serial(self, reference):
+        addresses, shutdowns = self._workers(3)
+        try:
+            executor = RemotePlanExecutor(workers=addresses,
+                                          scheduler="round_robin",
+                                          chunk_units=3)
+            assert run(executor, order_seed=None) == reference
+        finally:
+            for shutdown in shutdowns:
+                shutdown()
+
+    def test_worker_killed_mid_run_identical(self, reference):
+        """One worker dies mid-shard; survivors absorb its units."""
+        dying, kill_dying = start_worker_thread(fail_after_units=5)
+        addresses, shutdowns = self._workers(2)
+        executor = RemotePlanExecutor(workers=[dying] + addresses,
+                                      chunk_units=2)
+        engine = EstimationEngine(seed=MASTER_SEED, executor=executor)
+        try:
+            batch = engine.execute(build_requests())
+            serial = EstimationEngine(
+                seed=MASTER_SEED, executor=SerialExecutor(),
+            ).execute(build_requests())
+            assert fingerprint(batch) == fingerprint(serial)
+            assert batch.stats["remote_worker_failures"] >= 1
+            assert batch.stats["remote_retried_units"] >= 1
+            # The survivors, not the local fallback, absorbed the loss.
+            assert batch.stats["remote_fallback_units"] == 0
+        finally:
+            kill_dying()
+            for shutdown in shutdowns:
+                shutdown()
+
+    def test_all_workers_down_falls_back_identical(self, reference):
+        """Unreachable workers degrade to the local pool, same numbers."""
+        address, shutdown = start_worker_thread()
+        shutdown()  # nothing listens here any more
+        executor = RemotePlanExecutor(workers=[address],
+                                      connect_timeout=0.5,
+                                      max_local_workers=2)
+        engine = EstimationEngine(seed=MASTER_SEED, executor=executor)
+        batch = engine.execute(build_requests())
+        serial = EstimationEngine(
+            seed=MASTER_SEED, executor=SerialExecutor(),
+        ).execute(build_requests())
+        assert fingerprint(batch) == fingerprint(serial)
+        assert batch.stats["remote_fallback_units"] > 0
+        assert batch.stats["remote_units"] == 0

@@ -21,7 +21,6 @@ from repro.compression.kernels import (DISABLE_KERNELS_ENV,
                                        build_column_views, build_leaf_views)
 from repro.compression.registry import get_algorithm, list_algorithms
 from repro.core.samplecf import SampleCF
-from repro.errors import KernelUnavailable
 from repro.storage.record import encode_record
 from repro.storage.schema import Column, Schema
 from repro.workloads.generators import make_histogram, make_table
@@ -39,15 +38,17 @@ ALGORITHMS = [get_algorithm(name) for name in list_algorithms()] + [
 
 
 def assert_parity(schema, records, context=""):
-    """Kernel size == scalar payload for every covered algorithm."""
+    """Kernel size == scalar payload for every registered algorithm.
+
+    No :class:`~repro.errors.KernelUnavailable` escape hatch: every
+    configuration in ``ALGORITHMS`` (NS ``runs`` mode included) now has
+    a size kernel, so a raise here is a regression, not a skip.
+    """
     views = build_column_views(schema, records)
     assert views is not None, context
     for algorithm in ALGORITHMS:
         want = algorithm.compress(records, schema).payload_size
-        try:
-            got = algorithm.size_of(views, schema)
-        except KernelUnavailable:
-            continue  # scalar-only configuration (NS runs mode)
+        got = algorithm.size_of(views, schema)
         assert got == want, \
             f"{algorithm.name} ({context}): kernel {got} != scalar {want}"
 
@@ -186,20 +187,54 @@ def test_random_leaf_slicing(values, cuts):
     leaf_views = build_leaf_views(schema, leaves)
     assert leaf_views is not None
     for algorithm in ALGORITHMS:
-        try:
-            got = sum(algorithm.size_of(views, schema)
-                      for views in leaf_views)
-        except KernelUnavailable:
-            continue
+        got = sum(algorithm.size_of(views, schema)
+                  for views in leaf_views)
         want = sum(algorithm.compress(leaf, schema).payload_size
                    for leaf in leaves)
         assert got == want, algorithm.name
 
 
 # ----------------------------------------------------------------------
+# NS runs mode: the interior-run escape encoding's dedicated corners
+# ----------------------------------------------------------------------
+def test_ns_runs_long_run_pages():
+    """Runs past the 255-byte token cap, escapes, and interior pads."""
+    k = 300
+    schema = Schema([Column.of("a", f"char({k})")])
+    values = [
+        "",
+        "A" + "0" * 298 + "B",        # interior zero run > 255
+        " " * 260 + "Z",              # leading pad run > 255 (kept by Z)
+        "0" * k,                      # the whole value is one run
+        "\x1b" * 10 + "0" * 4,        # escape literals next to a run
+        "ab 0 c  00   d",             # sub-minimum runs stay literal
+        "x" + " " * 255 + "y",        # run of exactly the token cap
+        "x" + " " * 256 + "y",        # cap + 1: chunk plus 1 literal
+        "x" + " " * 259 + "y",        # cap + 4: chunk plus a short token
+        ("0" * 7 + " " * 7 + "\x1b") * 19,  # alternating runs + escapes
+    ]
+    records = [encode_record(schema, (value,)) for value in values]
+    assert_parity(schema, records, "ns-runs long")
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(
+    st.text(alphabet=" 0\x1bAB", min_size=0, max_size=40
+            ).map(lambda s: s.rstrip(" ")),
+    min_size=1, max_size=40))
+def test_ns_runs_random_runnable_pages(values):
+    """Pages biased toward pads/zeros/escapes, the runs-mode hot path."""
+    schema = Schema([Column.of("a", "char(40)")])
+    records = [encode_record(schema, (value,)) for value in values]
+    assert_parity(schema, records, "ns-runs hypothesis")
+
+
+# ----------------------------------------------------------------------
 # End-to-end: the numpy-fallback path gives identical estimates
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("algorithm", ["null_suppression", "dictionary",
+@pytest.mark.parametrize("algorithm", ["null_suppression",
+                                       "null_suppression_runs",
+                                       "dictionary",
                                        "global_dictionary", "rle",
                                        "prefix", "page", "delta"])
 def test_disabled_kernels_identical_estimates(algorithm, monkeypatch):

@@ -86,6 +86,21 @@ class TestEstimate:
         assert "ratio err" in out
         assert "bias" in out
 
+    def test_adaptive_trials(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "estimate", "--n", "20000", "--d", "50", "--k", "16",
+            "--trials", "8", "--adaptive", "--tolerance", "0.5")
+        assert code == 0
+        assert "converged" in out
+        assert "stages 1/1" in out
+
+    def test_adaptive_needs_a_budget(self, capsys):
+        code, _, err = run_cli(
+            capsys, "estimate", "--n", "10000", "--d", "10", "--k", "8",
+            "--adaptive")
+        assert code == 1
+        assert "--trials" in err
+
     def test_algorithm_choice(self, capsys):
         code, out, _ = run_cli(
             capsys, "estimate", "--n", "10000", "--d", "10", "--k",
@@ -174,6 +189,39 @@ class TestEstimateBatch:
         process = json.loads(process_out)
         assert serial["results"] == process["results"]
         assert process["executor"] == "process"
+
+    def test_remote_executor_matches_serial(self, capsys, spec_path):
+        """Full CLI loop: worker serve subprocesses + --executor remote."""
+        from repro.engine.remote import spawn_local_workers
+
+        processes, addresses = spawn_local_workers(2)
+        try:
+            workers = ",".join(f"{host}:{port}"
+                               for host, port in addresses)
+            _, serial_out, _ = run_cli(capsys, "estimate-batch",
+                                       spec_path, "--executor", "serial")
+            _, remote_out, _ = run_cli(capsys, "estimate-batch",
+                                       spec_path, "--executor", "remote",
+                                       "--workers", workers)
+            serial = json.loads(serial_out)
+            remote = json.loads(remote_out)
+            assert serial["results"] == remote["results"]
+            assert remote["executor"] == "remote"
+            assert remote["stats"]["remote_units"] > 0
+            assert remote["stats"]["remote_fallback_units"] == 0
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.wait(timeout=10)
+
+    def test_remote_worker_count_is_rejected(self, capsys, spec_path):
+        """--workers must be host:port for remote, a count otherwise."""
+        code, _, err = run_cli(capsys, "estimate-batch", spec_path,
+                               "--executor", "threads",
+                               "--workers", "hostA:7071")
+        assert code == 1
+        assert "host:port" in err
 
     def test_seed_override_changes_estimates(self, capsys, spec_path):
         _, one, _ = run_cli(capsys, "estimate-batch", spec_path,

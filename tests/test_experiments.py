@@ -122,3 +122,67 @@ class TestRegistry:
             if spec.bench_module is not None:
                 assert (root / spec.bench_module).exists(), \
                     spec.bench_module
+
+
+class TestAdaptiveTrials:
+    """run_request_trials_adaptive: staged prefix replay of a budget."""
+
+    def make_request(self, trials=16):
+        from repro.engine.requests import EstimationRequest
+        from repro.workloads.generators import make_histogram
+
+        histogram = make_histogram(8_000, 60, 14, seed=21)
+        return EstimationRequest(histogram=histogram,
+                                 algorithm="null_suppression",
+                                 fraction=0.02, trials=trials)
+
+    def test_values_are_prefix_of_full_run(self):
+        from repro.engine.engine import EstimationEngine
+        from repro.experiments.runner import (run_request_trials,
+                                              run_request_trials_adaptive)
+
+        request = self.make_request()
+        full = run_request_trials(request,
+                                  engine=EstimationEngine(seed=300))
+        outcome = run_request_trials_adaptive(
+            request, engine=EstimationEngine(seed=300), tolerance=0.002)
+        assert outcome.trials_run <= outcome.trials_budget == 16
+        assert outcome.values.tolist() \
+            == full[:outcome.trials_run].tolist()
+        assert sum(outcome.stages) == outcome.trials_run
+        # Doubling schedule: 1, 1, 2, 4, ... clipped to the budget.
+        expected = [1, 1, 2, 4, 8, 16]
+        assert list(outcome.stages) == expected[:len(outcome.stages)]
+
+    def test_loose_tolerance_converges_early(self):
+        from repro.engine.engine import EstimationEngine
+        from repro.experiments.runner import run_request_trials_adaptive
+
+        outcome = run_request_trials_adaptive(
+            self.make_request(64), engine=EstimationEngine(seed=300),
+            tolerance=1.0)
+        assert outcome.converged
+        assert outcome.trials_run == 2  # first interval already inside
+        assert outcome.halfwidth is not None and outcome.halfwidth <= 1.0
+
+    def test_budget_exhaustion_reported(self):
+        from repro.engine.engine import EstimationEngine
+        from repro.experiments.runner import run_request_trials_adaptive
+
+        outcome = run_request_trials_adaptive(
+            self.make_request(3), engine=EstimationEngine(seed=300),
+            tolerance=1e-12)
+        assert outcome.trials_run == 3
+        assert list(outcome.stages) == [1, 1, 1]
+        # The final interval collapses once every budgeted trial ran,
+        # so a spent budget still reports converged with halfwidth 0.
+        assert outcome.halfwidth == 0.0
+
+    def test_validation(self):
+        from repro.experiments.runner import run_request_trials_adaptive
+
+        with pytest.raises(ExperimentError):
+            run_request_trials_adaptive(self.make_request(), trials=0)
+        with pytest.raises(ExperimentError):
+            run_request_trials_adaptive(self.make_request(),
+                                        tolerance=0.0)

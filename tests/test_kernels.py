@@ -12,7 +12,7 @@ from repro.compression.kernels import (ColumnView, DISABLE_KERNELS_ENV,
                                        stripped_lengths, unique_rows)
 from repro.compression.registry import get_algorithm, list_algorithms
 from repro.engine import EstimationEngine, EstimationRequest
-from repro.errors import EncodingError, KernelUnavailable
+from repro.errors import EncodingError
 from repro.storage.index import Index, IndexKind
 from repro.storage.record import (decode_record, encode_record,
                                   fixed_column_offsets, record_key,
@@ -157,21 +157,12 @@ class TestColumnViews:
 # size_of dispatch
 # ----------------------------------------------------------------------
 class TestSizeOf:
-    def test_runs_mode_is_unavailable(self):
-        schema = Schema([Column.of("a", "char(8)")])
-        records = [encode_record(schema, ("ab",))]
-        views = build_column_views(schema, records)
-        with pytest.raises(KernelUnavailable):
-            get_algorithm("null_suppression_runs").size_of(views, schema)
-
-    def test_every_other_registered_algorithm_is_covered(self):
+    def test_every_registered_algorithm_is_covered(self):
         schema = Schema([Column.of("a", "char(8)")])
         records = [encode_record(schema, (v,))
-                   for v in ("ab", "ab", "x", "", "long one")]
+                   for v in ("ab", "ab", "x", "", "long one", "a  b0000")]
         views = build_column_views(schema, records)
         for name in list_algorithms():
-            if name == "null_suppression_runs":
-                continue
             algorithm = get_algorithm(name)
             assert algorithm.size_of(views, schema) == \
                 algorithm.compress(records, schema).payload_size, name
@@ -278,9 +269,19 @@ class TestEstimateCompression:
         assert hits["fallback"] == 0
 
     def test_counts_scalar_fallbacks_for_uncovered_codec(self, char_index):
+        # Every registered codec now has a kernel (NS runs included),
+        # so an uncovered one is simulated: a codec whose size_of
+        # declares itself unavailable must route every block scalar.
+        from repro.compression.null_suppression import NullSuppression
+        from repro.errors import KernelUnavailable
+
+        class Uncovered(NullSuppression):
+            def size_of(self, views, schema):
+                raise KernelUnavailable("deliberately scalar-only")
+
         hits = {"kernel": 0, "fallback": 0}
         char_index.estimate_compression(
-            get_algorithm("null_suppression_runs"),
+            Uncovered(),
             on_kernel=lambda: hits.__setitem__("kernel",
                                                hits["kernel"] + 1),
             on_fallback=lambda: hits.__setitem__("fallback",
@@ -362,8 +363,9 @@ class TestEngineWiring:
     def test_stats_count_kernels_and_fallbacks(self, kernels_on):
         batch = self._run()
         assert batch.stats["size_kernel_hits"] > 0
-        # the runs-mode codec exercises the scalar fallback per leaf
-        assert batch.stats["size_scalar_fallbacks"] > 0
+        # every registered codec (runs mode included) now has a size
+        # kernel, so nothing in this batch should fall back to scalar
+        assert batch.stats["size_scalar_fallbacks"] == 0
 
     def test_disabled_kernels_match_bit_for_bit(self, kernels_on,
                                                 monkeypatch):

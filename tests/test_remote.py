@@ -1,0 +1,272 @@
+"""Unit tests for the remote plan executor's building blocks.
+
+The determinism property suite proves the end-to-end contract (remote
+results == serial results, faults included); this file pins the pieces
+in isolation: the length-prefixed frame protocol, the per-unit cost
+model, LPT vs round-robin shard quality, worker-address parsing, and
+the executor registry / environment wiring.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import remote
+from repro.engine.engine import EstimationEngine
+from repro.engine.executors import make_executor
+from repro.engine.remote import (ALGORITHM_WEIGHTS, RemotePlanExecutor,
+                                 UnitCostModel, lpt_assign, makespan,
+                                 parse_worker_addresses,
+                                 round_robin_assign, start_worker_thread)
+from repro.engine.requests import EstimationRequest
+from repro.engine.units import plan_units
+from repro.errors import EstimationError
+from repro.workloads.generators import make_histogram, make_table
+
+
+def planned_units(trials=3, fraction=0.05, algorithm="null_suppression"):
+    table = make_table(n=800, d=30, k=12, seed=5, page_size=1024)
+    request = EstimationRequest(table=table, columns=("a",),
+                                algorithm=algorithm, fraction=fraction,
+                                trials=trials, page_size=512)
+    engine = EstimationEngine(seed=99)
+    return list(plan_units(engine.plan([request])))
+
+
+# ----------------------------------------------------------------------
+# Frame protocol
+# ----------------------------------------------------------------------
+class TestFrames:
+    def roundtrip(self, message):
+        left, right = socket.socketpair()
+        try:
+            remote.send_frame(left, message)
+            return remote.recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_roundtrip_objects(self):
+        for message in (("ping",), ("run", [0, 1, 2]),
+                        {"nested": (b"\x00" * 100, None)}):
+            assert self.roundtrip(message) == message
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert remote.recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_truncated_frame_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(remote._LENGTH.pack(1000) + b"short")
+            left.close()
+            with pytest.raises(ConnectionError):
+                remote.recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_frame_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(remote._LENGTH.pack(remote.MAX_FRAME_BYTES + 1))
+            with pytest.raises(EstimationError):
+                remote.recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+# ----------------------------------------------------------------------
+# Worker loop over a socketpair (no listener needed)
+# ----------------------------------------------------------------------
+class TestWorkerLoop:
+    def serve_pair(self, state=None):
+        client, server = socket.socketpair()
+        state = state or remote.WorkerState()
+        thread = threading.Thread(
+            target=remote.handle_connection, args=(server, state),
+            daemon=True)
+        thread.start()
+        return client, thread
+
+    def ask(self, sock, message):
+        remote.send_frame(sock, message)
+        return remote.recv_frame(sock)
+
+    def test_ping_install_run_shutdown(self):
+        import pickle
+
+        units = planned_units(trials=2)
+        client, thread = self.serve_pair()
+        try:
+            kind, info = self.ask(client, ("ping",))
+            assert kind == "pong" and info["pid"] == os.getpid()
+            blob = pickle.dumps(list(enumerate(units)),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            kind, installed = self.ask(client, ("install", blob, None))
+            assert (kind, installed) == ("installed", len(units))
+            kind, rows, delta = self.ask(
+                client, ("run", list(range(len(units)))))
+            assert kind == "results"
+            assert sorted(position for position, _, _ in rows) \
+                == list(range(len(units)))
+            assert all(seconds >= 0.0 for _, _, seconds in rows)
+            assert delta["estimates_computed"] == len(units)
+            assert self.ask(client, ("shutdown",)) == ("bye",)
+        finally:
+            client.close()
+            thread.join(timeout=5)
+
+    def test_run_unknown_position_fails(self):
+        client, thread = self.serve_pair()
+        try:
+            reply = self.ask(client, ("run", [7]))
+            assert reply[0] == "error"
+        finally:
+            client.close()
+            thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+class TestUnitCostModel:
+    def test_cost_scales_with_fraction_and_algorithm(self):
+        cheap = planned_units(fraction=0.02)[0]
+        dear = planned_units(fraction=0.10)[0]
+        assert UnitCostModel.predict(dear) > UnitCostModel.predict(cheap)
+        ns = planned_units(algorithm="null_suppression")[0]
+        runs = planned_units(algorithm="null_suppression_runs")[0]
+        assert UnitCostModel.predict(runs) > UnitCostModel.predict(ns)
+
+    def test_histogram_units_discounted(self):
+        histogram = make_histogram(5000, 40, 12, seed=6)
+        request = EstimationRequest(histogram=histogram,
+                                    algorithm="null_suppression",
+                                    fraction=0.05, trials=1)
+        engine = EstimationEngine(seed=99)
+        unit = list(plan_units(engine.plan([request])))[0]
+        table_unit = planned_units(fraction=0.05)[0]
+        assert UnitCostModel.predict(unit) < UnitCostModel.predict(
+            table_unit)
+
+    def test_observe_calibrates_seconds(self):
+        model = UnitCostModel()
+        unit = planned_units()[0]
+        assert model.predict_seconds(unit) is None
+        model.observe(unit, 0.5)
+        first = model.predict_seconds(unit)
+        assert first == pytest.approx(0.5, rel=1e-9)
+        model.observe(unit, 1.5)
+        drifted = model.predict_seconds(unit)
+        assert 0.5 < drifted < 1.5  # EMA moved toward the new sample
+        assert model.snapshot()  # non-empty calibration table
+
+    def test_every_registered_algorithm_has_a_weight(self):
+        from repro.compression.registry import list_algorithms
+
+        for name in list_algorithms():
+            assert name in ALGORITHM_WEIGHTS, name
+
+
+# ----------------------------------------------------------------------
+# Scheduling
+# ----------------------------------------------------------------------
+class TestScheduling:
+    def test_lpt_balances_skewed_costs(self):
+        costs = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        lpt = lpt_assign(costs, 2)
+        rr = round_robin_assign(costs, 2)
+        assert makespan(costs, lpt) < makespan(costs, rr)
+        # LPT puts the giant unit alone-ish: its shard carries nothing
+        # beyond what balance requires.
+        assert makespan(costs, lpt) == 100.0
+
+    def test_lpt_covers_all_units_exactly_once(self):
+        rng = np.random.default_rng(3)
+        costs = rng.uniform(0.5, 20.0, size=37).tolist()
+        for shards in (1, 2, 5, 37, 50):
+            assignment = lpt_assign(costs, shards)
+            flat = sorted(index for shard in assignment
+                          for index in shard)
+            assert flat == list(range(len(costs)))
+
+    def test_round_robin_covers_all_units(self):
+        assignment = round_robin_assign([1.0] * 7, 3)
+        flat = sorted(index for shard in assignment for index in shard)
+        assert flat == list(range(7))
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(EstimationError):
+            RemotePlanExecutor(workers=[("127.0.0.1", 1)],
+                               scheduler="fifo")
+
+
+# ----------------------------------------------------------------------
+# Address parsing and registry wiring
+# ----------------------------------------------------------------------
+class TestWiring:
+    def test_parse_worker_addresses(self):
+        assert parse_worker_addresses("hostA:7071,hostB:7072") \
+            == [("hostA", 7071), ("hostB", 7072)]
+        assert parse_worker_addresses([("x", 1), "y:2"]) \
+            == [("x", 1), ("y", 2)]
+        assert parse_worker_addresses("") == []
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("hostA", "hostA:seven", ":7071"):
+            with pytest.raises(EstimationError):
+                parse_worker_addresses(bad)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(remote.REMOTE_WORKERS_ENV, "w1:9001,w2:9002")
+        assert parse_worker_addresses(None) \
+            == [("w1", 9001), ("w2", 9002)]
+        monkeypatch.delenv(remote.REMOTE_WORKERS_ENV)
+        assert parse_worker_addresses(None) == []
+
+    def test_make_executor_remote(self):
+        executor = make_executor("remote", workers="h:1,i:2")
+        assert isinstance(executor, RemotePlanExecutor)
+        assert executor.name == "remote"
+
+    def test_make_executor_rejects_unknown(self):
+        with pytest.raises(EstimationError, match="remote"):
+            make_executor("carrier-pigeon")
+
+
+# ----------------------------------------------------------------------
+# Executor end-to-end against in-process workers
+# ----------------------------------------------------------------------
+class TestRemoteExecutorSmall:
+    def test_stats_and_identity_small_batch(self):
+        from repro.engine.executors import SerialExecutor
+
+        (address, shutdown) = start_worker_thread()
+        try:
+            table = make_table(n=600, d=25, k=10, seed=8, page_size=1024)
+            requests = [EstimationRequest(
+                table=table, columns=("a",), algorithm=name,
+                fraction=0.05, trials=2, page_size=512)
+                for name in ("null_suppression", "rle")]
+            remote_engine = EstimationEngine(
+                seed=4, executor=RemotePlanExecutor(workers=[address]))
+            serial_engine = EstimationEngine(seed=4,
+                                             executor=SerialExecutor())
+            got = remote_engine.execute(requests)
+            want = serial_engine.execute(requests)
+            assert [r.values.tolist() for r in got.results] \
+                == [r.values.tolist() for r in want.results]
+            assert got.stats["remote_units"] == 4
+            assert got.stats["remote_fallback_units"] == 0
+        finally:
+            shutdown()
