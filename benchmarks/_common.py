@@ -9,9 +9,24 @@ pytest-benchmark.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def bench_store() -> str | None:
+    """Optional shared sample/estimate store for artefact regeneration.
+
+    Set ``REPRO_BENCH_STORE_DIR`` to let every engine-backed bench
+    warm-start from samples and estimates persisted by earlier runs
+    (and by each other): a full-suite regeneration then materializes
+    each (source, fraction, trial) sample once across figures instead
+    of once per bench. Unset (the default, and what CI uses) keeps the
+    benches hermetic.
+    """
+    directory = os.environ.get("REPRO_BENCH_STORE_DIR")
+    return directory if directory else None
 
 
 def write_report(experiment_id: str, text: str) -> None:

@@ -5,6 +5,11 @@ every point compares the measured standard deviation of ``CF'_NS``
 against the bound ``(1/2) sqrt(1/(f n))``, plus the sharper
 known-range variant. The series printed here is the figure a full-length
 version of the paper would plot: sigma vs f, measured under bound.
+
+Each workload's fraction sweep executes as **one**
+:func:`engine_sweep` batch (with content-derived seeds, so the series
+replays bit-identically across processes); ``REPRO_BENCH_STORE_DIR``
+warm-starts repeated regenerations from disk.
 """
 
 from __future__ import annotations
@@ -16,13 +21,12 @@ import pytest
 from repro.compression.null_suppression import NullSuppression
 from repro.core.bounds import ns_stddev_bound, ns_stddev_bound_range
 from repro.core.cf_models import ColumnHistogram, ns_cf
-from repro.core.metrics import ErrorSummary
-from repro.core.samplecf import SampleCF
+from repro.engine.requests import EstimationRequest, derive_seed
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_trials
+from repro.experiments.runner import engine_sweep
 from repro.workloads.generators import make_histogram
 
-from _common import write_report
+from _common import bench_store, write_report
 
 N = 1_000_000
 K = 20
@@ -40,31 +44,37 @@ WORKLOADS = {
 
 def _histogram(name: str) -> ColumnHistogram:
     params = WORKLOADS[name]
+    # derive_seed, not hash(): PYTHONHASHSEED randomises str hashes per
+    # process, and the workload must be identical in every run.
     return make_histogram(N, params["d"], K,
                           distribution=params["distribution"],
                           min_len=params["min_len"],
                           max_len=params["max_len"],
-                          seed=hash(name) % 2**31)
+                          seed=derive_seed("thm1", name))
 
 
-def _sweep(name: str) -> list[dict]:
+def _sweep(name: str, fractions=FRACTIONS) -> list[dict]:
     histogram = _histogram(name)
     truth = ns_cf(histogram)
-    estimator = SampleCF(NullSuppression())
     stored = histogram.ns_stored_sizes()
     low = float(stored.min()) / K
     high = float(stored.max()) / K
+
+    def make(fraction):
+        request = EstimationRequest(
+            histogram=histogram, algorithm=NullSuppression(),
+            fraction=fraction, label=f"thm1_{name}")
+        return truth, request, {}
+
     points = []
-    for fraction in FRACTIONS:
-        estimates = run_trials(
-            lambda rng: estimator.estimate_histogram(
-                histogram, fraction, seed=rng).estimate,
-            trials=TRIALS, seed=int(fraction * 10_000))
-        summary = ErrorSummary.from_estimates(truth, estimates)
+    for point in engine_sweep(fractions, make, trials=TRIALS,
+                              seed=derive_seed("thm1", name, "trials"),
+                              store=bench_store()):
+        fraction = point.parameter
         r = round(fraction * N)
         points.append({
             "f": fraction,
-            "summary": summary,
+            "summary": point.summary,
             "bound": ns_stddev_bound(r=r),
             "sharp_bound": ns_stddev_bound_range(r, low, high),
         })
@@ -78,7 +88,8 @@ def sweep(request):
 
 def test_thm1_sigma_below_bound(benchmark, sweep):
     name, points = sweep
-    benchmark.pedantic(lambda: _sweep(name)[:1], rounds=1, iterations=1)
+    benchmark.pedantic(lambda: _sweep(name, FRACTIONS[:1]),
+                       rounds=1, iterations=1)
     rows = []
     for point in points:
         summary = point["summary"]

@@ -11,18 +11,17 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.compression.global_dictionary import GlobalDictionaryCompression
 from repro.core.bounds import dict_small_d_bound
 from repro.core.cf_models import global_dictionary_cf
-from repro.core.samplecf import SampleCF
+from repro.engine.requests import EstimationRequest, derive_seed
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_trials
+from repro.experiments.runner import engine_sweep
 from repro.workloads.generators import make_histogram
 
-from _common import write_report
+from _common import bench_store, write_report
 
 K = 20
 P = 2
@@ -34,33 +33,43 @@ TRIALS = 40
 SIZES = (10_000, 100_000, 1_000_000, 10_000_000, 100_000_000)
 
 
-def _point(n: int) -> dict:
-    d = max(2, math.isqrt(n))
-    histogram = make_histogram(n, d, K, distribution="zipf", seed=500 + d)
-    truth = global_dictionary_cf(histogram, pointer_bytes=P)
-    estimator = SampleCF(GlobalDictionaryCompression(pointer_bytes=P))
-    estimates = run_trials(
-        lambda rng: estimator.estimate_histogram(histogram, F,
-                                                 seed=rng).estimate,
-        trials=TRIALS, seed=n)
-    errors = np.maximum(truth / estimates, estimates / truth)
-    return {
-        "n": n,
-        "d": d,
-        "truth": truth,
-        "mean_error": float(errors.mean()),
-        "max_error": float(errors.max()),
-        "bound": dict_small_d_bound(n, d, K, P, F).bound,
-    }
+def _sweep(sizes) -> list[dict]:
+    """The whole size series as one engine_sweep batch."""
+    def make(n: int):
+        d = max(2, math.isqrt(n))
+        histogram = make_histogram(n, d, K, distribution="zipf",
+                                   seed=500 + d)
+        truth = global_dictionary_cf(histogram, pointer_bytes=P)
+        request = EstimationRequest(
+            histogram=histogram,
+            algorithm=GlobalDictionaryCompression(pointer_bytes=P),
+            fraction=F, label=f"thm2_n{n}")
+        return truth, request, {"d": d}
+
+    points = []
+    for point in engine_sweep(sizes, make, trials=TRIALS,
+                              seed=derive_seed("thm2", "trials"),
+                              store=bench_store()):
+        n = point.parameter
+        d = point.extra["d"]
+        points.append({
+            "n": n,
+            "d": d,
+            "truth": point.summary.true_value,
+            "mean_error": point.summary.mean_ratio_error,
+            "max_error": point.summary.max_ratio_error,
+            "bound": dict_small_d_bound(n, d, K, P, F).bound,
+        })
+    return points
 
 
 @pytest.fixture(scope="module")
 def series() -> list[dict]:
-    return [_point(n) for n in SIZES]
+    return _sweep(SIZES)
 
 
 def test_thm2_sweep(benchmark, series):
-    benchmark.pedantic(_point, args=(10_000,), rounds=1, iterations=1)
+    benchmark.pedantic(lambda: _sweep(SIZES[:1]), rounds=1, iterations=1)
     rows = [[f"{point['n']:,}", f"{point['d']:,}",
              f"{point['truth']:.5f}", f"{point['mean_error']:.4f}",
              f"{point['max_error']:.4f}", f"{point['bound']:.4f}"]

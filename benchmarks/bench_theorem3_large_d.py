@@ -9,18 +9,17 @@ with n — the two halves of the theorem's claim.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.compression.global_dictionary import GlobalDictionaryCompression
 from repro.core.bounds import dict_large_d_bound
 from repro.core.cf_models import global_dictionary_cf
-from repro.core.samplecf import SampleCF
+from repro.engine.requests import EstimationRequest, derive_seed
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_trials
+from repro.experiments.runner import engine_sweep
 from repro.workloads.generators import make_histogram
 
-from _common import write_report
+from _common import bench_store, write_report
 
 K = 20
 P = 2
@@ -30,38 +29,47 @@ SIZES = (10_000, 100_000, 1_000_000)
 ALPHAS = (0.1, 0.25, 0.5, 1.0)
 
 
-def _point(alpha: float, n: int) -> dict:
-    d = max(1, int(alpha * n))
-    if d >= n:
-        distribution = "uniform"  # d == n -> all singletons
-    else:
-        distribution = "singleton_heavy"
-    histogram = make_histogram(n, d, K, distribution=distribution,
-                               seed=600 + n % 97)
-    truth = global_dictionary_cf(histogram, pointer_bytes=P)
-    estimator = SampleCF(GlobalDictionaryCompression(pointer_bytes=P))
-    estimates = run_trials(
-        lambda rng: estimator.estimate_histogram(histogram, F,
-                                                 seed=rng).estimate,
-        trials=TRIALS, seed=int(alpha * 1000) + n)
-    errors = np.maximum(truth / estimates, estimates / truth)
-    return {
-        "alpha": alpha,
-        "n": n,
-        "truth": truth,
-        "mean_error": float(errors.mean()),
-        "bound": dict_large_d_bound(alpha, F, K, P).bound,
-    }
+def _sweep(cells) -> dict:
+    """The whole (alpha, n) grid as one engine_sweep batch."""
+    def make(cell):
+        alpha, n = cell
+        d = max(1, int(alpha * n))
+        if d >= n:
+            distribution = "uniform"  # d == n -> all singletons
+        else:
+            distribution = "singleton_heavy"
+        histogram = make_histogram(n, d, K, distribution=distribution,
+                                   seed=600 + n % 97)
+        truth = global_dictionary_cf(histogram, pointer_bytes=P)
+        request = EstimationRequest(
+            histogram=histogram,
+            algorithm=GlobalDictionaryCompression(pointer_bytes=P),
+            fraction=F, label=f"thm3_a{alpha}_n{n}")
+        return truth, request, {}
+
+    grid = {}
+    for point in engine_sweep(cells, make, trials=TRIALS,
+                              seed=derive_seed("thm3", "trials"),
+                              store=bench_store()):
+        alpha, n = point.parameter
+        grid[(alpha, n)] = {
+            "alpha": alpha,
+            "n": n,
+            "truth": point.summary.true_value,
+            "mean_error": point.summary.mean_ratio_error,
+            "bound": dict_large_d_bound(alpha, F, K, P).bound,
+        }
+    return grid
 
 
 @pytest.fixture(scope="module")
 def grid() -> dict:
-    return {(alpha, n): _point(alpha, n)
-            for alpha in ALPHAS for n in SIZES}
+    return _sweep([(alpha, n) for alpha in ALPHAS for n in SIZES])
 
 
 def test_thm3_sweep(benchmark, grid):
-    benchmark.pedantic(_point, args=(0.5, 10_000), rounds=1, iterations=1)
+    benchmark.pedantic(lambda: _sweep([(0.5, 10_000)]),
+                       rounds=1, iterations=1)
     rows = []
     for alpha in ALPHAS:
         for n in SIZES:

@@ -1,0 +1,167 @@
+"""A lightweight intra-package call graph for reachability gating.
+
+Rules like RPL001 only matter on code that can run under the engine's
+determinism contract — an entropy call in a report formatter is fine;
+the same call anywhere reachable from
+:func:`repro.engine.units.run_plan_unit` or the store-key derivation is
+a bug. The graph here is deliberately an **over-approximation**: edges
+resolve by name through each module's imports, ``self.method()``
+resolves through the project-local MRO, and attribute calls on computed
+receivers fall back to class-hierarchy analysis (every project
+function/method with that bare name). Over-approximating reachability
+can only demand an explicit suppression where none was needed — it can
+never hide a violation.
+
+Nested defs and lambdas fold into their enclosing top-level function
+(see :func:`~repro.analysis.modules._collect_calls`), so a closure's
+entropy charge lands on the function that ships it.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+
+from repro.analysis.modules import FunctionInfo, ProjectIndex
+
+#: Attribute-call names too generic to resolve by bare name alone —
+#: edges to them come only from typed receivers (self/module aliases).
+_CHA_SKIP = {"get", "items", "keys", "values", "append", "extend",
+             "pop", "add", "update", "copy", "join", "split", "strip",
+             "encode", "decode", "format", "write", "read", "close"}
+
+
+def build_call_edges(index: ProjectIndex,
+                     ) -> dict[FunctionInfo, list[FunctionInfo]]:
+    """Resolve every call site to the project functions it may reach."""
+    edges: dict[FunctionInfo, list[FunctionInfo]] = {}
+    for function in index.functions.values():
+        targets: list[FunctionInfo] = []
+        module = index.modules.get(function.module)
+        for site in function.calls:
+            targets.extend(_resolve(index, module, function, site.ref))
+        unique: list[FunctionInfo] = []
+        seen: set[int] = set()
+        for target in targets:
+            if id(target) not in seen:
+                seen.add(id(target))
+                unique.append(target)
+        edges[function] = unique
+    return edges
+
+
+def _class_constructor(index: ProjectIndex, cls) -> list[FunctionInfo]:
+    """Calling a class runs ``__init__``/``__post_init__`` up the MRO."""
+    found = []
+    for name in ("__init__", "__post_init__", "__new__"):
+        for ancestor in index.mro(cls):
+            if name in ancestor.methods:
+                found.append(ancestor.methods[name])
+                break
+    return found
+
+
+def _resolve(index: ProjectIndex, module, function: FunctionInfo,
+             ref: tuple) -> list[FunctionInfo]:
+    kind = ref[0]
+    if kind == "name":
+        name = ref[1]
+        if module is not None:
+            if name in module.functions:
+                return [module.functions[name]]
+            if name in module.classes:
+                return _class_constructor(index, module.classes[name])
+            target = module.imports.get(name)
+            if target is not None:
+                target_module, _, target_name = target.rpartition(".")
+                resolved_module = index.modules.get(target_module)
+                if resolved_module is not None:
+                    if target_name in resolved_module.functions:
+                        return [resolved_module.functions[target_name]]
+                    if target_name in resolved_module.classes:
+                        return _class_constructor(
+                            index, resolved_module.classes[target_name])
+                return []  # external import: out of scope
+        return []
+    base, attr = ref[1], ref[2]
+    if not attr:
+        return []
+    # self.method() — resolve through the enclosing class's project MRO.
+    if base == "self" and function.owner is not None and \
+            module is not None and function.owner in module.classes:
+        owner = module.classes[function.owner]
+        for ancestor in index.mro(owner):
+            if attr in ancestor.methods:
+                return [ancestor.methods[attr]]
+    # module-alias call: repro_mod.func(), pkg.mod.func()
+    if base and base not in ("self", "cls") and module is not None:
+        head = base.split(".")[0]
+        target = module.imports.get(base) or module.imports.get(head)
+        if target is not None:
+            if target != base and base.count("."):
+                tail = base.split(".", 1)[1]
+                target = f"{module.imports.get(head, head)}.{tail}"
+            resolved_module = index.modules.get(target)
+            if resolved_module is not None:
+                if attr in resolved_module.functions:
+                    return [resolved_module.functions[attr]]
+                if attr in resolved_module.classes:
+                    return _class_constructor(
+                        index, resolved_module.classes[attr])
+            if target.rpartition(".")[0] in index.modules:
+                # `from pkg import mod` alias of a project module.
+                resolved_module = index.modules.get(target)
+                if resolved_module is None:
+                    return []
+            if target.split(".")[0] not in index.modules and \
+                    not any(name.startswith(target.split(".")[0])
+                            for name in index.modules):
+                return []  # a numpy/stdlib receiver: out of scope
+    # Computed receiver — class-hierarchy fallback by bare name.
+    if attr in _CHA_SKIP:
+        return []
+    return list(index.by_bare_name.get(attr, []))
+
+
+def match_roots(index: ProjectIndex,
+                patterns: tuple[str, ...]) -> list[FunctionInfo]:
+    """Functions matching root patterns (``mod:qual``, globs allowed).
+
+    A bare pattern with no ``:`` matches by function name across every
+    analysed module — fixture corpora name their roots that way.
+    """
+    roots: list[FunctionInfo] = []
+    for function in index.functions.values():
+        qual = function.qualname
+        bare = qual.rpartition(":")[2]
+        for pattern in patterns:
+            if ":" in pattern:
+                if fnmatch.fnmatchcase(qual, pattern):
+                    roots.append(function)
+                    break
+            elif fnmatch.fnmatchcase(bare, pattern) or \
+                    fnmatch.fnmatchcase(function.name, pattern):
+                roots.append(function)
+                break
+    return roots
+
+
+def reachable_from(index: ProjectIndex, patterns: tuple[str, ...],
+                   ) -> dict[FunctionInfo, tuple[str, ...]]:
+    """BFS closure from the root patterns.
+
+    Returns ``{function: chain}`` where ``chain`` is one shortest
+    qualname path from a root — surfaced in findings so a reader can
+    see *why* the linter considers a line contract-critical.
+    """
+    edges = build_call_edges(index)
+    frontier = match_roots(index, patterns)
+    chains: dict[FunctionInfo, tuple[str, ...]] = \
+        {root: (root.qualname,) for root in frontier}
+    queue = list(frontier)
+    while queue:
+        current = queue.pop(0)
+        for target in edges.get(current, ()):
+            if target not in chains:
+                chains[target] = chains[current] + (target.qualname,)
+                queue.append(target)
+    return chains

@@ -1,0 +1,75 @@
+"""Lint configuration: what the rules anchor on in *this* project.
+
+Every rule is parameterised rather than hard-coded so the
+historical-bug corpus (standalone fixture files) can re-anchor the same
+machinery on fixture-local names — see :mod:`repro.analysis.corpus`.
+:func:`project_config` is the shipped configuration the CLI, the pytest
+gate, and CI all use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Anchors and filters for one lint run."""
+
+    #: Entry points of the determinism contract: RPL001 flags entropy
+    #: only in functions reachable from these (``module:qualname``
+    #: patterns; a bare name matches in any analysed module).
+    entropy_roots: tuple[str, ...] = ()
+    #: Base classes whose instance state feeds canonical identities
+    #: (``sampler_key``/``algorithm_key`` repr their ``vars()``):
+    #: project classes held as attributes by these must repr stably
+    #: (RPL002).
+    identity_bases: tuple[str, ...] = ()
+    #: Classes that cross pickle boundaries (plan units, shipped
+    #: samples, store handles). RPL003 closes over their field
+    #: annotations and ``__init__`` assignments.
+    payload_roots: tuple[str, ...] = ()
+    #: Module-name globs where RPL005 audits lock discipline.
+    guard_modules: tuple[str, ...] = ()
+    #: Rule-code filters (empty select = all registered rules).
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    #: Only report unused suppressions when the full rule set ran —
+    #: a filtered run cannot tell unused from not-checked.
+    check_unused_suppressions: bool = True
+
+    def enabled(self, code: str) -> bool:
+        if self.select and code not in self.select:
+            return False
+        return code not in self.ignore
+
+    def with_filters(self, select: tuple[str, ...] = (),
+                     ignore: tuple[str, ...] = ()) -> "LintConfig":
+        filtered = bool(select or ignore)
+        return replace(
+            self, select=tuple(select), ignore=tuple(ignore),
+            check_unused_suppressions=self.check_unused_suppressions
+            and not filtered)
+
+
+def project_config() -> LintConfig:
+    """The shipped configuration for the ``repro`` package itself."""
+    return LintConfig(
+        entropy_roots=(
+            # The single entry point every executor funnels through —
+            # anything it can run must be replay-identical.
+            "repro.engine.units:run_plan_unit",
+            # Store keys / content fingerprints must be process-stable.
+            "repro.store.fingerprint:*",
+            # The public facade defines the user-facing determinism
+            # boundary (its None-seed behaviour is the one documented
+            # exception, suppressed inline at the source).
+            "repro.core.samplecf:SampleCF.*",
+        ),
+        identity_bases=("CompressionAlgorithm", "RowSampler",
+                        "BlockSampler"),
+        payload_roots=("PlanUnit", "EstimationRequest",
+                       "MaterializedSample", "SampleCFEstimate",
+                       "SampleStore"),
+        guard_modules=("repro.engine.*", "repro.store.*"),
+    )

@@ -1,0 +1,125 @@
+"""The historical-bug fixture corpus: shipped bugs, kept flagged.
+
+Each fixture file under ``tests/analysis_fixtures/`` reintroduces one
+bug this repo actually shipped (and fixed) in an earlier PR, in
+isolation, and declares what the linter must say about it via header
+directives::
+
+    # repro-lint-fixture: expect=RPL003            (one per finding)
+    # repro-lint-fixture: expect=RPL001:17         (pin the line too)
+    # repro-lint-fixture: roots=drive              (RPL001 entry points)
+    # repro-lint-fixture: identity-bases=Algorithm (RPL002 anchors)
+    # repro-lint-fixture: payload-roots=Shipped    (RPL003 anchors)
+    # repro-lint-fixture: guard-all                (RPL005 everywhere)
+
+A fixture with no ``expect`` lines is a **negative** fixture: the
+pattern is contract-clean (suppressed with rationale, or paired with
+``__getstate__``/``__setstate__``) and the linter must stay silent.
+The corpus is the linter's regression suite — if a rule rots, the
+fixture for the bug it was built from fails first.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintResult, lint_paths
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint-fixture:\s*(\S.*\S|\S)")
+
+
+@dataclass
+class FixtureSpec:
+    """Parsed header directives of one corpus fixture."""
+
+    path: pathlib.Path
+    #: ``(code, line-or-None)`` pairs the lint run must produce.
+    expected: list[tuple[str, int | None]] = field(default_factory=list)
+    config: LintConfig = field(default_factory=LintConfig)
+
+
+def parse_fixture(path: pathlib.Path) -> FixtureSpec:
+    spec = FixtureSpec(path=path)
+    entropy_roots: tuple[str, ...] = ()
+    identity_bases: tuple[str, ...] = ()
+    payload_roots: tuple[str, ...] = ()
+    guard_modules: tuple[str, ...] = ()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = _DIRECTIVE.search(line)
+        if match is None:
+            continue
+        directive = match.group(1).strip()
+        key, _, value = directive.partition("=")
+        values = tuple(part.strip() for part in value.split(",")
+                       if part.strip())
+        if key == "expect":
+            for item in values:
+                code, _, lineno = item.partition(":")
+                spec.expected.append(
+                    (code, int(lineno) if lineno else None))
+        elif key == "roots":
+            entropy_roots = values
+        elif key == "identity-bases":
+            identity_bases = values
+        elif key == "payload-roots":
+            payload_roots = values
+        elif key == "guard-all":
+            guard_modules = ("*",)
+        else:
+            raise ValueError(
+                f"{path.name}: unknown fixture directive {key!r}")
+    spec.config = LintConfig(entropy_roots=entropy_roots,
+                             identity_bases=identity_bases,
+                             payload_roots=payload_roots,
+                             guard_modules=guard_modules)
+    return spec
+
+
+@dataclass
+class FixtureOutcome:
+    """One fixture checked against its declared expectations."""
+
+    spec: FixtureSpec
+    result: LintResult
+    missing: list[tuple[str, int | None]]
+    unexpected: list[Finding]
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing and not self.unexpected
+
+
+def check_fixture(path: pathlib.Path | str) -> FixtureOutcome:
+    """Lint one fixture and diff the findings against its header."""
+    path = pathlib.Path(path)
+    spec = parse_fixture(path)
+    result = lint_paths([path], spec.config)
+    remaining = list(result.findings)
+    missing: list[tuple[str, int | None]] = []
+    for code, lineno in spec.expected:
+        hit = next((finding for finding in remaining
+                    if finding.code == code
+                    and (lineno is None or finding.line == lineno)),
+                   None)
+        if hit is None:
+            missing.append((code, lineno))
+        else:
+            remaining.remove(hit)
+    return FixtureOutcome(spec=spec, result=result, missing=missing,
+                          unexpected=remaining)
+
+
+def check_corpus(directory: pathlib.Path | str,
+                 ) -> list[FixtureOutcome]:
+    """Check every ``*.py`` fixture in a corpus directory."""
+    directory = pathlib.Path(directory)
+    paths = sorted(path for path in directory.glob("*.py")
+                   if path.name != "__init__.py")
+    if not paths:
+        raise FileNotFoundError(
+            f"no fixtures found under {directory}")
+    return [check_fixture(path) for path in paths]

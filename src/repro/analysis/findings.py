@@ -1,0 +1,63 @@
+"""Lint findings and their text/JSON renderings."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Findings order by (path, line, code) so reports are stable across
+    runs and dict/set iteration orders — the lint gate diffs them.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+    #: Extra context (e.g. the reachability chain from the entry point
+    #: that makes an entropy call matter). Excluded from ordering.
+    details: dict = field(default_factory=dict, compare=False)
+
+    def as_dict(self) -> dict:
+        payload = {"path": self.path, "line": self.line,
+                   "code": self.code, "message": self.message}
+        if self.details:
+            payload["details"] = dict(self.details)
+        return payload
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def render_findings(findings: list[Finding], fmt: str = "text",
+                    checked_files: int = 0) -> str:
+    """Render a finding list as ``text`` or machine-readable ``json``."""
+    findings = sorted(findings)
+    if fmt == "json":
+        by_code: dict[str, int] = {}
+        for finding in findings:
+            by_code[finding.code] = by_code.get(finding.code, 0) + 1
+        return json.dumps({
+            "findings": [finding.as_dict() for finding in findings],
+            "summary": {"total": len(findings), "by_code": by_code,
+                        "checked_files": checked_files},
+        }, indent=2, sort_keys=True)
+    if fmt != "text":
+        raise ValueError(f"unknown lint format {fmt!r}")
+    if not findings:
+        return (f"repro lint: clean "
+                f"({checked_files} files checked)")
+    lines = []
+    for finding in findings:
+        lines.append(str(finding))
+        chain = finding.details.get("reachable_via")
+        if chain:
+            lines.append(f"    reachable via: {chain}")
+    lines.append(f"repro lint: {len(findings)} finding"
+                 f"{'s' if len(findings) != 1 else ''} "
+                 f"({checked_files} files checked)")
+    return "\n".join(lines)

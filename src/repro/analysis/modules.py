@@ -1,0 +1,370 @@
+"""Source parsing: the project index the lint rules analyse.
+
+One :class:`ProjectIndex` holds every analysed module's AST, plus the
+derived tables rules need — functions by qualified name, classes with
+their bases/fields/``__init__`` assignments, and per-module import
+maps. Qualified names use ``module:Class.method`` / ``module:function``
+form throughout (``repro.engine.units:run_plan_unit``).
+
+Everything here is pure stdlib ``ast``; the linter must run in the
+barest CI container.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    #: ``("name", func)`` for ``func(...)``; ``("attr", base, attr)``
+    #: for ``base.attr(...)`` where ``base`` is the dotted prefix
+    #: (``"self"``, an alias like ``"np.random"``, or ``""`` when the
+    #: receiver is a computed expression).
+    ref: tuple
+
+
+@dataclass(eq=False)
+class FunctionInfo:
+    """A module-level function or a class method (nested defs fold in)."""
+
+    qualname: str
+    module: str
+    name: str
+    owner: str | None  # owning class name, if a method
+    node: ast.AST
+    calls: list[CallSite] = field(default_factory=list)
+
+
+@dataclass
+class FieldInfo:
+    """One class-body annotated field (dataclass field or class attr)."""
+
+    name: str
+    annotation: ast.expr | None
+    default: ast.expr | None
+    lineno: int
+
+
+@dataclass
+class InitAssign:
+    """One ``self.attr = value`` inside ``__init__``/``__post_init__``."""
+
+    attr: str
+    value: ast.expr
+    lineno: int
+    method: str
+
+
+@dataclass(eq=False)
+class ClassInfo:
+    """A class definition plus the slices of it the rules consume."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: list[str]
+    is_dataclass: bool
+    dataclass_repr: bool
+    frozen: bool
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    fields: list[FieldInfo] = field(default_factory=list)
+    init_assigns: list[InitAssign] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str
+    path: pathlib.Path
+    tree: ast.Module
+    source_lines: list[str]
+    #: local name -> dotted target ("repro.engine.units" for a module
+    #: alias, "repro.engine.units.run_plan_unit" for an imported object).
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+
+_INIT_METHODS = ("__init__", "__post_init__")
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_ref(call: ast.Call) -> tuple:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return ("name", func.id)
+    if isinstance(func, ast.Attribute):
+        base = dotted_name(func.value)
+        return ("attr", base if base is not None else "", func.attr)
+    return ("attr", "", "")
+
+
+def _collect_calls(node: ast.AST) -> list[CallSite]:
+    """Every call in a function body, nested defs/lambdas included."""
+    return [CallSite(node=child, ref=_call_ref(child))
+            for child in ast.walk(node)
+            if isinstance(child, ast.Call)]
+
+
+def _decorator_info(node: ast.ClassDef) -> tuple[bool, bool, bool]:
+    """``(is_dataclass, repr_enabled, frozen)`` from the decorators."""
+    is_dataclass = False
+    repr_enabled = True
+    frozen = False
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = dotted_name(target) or ""
+        if name.split(".")[-1] != "dataclass":
+            continue
+        is_dataclass = True
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                value = keyword.value
+                flag = isinstance(value, ast.Constant) and value.value is True
+                if keyword.arg == "frozen":
+                    frozen = flag
+                if keyword.arg == "repr":
+                    repr_enabled = not (isinstance(value, ast.Constant)
+                                        and value.value is False)
+    return is_dataclass, repr_enabled, frozen
+
+
+def _parse_class(module: str, node: ast.ClassDef) -> ClassInfo:
+    is_dataclass, repr_enabled, frozen = _decorator_info(node)
+    info = ClassInfo(
+        qualname=f"{module}:{node.name}", module=module, name=node.name,
+        node=node,
+        bases=[name for name in (dotted_name(base) for base in node.bases)
+               if name is not None],
+        is_dataclass=is_dataclass, dataclass_repr=repr_enabled,
+        frozen=frozen)
+    for child in node.body:
+        if isinstance(child, ast.AnnAssign) and \
+                isinstance(child.target, ast.Name):
+            info.fields.append(FieldInfo(
+                name=child.target.id, annotation=child.annotation,
+                default=child.value, lineno=child.lineno))
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            method = FunctionInfo(
+                qualname=f"{module}:{node.name}.{child.name}",
+                module=module, name=child.name, owner=node.name,
+                node=child, calls=_collect_calls(child))
+            info.methods[child.name] = method
+            if child.name in _INIT_METHODS or child.name == "__setstate__":
+                for stmt in ast.walk(child):
+                    if not isinstance(stmt, ast.Assign):
+                        continue
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Attribute) and \
+                                isinstance(target.value, ast.Name) and \
+                                target.value.id == "self":
+                            info.init_assigns.append(InitAssign(
+                                attr=target.attr, value=stmt.value,
+                                lineno=stmt.lineno, method=child.name))
+    return info
+
+
+def _parse_imports(tree: ast.Module) -> dict[str, str]:
+    """Flatten every import in the module (function-local ones too).
+
+    Lazy ``from x import y`` inside function bodies is a repo idiom
+    (cycle guards), and reachability must see through it, so the map is
+    module-wide on purpose — a deliberate over-approximation.
+    """
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and \
+                not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return imports
+
+
+def module_name_for(path: pathlib.Path) -> str:
+    """Dotted module name: walk up through ``__init__.py`` packages."""
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def parse_module(path: pathlib.Path,
+                 name: str | None = None) -> ModuleInfo:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    name = name if name is not None else module_name_for(path)
+    info = ModuleInfo(name=name, path=path, tree=tree,
+                      source_lines=source.splitlines(),
+                      imports=_parse_imports(tree))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = FunctionInfo(
+                qualname=f"{name}:{node.name}", module=name,
+                name=node.name, owner=None, node=node,
+                calls=_collect_calls(node))
+        elif isinstance(node, ast.ClassDef):
+            info.classes[node.name] = _parse_class(name, node)
+    return info
+
+
+def iter_source_files(paths: Iterable[pathlib.Path],
+                      ) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted ``.py`` file list."""
+    files: set[pathlib.Path] = set()
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_dir():
+            files.update(child for child in path.rglob("*.py")
+                         if "__pycache__" not in child.parts)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+class ProjectIndex:
+    """Cross-module lookup tables over one set of parsed modules."""
+
+    def __init__(self, modules: list[ModuleInfo]) -> None:
+        self.modules: dict[str, ModuleInfo] = \
+            {module.name: module for module in modules}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: bare name -> every project function/method carrying it (the
+        #: class-hierarchy-analysis fallback for attribute calls).
+        self.by_bare_name: dict[str, list[FunctionInfo]] = {}
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        for module in modules:
+            for function in module.functions.values():
+                self.functions[function.qualname] = function
+                self.by_bare_name.setdefault(function.name, []) \
+                    .append(function)
+            for cls in module.classes.values():
+                self.classes[cls.qualname] = cls
+                self.classes_by_name.setdefault(cls.name, []).append(cls)
+                for method in cls.methods.values():
+                    self.functions[method.qualname] = method
+                    self.by_bare_name.setdefault(method.name, []) \
+                        .append(method)
+
+    # ------------------------------------------------------------------
+    # Class relationships
+    # ------------------------------------------------------------------
+    def resolve_class(self, module: ModuleInfo | None,
+                      name: str) -> ClassInfo | None:
+        """A class by local/imported/bare name, module context first."""
+        bare = name.split(".")[-1]
+        if module is not None:
+            if bare in module.classes:
+                return module.classes[bare]
+            target = module.imports.get(name) or module.imports.get(bare)
+            if target is not None:
+                target_module, _, target_name = target.rpartition(".")
+                found = self.classes.get(f"{target_module}:{target_name}")
+                if found is not None:
+                    return found
+        candidates = self.classes_by_name.get(bare, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def project_bases(self, cls: ClassInfo) -> list[ClassInfo]:
+        module = self.modules.get(cls.module)
+        resolved = []
+        for base in cls.bases:
+            found = self.resolve_class(module, base)
+            if found is not None:
+                resolved.append(found)
+        return resolved
+
+    def mro(self, cls: ClassInfo) -> list[ClassInfo]:
+        """Linearised project-local ancestry (external bases opaque)."""
+        seen: list[ClassInfo] = []
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.append(current)
+            queue.extend(self.project_bases(current))
+        return seen
+
+    def defines_method(self, cls: ClassInfo, name: str) -> bool:
+        return any(name in ancestor.methods for ancestor in self.mro(cls))
+
+    def subclasses_of(self, roots: Iterable[ClassInfo],
+                      ) -> set[ClassInfo]:
+        """Transitive project subclasses of ``roots`` (roots included)."""
+        root_set = set(roots)
+        changed = True
+        members: set[int] = {id(cls) for cls in root_set}
+        result = set(root_set)
+        while changed:
+            changed = False
+            for cls in self.classes.values():
+                if id(cls) in members:
+                    continue
+                if any(id(base) in members
+                       for base in self.project_bases(cls)):
+                    members.add(id(cls))
+                    result.add(cls)
+                    changed = True
+        return result
+
+    def annotation_classes(self, cls: ClassInfo,
+                           annotation: ast.expr | None,
+                           ) -> list[ClassInfo]:
+        """Project classes referenced anywhere in a field annotation."""
+        if annotation is None:
+            return []
+        if isinstance(annotation, ast.Constant) and \
+                isinstance(annotation.value, str):
+            try:
+                annotation = ast.parse(annotation.value,
+                                       mode="eval").body
+            except SyntaxError:
+                return []
+        module = self.modules.get(cls.module)
+        found: list[ClassInfo] = []
+        for node in ast.walk(annotation):
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+            if name is None:
+                continue
+            resolved = self.resolve_class(module, name)
+            if resolved is not None and resolved not in found:
+                found.append(resolved)
+        return found

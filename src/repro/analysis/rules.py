@@ -1,0 +1,579 @@
+"""The RPL rule registry: project invariants as AST checks.
+
+Each rule encodes one contract this reproduction depends on, each
+motivated by a bug that actually shipped (see the historical corpus
+under ``tests/analysis_fixtures/``):
+
+* **RPL001** — nondeterministic entropy reachable from the estimate
+  path. Bit-identical replay across executors requires every random
+  draw to flow from resolved seeds.
+* **RPL002** — identity-unstable ``repr`` feeding canonical keys. The
+  engine reprs algorithm/sampler instance state into dedup keys and
+  persistent store keys; a default object repr embeds a memory address
+  (the PR 3 ``_DictionaryCodec`` bug: dedup silently defeated).
+* **RPL003** — unpicklable payload state. Plan units, samples, and
+  store handles cross process boundaries; a ``threading.Lock`` (or
+  socket/thread/file/lambda/generator) field kills that unless a
+  ``__getstate__``/``__setstate__`` pair handles it (the PR 2
+  ``MaterializedSample`` bug).
+* **RPL004** — frozen-dataclass mutation via ``object.__setattr__``
+  outside construction (the PR 2 frozen-estimate bug).
+* **RPL005** — shared state written both inside and outside
+  ``with self._lock`` in concurrency-bearing modules (the PR 2
+  cross-batch ``EngineStats`` corruption).
+* **RPL000** — the meta-rule: suppressions must parse, name known
+  codes, carry a rationale, and actually suppress something.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.callgraph import reachable_from
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.modules import (ClassInfo, FunctionInfo, ModuleInfo,
+                                    ProjectIndex, dotted_name)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check."""
+
+    code: str
+    name: str
+    summary: str
+    check: Callable[[ProjectIndex, LintConfig], list[Finding]]
+
+
+def _finding(module: ModuleInfo, line: int, code: str, message: str,
+             **details) -> Finding:
+    return Finding(path=str(module.path), line=line, code=code,
+                   message=message,
+                   details={k: v for k, v in details.items() if v})
+
+
+# ----------------------------------------------------------------------
+# RPL001 — nondeterministic entropy on the estimate path
+# ----------------------------------------------------------------------
+#: numpy.random attributes that are fine to touch: types, and the
+#: seeded constructor (flagged separately only when called seedless).
+_NP_RANDOM_OK = {"Generator", "BitGenerator", "SeedSequence", "PCG64",
+                 "PCG64DXSM", "MT19937", "Philox", "SFC64",
+                 "default_rng"}
+
+#: ``module -> banned callables`` for direct entropy sources.
+_ENTROPY_MODULES = {
+    "random": None,          # the entire stdlib random module
+    "secrets": None,
+    "os": {"urandom", "getrandom"},
+    "time": {"time", "time_ns"},
+    "uuid": {"uuid1", "uuid4"},
+}
+
+
+def _resolve_dotted(module: ModuleInfo, name: str) -> str:
+    """Expand a local alias chain to its imported dotted origin."""
+    head, _, tail = name.partition(".")
+    target = module.imports.get(head)
+    if target is None:
+        return name
+    return f"{target}.{tail}" if tail else target
+
+
+def _entropy_problem(module: ModuleInfo, call: ast.Call) -> str | None:
+    """Why this call is an entropy source, or ``None``."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    resolved = _resolve_dotted(module, name)
+    parts = resolved.split(".")
+    # numpy's legacy global RNG and seedless default_rng.
+    if "random" in parts[:-1] and parts[0] in ("numpy", "np"):
+        attr = parts[-1]
+        if attr == "default_rng":
+            seedless = not call.args or (
+                isinstance(call.args[0], ast.Constant)
+                and call.args[0].value is None)
+            if seedless and not call.keywords:
+                return ("seedless np.random.default_rng() draws fresh "
+                        "OS entropy")
+            return None
+        if attr not in _NP_RANDOM_OK:
+            return (f"np.random.{attr} uses the process-global legacy "
+                    f"RNG")
+        return None
+    root = parts[0]
+    banned = _ENTROPY_MODULES.get(root)
+    if root in _ENTROPY_MODULES and len(parts) > 1:
+        if banned is None or parts[-1] in banned:
+            return f"{resolved}() is a nondeterministic source"
+    # `from random import shuffle` style single-name imports.
+    if len(parts) == 1:
+        origin = module.imports.get(parts[0], "")
+        origin_root = origin.split(".")[0]
+        tail = origin.split(".")[-1]
+        if origin_root in _ENTROPY_MODULES:
+            allowed = _ENTROPY_MODULES[origin_root]
+            if allowed is None or tail in allowed:
+                return f"{origin}() is a nondeterministic source"
+        if origin in ("numpy.random.default_rng",):
+            seedless = not call.args and not call.keywords
+            if seedless:
+                return ("seedless default_rng() draws fresh OS "
+                        "entropy")
+    return None
+
+
+def check_entropy(index: ProjectIndex,
+                  config: LintConfig) -> list[Finding]:
+    if not config.entropy_roots:
+        return []
+    findings: list[Finding] = []
+    chains = reachable_from(index, config.entropy_roots)
+    for function, chain in chains.items():
+        module = index.modules.get(function.module)
+        if module is None:
+            continue
+        in_hash_method = function.name == "__hash__"
+        for site in function.calls:
+            call = site.node
+            problem = _entropy_problem(module, call)
+            if problem is None:
+                # Builtin hash() of anything is PYTHONHASHSEED-unstable
+                # (except inside __hash__, which is process-local by
+                # Python's own contract).
+                if isinstance(call.func, ast.Name) and \
+                        call.func.id == "hash" and \
+                        "hash" not in module.imports and \
+                        not in_hash_method:
+                    problem = ("builtin hash() is randomised per "
+                               "process (PYTHONHASHSEED); derive keys "
+                               "via hashlib instead")
+                else:
+                    continue
+            findings.append(_finding(
+                module, call.lineno, "RPL001",
+                f"{problem}; this code is reachable from the "
+                f"deterministic estimate path and would break "
+                f"bit-identical replay",
+                reachable_via=" -> ".join(chain)))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPL002 — identity-unstable repr feeding fingerprints / store keys
+# ----------------------------------------------------------------------
+def _repr_stable(index: ProjectIndex, cls: ClassInfo) -> bool:
+    if cls.is_dataclass and cls.dataclass_repr:
+        return True  # generated repr is field-based, address-free
+    if any(base.split(".")[-1] in ("Enum", "IntEnum", "StrEnum", "Flag")
+           for ancestor in index.mro(cls) for base in ancestor.bases):
+        return True
+    return index.defines_method(cls, "__repr__")
+
+
+def _held_project_classes(index: ProjectIndex, cls: ClassInfo,
+                          ) -> list[tuple[ClassInfo, int]]:
+    """Project classes instantiated into ``self.*`` during ``__init__``."""
+    module = index.modules.get(cls.module)
+    held: list[tuple[ClassInfo, int]] = []
+    for assign in cls.init_assigns:
+        if not isinstance(assign.value, ast.Call):
+            continue
+        name = dotted_name(assign.value.func)
+        if name is None:
+            continue
+        target = index.resolve_class(module, name)
+        if target is not None:
+            held.append((target, assign.lineno))
+    return held
+
+
+def check_unstable_repr(index: ProjectIndex,
+                        config: LintConfig) -> list[Finding]:
+    if not config.identity_bases:
+        return []
+    roots = [cls for pattern in config.identity_bases
+             for cls in index.classes_by_name.get(pattern, [])]
+    identity_classes = index.subclasses_of(roots)
+    findings: list[Finding] = []
+    checked: set[int] = set()
+
+    def audit(holder: ClassInfo, value_cls: ClassInfo,
+              lineno: int) -> None:
+        if id(value_cls) in checked:
+            return
+        checked.add(id(value_cls))
+        module = index.modules[value_cls.module]
+        if not _repr_stable(index, value_cls):
+            findings.append(_finding(
+                module, value_cls.node.lineno, "RPL002",
+                f"{value_cls.name} is held as instance state by "
+                f"{holder.name}, whose vars() are repr'd into "
+                f"canonical identities (sampler_key/algorithm_key) "
+                f"and persistent store keys; without __repr__ the "
+                f"default repr leaks a memory address, making equal "
+                f"configurations look distinct across processes "
+                f"(defeats dedup and the warm-start store)"))
+        # One level deeper: a held object's own held state is embedded
+        # in its repr in turn.
+        for nested, nested_line in _held_project_classes(index,
+                                                         value_cls):
+            audit(value_cls, nested, nested_line)
+
+    for cls in sorted(identity_classes, key=lambda c: c.qualname):
+        for value_cls, lineno in _held_project_classes(index, cls):
+            audit(cls, value_cls, lineno)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPL003 — unpicklable payload state
+# ----------------------------------------------------------------------
+_UNPICKLABLE_TYPES = {"Lock", "RLock", "Condition", "Event",
+                      "Semaphore", "BoundedSemaphore", "Barrier",
+                      "Thread", "Timer", "socket", "SSLSocket",
+                      "Popen", "TextIOWrapper", "BufferedReader",
+                      "BufferedWriter", "BufferedRandom", "FileIO",
+                      "Queue", "SimpleQueue", "ThreadPoolExecutor",
+                      "ProcessPoolExecutor", "mmap", "memoryview"}
+
+#: Names that only mean trouble when imported from typing — in this
+#: codebase a bare ``Generator`` is ``np.random.Generator``, which
+#: pickles fine.
+_TYPING_ONLY = {"Generator", "Iterator", "IO", "TextIO", "BinaryIO"}
+
+_TYPING_MODULES = ("typing", "collections.abc", "io")
+
+
+def _unpicklable_name(module: ModuleInfo, name: str) -> str | None:
+    bare = name.split(".")[-1]
+    if bare in _UNPICKLABLE_TYPES:
+        return bare
+    if bare in _TYPING_ONLY:
+        origin = module.imports.get(bare, "")
+        if origin.rpartition(".")[0] in _TYPING_MODULES or \
+                name.split(".")[0] in ("typing", "io"):
+            return bare
+    return None
+
+
+def _unpicklable_expr(module: ModuleInfo,
+                      node: ast.expr | None) -> str | None:
+    """Why an expression produces unpicklable state, or ``None``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Lambda):
+        return "a lambda (pickle cannot serialise it)"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator (pickle cannot serialise it)"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None:
+            if name == "open":
+                return "an open file handle"
+            bad = _unpicklable_name(module, name)
+            if bad is not None:
+                return f"a {bad} ({name}() does not pickle)"
+            if name.split(".")[-1] == "field":
+                for keyword in node.keywords:
+                    if keyword.arg == "default_factory":
+                        inner = _factory_problem(module, keyword.value)
+                        if inner is not None:
+                            return inner
+                    if keyword.arg == "default":
+                        inner = _unpicklable_expr(module, keyword.value)
+                        if inner is not None:
+                            return inner
+    return None
+
+
+def _factory_problem(module: ModuleInfo, node: ast.expr) -> str | None:
+    name = dotted_name(node)
+    if name is not None:
+        bad = _unpicklable_name(module, name)
+        if bad is not None:
+            return f"a {bad} (default_factory={name})"
+        if name == "open":
+            return "an open file handle (default_factory=open)"
+        return None
+    if isinstance(node, ast.Lambda):
+        # The factory itself never lands on instances — only its
+        # *result* does, so a clean-bodied lambda factory is fine.
+        return _unpicklable_expr(module, node.body)
+    return None
+
+
+def _annotation_problem(module: ModuleInfo,
+                        annotation: ast.expr | None) -> str | None:
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and \
+            isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    for node in ast.walk(annotation):
+        name = None
+        if isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+        elif isinstance(node, ast.Name):
+            name = node.id
+        if name is None:
+            continue
+        bad = _unpicklable_name(module, name)
+        if bad is not None:
+            return f"a {bad} (annotated)"
+    return None
+
+
+def _has_pickle_protocol(index: ProjectIndex, cls: ClassInfo) -> bool:
+    if index.defines_method(cls, "__reduce__") or \
+            index.defines_method(cls, "__reduce_ex__"):
+        return True
+    return index.defines_method(cls, "__getstate__") and \
+        index.defines_method(cls, "__setstate__")
+
+
+def payload_closure(index: ProjectIndex,
+                    config: LintConfig) -> set[ClassInfo]:
+    """Classes transitively held by the configured pickle-crossing roots.
+
+    Expansion follows dataclass/class-body field annotations,
+    ``self.x = ProjectClass(...)`` constructor assignments, and project
+    subclassing (a field annotated with a base can hold any subclass).
+    """
+    closure: set[ClassInfo] = set(
+        cls for name in config.payload_roots
+        for cls in index.classes_by_name.get(name, []))
+    changed = True
+    while changed:
+        changed = False
+        for cls in list(closure):
+            grown: list[ClassInfo] = []
+            for field_info in cls.fields:
+                grown.extend(index.annotation_classes(
+                    cls, field_info.annotation))
+            grown.extend(target for target, _ in
+                         _held_project_classes(index, cls))
+            grown.extend(index.subclasses_of([cls]))
+            for member in grown:
+                if member not in closure:
+                    closure.add(member)
+                    changed = True
+    return closure
+
+
+def check_unpicklable_payload(index: ProjectIndex,
+                              config: LintConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    payload = payload_closure(index, config) if config.payload_roots \
+        else set()
+
+    for cls in index.classes.values():
+        module = index.modules[cls.module]
+        exempt = _has_pickle_protocol(index, cls)
+        # (a) Dataclass fields holding unpicklable state are flagged in
+        # every class: besides pickling, they break replace()/compare
+        # and were the exact shape of the PR 2 bug.
+        if cls.is_dataclass:
+            for field_info in cls.fields:
+                problem = (_unpicklable_expr(module, field_info.default)
+                           or _annotation_problem(module,
+                                                  field_info.annotation))
+                if problem is None:
+                    continue
+                if exempt:
+                    continue
+                findings.append(_finding(
+                    module, field_info.lineno, "RPL003",
+                    f"dataclass field {cls.name}.{field_info.name} "
+                    f"holds {problem}; instances cannot pickle, so "
+                    f"they cannot ship to process-pool or remote "
+                    f"workers — keep it a plain attribute behind a "
+                    f"__getstate__/__setstate__ pair (as "
+                    f"MaterializedSample does) or suppress with a "
+                    f"rationale if the class never crosses a process "
+                    f"boundary"))
+        # (b) Payload classes additionally audit __init__ assignments.
+        if cls not in payload or exempt:
+            continue
+        for assign in cls.init_assigns:
+            if assign.method == "__setstate__":
+                continue
+            problem = _unpicklable_expr(module, assign.value)
+            if problem is None:
+                continue
+            findings.append(_finding(
+                module, assign.lineno, "RPL003",
+                f"{cls.name}.{assign.attr} is assigned {problem} in "
+                f"{assign.method}, and {cls.name} crosses pickle "
+                f"boundaries (reached from payload roots "
+                f"{', '.join(config.payload_roots)}); add a "
+                f"__getstate__/__setstate__ pair that rebuilds it"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPL004 — frozen-dataclass mutation outside construction
+# ----------------------------------------------------------------------
+_SETATTR_OK = {"__init__", "__post_init__", "__new__", "__setstate__",
+               "__getstate__", "__deepcopy__", "__copy__"}
+
+
+def check_frozen_mutation(index: ProjectIndex,
+                          config: LintConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    for function in index.functions.values():
+        if function.name in _SETATTR_OK:
+            continue
+        module = index.modules.get(function.module)
+        if module is None:
+            continue
+        for site in function.calls:
+            if site.ref != ("attr", "object", "__setattr__"):
+                continue
+            findings.append(_finding(
+                module, site.node.lineno, "RPL004",
+                f"object.__setattr__ in {function.qualname.split(':')[1]} "
+                f"mutates a frozen dataclass outside construction; "
+                f"frozen estimates/requests are shared across caches, "
+                f"batches and the persistent store, so in-place "
+                f"mutation corrupts every holder — build a new "
+                f"instance (dataclasses.replace) or pass the data "
+                f"through the constructor"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPL005 — shared-state writes that dodge the lock
+# ----------------------------------------------------------------------
+_INIT_LIKE = {"__init__", "__post_init__", "__setstate__", "__new__"}
+
+
+def _module_guarded(name: str, patterns: tuple[str, ...]) -> bool:
+    import fnmatch
+
+    return any(fnmatch.fnmatchcase(name, pattern)
+               for pattern in patterns)
+
+
+class _WriteCollector(ast.NodeVisitor):
+    """Self-attribute writes in one class, with lock context."""
+
+    def __init__(self) -> None:
+        self.method_stack: list[str] = []
+        self.lock_depth = 0
+        #: attr -> list of (guarded, lineno, method)
+        self.writes: dict[str, list[tuple[bool, int, str]]] = {}
+        self.uses_lock = False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.method_stack.append(node.name)
+        self.generic_visit(node)
+        self.method_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_With(self, node: ast.With) -> None:
+        guarded = any("lock" in ast.unparse(item.context_expr).lower()
+                      for item in node.items)
+        if guarded:
+            self.uses_lock = True
+            self.lock_depth += 1
+        self.generic_visit(node)
+        if guarded:
+            self.lock_depth -= 1
+
+    def _note(self, target: ast.expr, lineno: int) -> None:
+        # Unwrap subscript stores: self._entries[key] = ... writes
+        # through self._entries.
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id == "self":
+            method = self.method_stack[0] if self.method_stack else ""
+            # The `_locked` suffix is the documented convention for
+            # helpers whose callers hold the lock.
+            guarded = (self.lock_depth > 0
+                       or method in _INIT_LIKE
+                       or method.endswith("_locked"))
+            self.writes.setdefault(target.attr, []).append(
+                (guarded, lineno, method))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note(node.target, node.lineno)
+        self.generic_visit(node)
+
+
+def check_unguarded_writes(index: ProjectIndex,
+                           config: LintConfig) -> list[Finding]:
+    if not config.guard_modules:
+        return []
+    findings: list[Finding] = []
+    for cls in index.classes.values():
+        if not _module_guarded(cls.module, config.guard_modules):
+            continue
+        module = index.modules[cls.module]
+        collector = _WriteCollector()
+        collector.visit(cls.node)
+        if not collector.uses_lock:
+            continue
+        for attr, writes in sorted(collector.writes.items()):
+            in_lock = [w for w in writes if w[0]]
+            bare = [w for w in writes
+                    if not w[0] and w[2] not in _INIT_LIKE]
+            if not in_lock or not bare:
+                continue
+            for _, lineno, method in bare:
+                findings.append(_finding(
+                    module, lineno, "RPL005",
+                    f"{cls.name}.{attr} is written under "
+                    f"`with self._lock` elsewhere in the class but "
+                    f"unguarded here in {method}(); concurrent "
+                    f"executors interleave these writes (the PR 2 "
+                    f"cross-batch stats corruption) — take the lock, "
+                    f"rename the helper with a `_locked` suffix if "
+                    f"its callers hold it, or suppress with a "
+                    f"rationale"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+RULES: tuple[Rule, ...] = (
+    Rule("RPL001", "nondeterministic-entropy",
+         "entropy sources reachable from the deterministic estimate "
+         "path", check_entropy),
+    Rule("RPL002", "identity-unstable-repr",
+         "default reprs feeding canonical identities and store keys",
+         check_unstable_repr),
+    Rule("RPL003", "unpicklable-payload",
+         "locks/sockets/handles/lambdas in pickle-crossing classes",
+         check_unpicklable_payload),
+    Rule("RPL004", "frozen-dataclass-mutation",
+         "object.__setattr__ on frozen dataclasses outside "
+         "construction", check_frozen_mutation),
+    Rule("RPL005", "unguarded-shared-state",
+         "shared attributes written both inside and outside the lock",
+         check_unguarded_writes),
+)
+
+#: RPL000 is synthesised by the runner from suppression parsing, not a
+#: registered AST check — but it is a real, suppressible-nowhere code.
+META_CODE = "RPL000"
+
+
+def rule_codes() -> set[str]:
+    return {rule.code for rule in RULES} | {META_CODE}

@@ -1,0 +1,109 @@
+"""Lint orchestration: parse, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.config import LintConfig, project_config
+from repro.analysis.findings import Finding
+from repro.analysis.modules import (ModuleInfo, ProjectIndex,
+                                    iter_source_files, parse_module)
+from repro.analysis.rules import META_CODE, RULES, rule_codes
+from repro.analysis.suppressions import (SuppressionTable,
+                                         parse_suppressions)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    checked_files: int
+    #: Findings that matched an inline suppression (kept for tooling;
+    #: the gate only fails on ``findings``).
+    suppressed: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _apply_suppressions(index: ProjectIndex,
+                        tables: dict[str, SuppressionTable],
+                        findings: list[Finding],
+                        config: LintConfig) -> LintResult:
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        table = tables.get(finding.path)
+        if table is not None and \
+                table.is_suppressed(finding.code, finding.line):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    if config.enabled(META_CODE):
+        for path, table in tables.items():
+            for lineno, message in table.problems:
+                kept.append(Finding(path=path, line=lineno,
+                                    code=META_CODE, message=message))
+            if config.check_unused_suppressions:
+                for suppression in table.unused():
+                    kept.append(Finding(
+                        path=path, line=suppression.line,
+                        code=META_CODE,
+                        message=f"unused suppression of "
+                                f"{', '.join(suppression.codes)}: "
+                                f"nothing fires here any more — "
+                                f"delete it"))
+    return LintResult(findings=sorted(kept),
+                      checked_files=len(index.modules),
+                      suppressed=sorted(suppressed))
+
+
+def lint_index(index: ProjectIndex, config: LintConfig) -> LintResult:
+    """Run every enabled rule over an already-parsed index."""
+    findings: list[Finding] = []
+    for rule in RULES:
+        if config.enabled(rule.code):
+            findings.extend(rule.check(index, config))
+    tables = {}
+    for module in index.modules.values():
+        table = parse_suppressions(module.source_lines, rule_codes())
+        _widen_to_statements(module, table)
+        tables[str(module.path)] = table
+    return _apply_suppressions(index, tables, findings, config)
+
+
+def _widen_to_statements(module: ModuleInfo,
+                         table: SuppressionTable) -> None:
+    """Standalone suppressions cover their whole following statement."""
+    import ast
+
+    spans = {node.lineno: getattr(node, "end_lineno", node.lineno)
+             for node in ast.walk(module.tree)
+             if isinstance(node, ast.stmt)}
+    for suppression in table.suppressions:
+        if suppression.covers != suppression.line:  # standalone form
+            suppression.covers_end = max(
+                suppression.covers_end,
+                spans.get(suppression.covers, suppression.covers))
+
+
+def build_index(paths: Iterable[pathlib.Path | str]) -> ProjectIndex:
+    files = iter_source_files(pathlib.Path(p) for p in paths)
+    return ProjectIndex([parse_module(path) for path in files])
+
+
+def lint_paths(paths: Sequence[pathlib.Path | str],
+               config: LintConfig | None = None) -> LintResult:
+    """Lint files/trees under ``config`` (project defaults if omitted)."""
+    config = config if config is not None else project_config()
+    return lint_index(build_index(paths), config)
+
+
+def lint_project(config: LintConfig | None = None) -> LintResult:
+    """Lint the installed ``repro`` package source itself."""
+    package_dir = pathlib.Path(__file__).resolve().parent.parent
+    return lint_paths([package_dir], config)

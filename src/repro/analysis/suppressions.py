@@ -1,0 +1,131 @@
+"""Inline suppression comments: ``# repro-lint: ignore[...] -- why``.
+
+A suppression names the rule codes it waives and **must** carry a
+rationale after ``--`` — the lint gate treats a bare waiver as its own
+finding (RPL000), so every intentional contract exception in the tree
+documents itself. A comment on its own line covers the next code line;
+a trailing comment covers its line. Suppressions that never match a
+finding are reported unused (also RPL000), mirroring
+``warn_unused_ignores``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(?P<codes>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<rationale>.*\S))?")
+
+_CODE = re.compile(r"^RPL\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int           # line the comment sits on (1-based)
+    covers: int         # first code line it applies to
+    codes: tuple[str, ...]
+    rationale: str
+    #: Last covered line — a standalone comment covers the whole
+    #: statement that starts below it (the runner widens this from the
+    #: AST's statement spans; trailing comments stay single-line).
+    covers_end: int = 0
+    used: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.covers_end < self.covers:
+            self.covers_end = self.covers
+
+    def matches(self, code: str, line: int) -> bool:
+        return self.covers <= line <= self.covers_end and \
+            code in self.codes
+
+
+@dataclass
+class SuppressionTable:
+    """Every suppression in one file, plus its malformed entries."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+    #: ``(line, message)`` pairs for RPL000 findings.
+    problems: list[tuple[int, str]] = field(default_factory=list)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        hit = False
+        for suppression in self.suppressions:
+            if suppression.matches(code, line):
+                suppression.used = True
+                hit = True
+        return hit
+
+    def unused(self) -> list[Suppression]:
+        return [s for s in self.suppressions if not s.used]
+
+
+def _comment_only(line: str) -> bool:
+    stripped = line.strip()
+    return stripped.startswith("#")
+
+
+def _comment_tokens(source_lines: list[str]) -> list[tuple[int, str]]:
+    """``(line, text)`` for every real comment token in the source.
+
+    Tokenizing (rather than regexing raw lines) keeps docstrings that
+    *describe* the suppression syntax from registering as suppressions.
+    """
+    source = "\n".join(source_lines) + "\n"
+    try:
+        return [(token.start[0], token.string)
+                for token in tokenize.generate_tokens(
+                    io.StringIO(source).readline)
+                if token.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError):
+        # Unparseable edge: degrade to raw lines rather than silently
+        # dropping every suppression in the file.
+        return list(enumerate(source_lines, start=1))
+
+
+def parse_suppressions(source_lines: list[str],
+                       known_codes: set[str]) -> SuppressionTable:
+    table = SuppressionTable()
+    for lineno, line in _comment_tokens(source_lines):
+        match = _PATTERN.search(line)
+        if match is None:
+            if "repro-lint" in line and "ignore" in line:
+                table.problems.append(
+                    (lineno, "unparseable repro-lint comment; expected "
+                             "`# repro-lint: ignore[RPLnnn] -- reason`"))
+            continue
+        codes = tuple(code.strip()
+                      for code in match.group("codes").split(",")
+                      if code.strip())
+        rationale = (match.group("rationale") or "").strip()
+        bad = [code for code in codes
+               if not _CODE.match(code) or code not in known_codes]
+        if not codes or bad:
+            table.problems.append(
+                (lineno, f"suppression names unknown rule codes "
+                         f"{bad or ['<none>']}"))
+            continue
+        if not rationale:
+            table.problems.append(
+                (lineno, f"suppression of {', '.join(codes)} carries no "
+                         f"rationale; append `-- <why this exception "
+                         f"is intentional>`"))
+            continue
+        covers = lineno
+        if lineno <= len(source_lines) and \
+                _comment_only(source_lines[lineno - 1]):
+            # A standalone comment covers the next non-comment line.
+            covers = lineno + 1
+            while covers <= len(source_lines) and \
+                    _comment_only(source_lines[covers - 1]):
+                covers += 1
+        table.suppressions.append(Suppression(
+            line=lineno, covers=covers, codes=codes,
+            rationale=rationale))
+    return table

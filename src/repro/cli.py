@@ -262,6 +262,26 @@ def _build_parser() -> argparse.ArgumentParser:
     worker_serve.add_argument("--fail-after-units", type=int,
                               default=None, help=argparse.SUPPRESS)
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro invariant linter (determinism, "
+             "picklability, lock discipline)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the "
+                           "installed repro package source)")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule codes to run "
+                           "exclusively, e.g. RPL001,RPL003")
+    lint.add_argument("--ignore", default=None,
+                      help="comma-separated rule codes to skip")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", dest="fmt",
+                      help="output format (default: text)")
+    lint.add_argument("--fixtures", default=None, metavar="DIR",
+                      help="corpus mode: check that every fixture under "
+                           "DIR fires exactly its declared rule codes "
+                           "(exit 1 on any mismatch)")
+
     bounds = commands.add_parser(
         "bounds", help="evaluate the paper's analytic bounds")
     which = bounds.add_subparsers(dest="theorem", required=True)
@@ -726,6 +746,44 @@ def _cmd_worker(args: argparse.Namespace) -> str:
     return "worker stopped"
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the invariant linter; exit 1 on any finding."""
+    from repro.analysis import (lint_paths, lint_project, project_config,
+                                render_findings)
+
+    if args.fixtures is not None:
+        from repro.analysis.corpus import check_corpus
+
+        outcomes = check_corpus(pathlib.Path(args.fixtures))
+        failed = [outcome for outcome in outcomes if not outcome.ok]
+        for outcome in outcomes:
+            status = "ok" if outcome.ok else "FAIL"
+            print(f"{status:4} {outcome.spec.path}")
+            for expectation in outcome.missing:
+                print(f"     missing expected finding: {expectation}")
+            for finding in outcome.unexpected:
+                print(f"     unexpected finding: {finding}")
+        print(f"{len(outcomes) - len(failed)}/{len(outcomes)} "
+              f"fixtures behave as declared")
+        return 1 if failed else 0
+
+    config = project_config()
+    if args.select or args.ignore:
+        split = (lambda raw: tuple(
+            code.strip() for code in raw.split(",") if code.strip()))
+        config = config.with_filters(
+            select=split(args.select) if args.select else (),
+            ignore=split(args.ignore) if args.ignore else ())
+    if args.paths:
+        result = lint_paths([pathlib.Path(p) for p in args.paths],
+                            config)
+    else:
+        result = lint_project(config)
+    print(render_findings(result.findings, args.fmt,
+                          result.checked_files))
+    return 0 if result.ok else 1
+
+
 def _cmd_bounds(args: argparse.Namespace) -> str:
     if args.theorem == "theorem1":
         bound = ns_stddev_bound(n=args.n, f=args.fraction)
@@ -766,6 +824,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _cmd_cache(args)
         elif args.command == "worker":
             output = _cmd_worker(args)
+        elif args.command == "lint":
+            return _cmd_lint(args)
         elif args.command == "bounds":
             output = _cmd_bounds(args)
         else:  # pragma: no cover - argparse enforces choices

@@ -155,6 +155,10 @@ class SampleCF:
         its rows in memory after the call returns.
         """
         if seed is None:
+            # repro-lint: ignore[RPL001] -- the facade's documented
+            # None-seed behaviour: independent randomness per call, via
+            # the engine's opaque-seed path (never cached, never
+            # stored), matching the historical pre-engine code path.
             return np.random.default_rng()
         return seed
 

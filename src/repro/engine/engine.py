@@ -47,6 +47,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 def _resolve_master_seed(seed: SeedLike) -> int:
     if seed is None:
+        # repro-lint: ignore[RPL001] -- the documented None-seed
+        # contract: an unseeded engine draws one master seed from OS
+        # entropy here, exactly once, and every downstream draw derives
+        # from it deterministically (content-keyed trial seeds).
         return int(np.random.default_rng().integers(0, 2 ** 63 - 1))
     if isinstance(seed, np.random.Generator):
         return int(seed.integers(0, 2 ** 63 - 1))

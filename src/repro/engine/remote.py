@@ -833,6 +833,11 @@ class _DispatchState:
     results: list
     context: UnitContext
     links: list[_WorkerLink]
+    # repro-lint: ignore[RPL003] -- parent-side dispatch bookkeeping:
+    # this state lives only in the coordinating process for the span
+    # of one dispatch round and is shared across dispatcher threads,
+    # never pickled or shipped (workers receive PlanUnit lists, not
+    # _DispatchState); RPL003's audit confirmed no pickle path exists.
     lock: threading.Lock = field(default_factory=threading.Lock)
     done: set[int] = field(default_factory=set)
     orphans: deque[int] = field(default_factory=deque)

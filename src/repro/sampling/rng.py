@@ -22,6 +22,10 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     stream; an existing Generator is passed through unchanged.
     """
     if seed is None:
+        # repro-lint: ignore[RPL001] -- make_rng's documented contract:
+        # None means fresh OS entropy. The engine never takes this
+        # branch (plan units always carry resolved seeds); only
+        # explicit seedless facade/workload calls do.
         return np.random.default_rng()
     if isinstance(seed, np.random.Generator):
         return seed

@@ -219,6 +219,9 @@ class SampleStore:
         path = self._entry_path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         full_meta = dict(meta or {})
+        # repro-lint: ignore[RPL001] -- wall-clock envelope metadata
+        # (creation time for debugging/audit); it never feeds keys,
+        # checksums cover it separately, and readers ignore it.
         full_meta.update({"kind": kind, "key": key,
                           "created": time.time()})
         try:

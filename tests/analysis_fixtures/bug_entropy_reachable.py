@@ -1,0 +1,32 @@
+# repro-lint-fixture: expect=RPL001
+# repro-lint-fixture: roots=run_unit
+"""Nondeterministic entropy on the estimate path, in isolation.
+
+Everything ``run_unit`` can reach must replay bit-identically from the
+unit's resolved seed; a ``random.random()`` two calls deep breaks the
+serial/thread/process/remote equivalence the engine guarantees. The
+same entropy in a function the root *cannot* reach (a reporting helper)
+is out of contract and must stay clean.
+"""
+
+import random
+import time
+
+
+def _draw_jitter() -> float:
+    # The bug: seedless stdlib entropy inside the reachable helper.
+    return random.random()
+
+
+def _perturb(value: float) -> float:
+    return value + _draw_jitter()
+
+
+def run_unit(unit: float) -> float:
+    """Fixture stand-in for ``repro.engine.units.run_plan_unit``."""
+    return _perturb(unit)
+
+
+def wall_clock_label() -> str:
+    """Unreachable from the root: entropy here is not a finding."""
+    return f"run at {time.time():.0f}"

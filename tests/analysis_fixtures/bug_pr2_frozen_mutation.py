@@ -1,0 +1,28 @@
+# repro-lint-fixture: expect=RPL004:27
+"""The PR 2 frozen-estimate mutation bug, reintroduced in isolation.
+
+Frozen estimates are shared by the in-memory cache, batch results, and
+the persistent store; ``object.__setattr__`` after construction
+silently corrupts every holder. Inside ``__post_init__`` the same call
+is the documented dataclass idiom and must stay clean.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Estimate:
+    value: float
+    sample_rows: int = 0
+
+    def __post_init__(self) -> None:
+        # Allowed: construction-time normalisation.
+        object.__setattr__(self, "value", float(self.value))
+
+
+def rescale(estimate: Estimate, factor: float) -> Estimate:
+    """The bug: "fixing up" a cached estimate in place."""
+    # Mutates the instance the cache (and every other holder) shares,
+    # instead of building a new one with dataclasses.replace().
+    object.__setattr__(estimate, "value", estimate.value * factor)
+    return estimate

@@ -1,0 +1,29 @@
+# repro-lint-fixture: expect=RPL003,RPL003
+# repro-lint-fixture: payload-roots=WorkUnit
+"""The PR 2 unpicklable-payload bug, reintroduced in isolation.
+
+Plan units and materialized samples cross pickle boundaries on their
+way to process-pool and remote workers. A ``threading.Lock`` dataclass
+field (or an open file handle assigned in ``__init__``) kills that with
+``TypeError: cannot pickle '_thread.lock' object`` — at dispatch time,
+far from the class definition.
+"""
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ShardState:
+    """Lock as a dataclass field — the exact PR 2 shape."""
+
+    shard: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class WorkUnit:
+    """Payload root whose ``__init__`` grabs an OS resource."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "rb")

@@ -1,0 +1,35 @@
+# repro-lint-fixture: expect=RPL005
+# repro-lint-fixture: guard-all
+"""The PR 2 cross-batch stats corruption, reintroduced in isolation.
+
+``EngineStats``-style counters are bumped from executor worker threads.
+Writing the same attribute both under ``with self._lock`` and bare
+means concurrent batches interleave read-modify-write pairs and drop
+increments. The ``_locked``-suffix helper convention (callers hold the
+lock) must stay clean.
+"""
+
+import threading
+
+
+class Stats:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.trials = 0
+        self.cache_hits = 0
+
+    def record_trial(self) -> None:
+        with self._lock:
+            self.trials += 1
+
+    def record_hit_locked(self) -> None:
+        # Clean: documented convention, callers hold the lock.
+        self.cache_hits += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.cache_hits = 0
+
+    def merge(self, other: "Stats") -> None:
+        # The bug: racing bare write to a lock-guarded attribute.
+        self.trials = self.trials + other.trials

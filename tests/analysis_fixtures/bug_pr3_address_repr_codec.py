@@ -1,0 +1,36 @@
+# repro-lint-fixture: expect=RPL002
+# repro-lint-fixture: identity-bases=CompressionAlgorithm
+"""The PR 3 ``_DictionaryCodec`` bug, reintroduced in isolation.
+
+The engine reprs an algorithm's ``vars()`` into its canonical identity
+(``algorithm_key``), which feeds batch dedup and persistent store keys.
+A held helper object without ``__repr__`` contributes
+``<...object at 0x7f...>`` — a fresh memory address per process — so
+equal configurations never dedup and the warm-start store never hits.
+"""
+
+
+class _DictionaryCodec:
+    """No ``__repr__``: the default repr embeds a memory address."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+
+    def encode(self, values):
+        return [v % self.width for v in values]
+
+
+class CompressionAlgorithm:
+    """Stand-in for the real identity base class."""
+
+    name = "base"
+
+
+class DictionaryAlgorithm(CompressionAlgorithm):
+    name = "global_dictionary"
+
+    def __init__(self, width: int = 8) -> None:
+        self._codec = _DictionaryCodec(width)
+
+    def compressed_size(self, values) -> int:
+        return len(self._codec.encode(values))

@@ -1,0 +1,25 @@
+# repro-lint-fixture: expect=RPL000,RPL000,RPL000
+"""The meta-rule: suppressions are themselves under contract.
+
+Three violations, one per RPL000 shape: a waiver with no rationale, a
+waiver naming an unknown rule code, and a well-formed waiver that no
+longer suppresses anything (the ``warn_unused_ignores`` analog — stale
+exceptions rot into folklore unless the gate evicts them).
+"""
+
+import random
+
+
+def sample_without_rationale() -> float:
+    # repro-lint: ignore[RPL001]
+    return random.random()
+
+
+def sample_unknown_code() -> float:
+    # repro-lint: ignore[RPL999] -- no such rule is registered
+    return random.random()
+
+
+def plain_arithmetic() -> int:
+    # repro-lint: ignore[RPL004] -- nothing here ever fired this rule
+    return 2 + 2

@@ -1,0 +1,29 @@
+# repro-lint-fixture: identity-bases=CompressionAlgorithm
+"""Negative twin of the PR 3 codec bug: a content-based ``__repr__``.
+
+Same holding structure as ``bug_pr3_address_repr_codec.py``, but the
+codec reprs its configuration, so the algorithm identity is stable
+across processes and the linter stays silent.
+"""
+
+
+class _DictionaryCodec:
+    def __init__(self, width: int) -> None:
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"_DictionaryCodec(width={self.width})"
+
+    def encode(self, values):
+        return [v % self.width for v in values]
+
+
+class CompressionAlgorithm:
+    name = "base"
+
+
+class DictionaryAlgorithm(CompressionAlgorithm):
+    name = "global_dictionary"
+
+    def __init__(self, width: int = 8) -> None:
+        self._codec = _DictionaryCodec(width)

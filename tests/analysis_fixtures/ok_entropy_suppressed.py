@@ -1,0 +1,24 @@
+# repro-lint-fixture: roots=run_unit
+"""Negative twin of the entropy fixture: a documented exception.
+
+The reachable entropy point carries an inline suppression *with a
+rationale*, matching how the real tree documents its None-seed
+contract in ``engine.py``/``samplecf.py``. The linter must honour the
+suppression and must not report it unused.
+"""
+
+import numpy as np
+
+
+def _resolve_rng(seed):
+    if seed is None:
+        # repro-lint: ignore[RPL001] -- fixture twin of make_rng's
+        # documented None-seed contract: fresh OS entropy on request,
+        # never taken by plan-unit execution.
+        return np.random.default_rng()
+    return np.random.default_rng(seed)
+
+
+def run_unit(unit: float, seed=0) -> float:
+    rng = _resolve_rng(seed)
+    return unit + float(rng.random())

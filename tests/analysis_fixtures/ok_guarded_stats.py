@@ -1,0 +1,22 @@
+# repro-lint-fixture: guard-all
+"""Negative twin of the stats bug: every shared write takes the lock.
+
+Same class shape as ``bug_pr2_unguarded_stats.py``; the merge path now
+locks too, so the linter must stay silent.
+"""
+
+import threading
+
+
+class Stats:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.trials = 0
+
+    def record_trial(self) -> None:
+        with self._lock:
+            self.trials += 1
+
+    def merge(self, other: "Stats") -> None:
+        with self._lock:
+            self.trials = self.trials + other.trials

@@ -1,0 +1,25 @@
+# repro-lint-fixture: payload-roots=GuardedHandle
+"""Negative twin of the PR 2 payload bug: a pickle protocol pair.
+
+Holding a lock is fine when ``__getstate__`` drops it and
+``__setstate__`` rebuilds it — the shape ``MaterializedSample`` uses in
+the real tree. The linter must treat the pair as an exemption.
+"""
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GuardedHandle:
+    path: str = ""
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.lock = threading.Lock()

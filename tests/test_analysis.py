@@ -1,0 +1,388 @@
+"""Unit tests for repro.analysis — the invariant linter machinery."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (LintConfig, lint_paths, render_findings,
+                            rule_codes)
+from repro.analysis.callgraph import match_roots, reachable_from
+from repro.analysis.runner import build_index
+from repro.analysis.suppressions import parse_suppressions
+
+
+def write_module(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def lint_source(tmp_path, source, **config_kwargs):
+    path = write_module(tmp_path, "fixture.py", source)
+    return lint_paths([path], LintConfig(**config_kwargs))
+
+
+# ----------------------------------------------------------------------
+# Suppression parsing
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    CODES = {"RPL001", "RPL003"}
+
+    def test_trailing_comment_covers_its_own_line(self):
+        table = parse_suppressions(
+            ["x = noise()  # repro-lint: ignore[RPL001] -- why"],
+            self.CODES)
+        assert not table.problems
+        (suppression,) = table.suppressions
+        assert suppression.covers == 1
+        assert suppression.matches("RPL001", 1)
+        assert not suppression.matches("RPL003", 1)
+
+    def test_standalone_comment_covers_next_code_line(self):
+        table = parse_suppressions(
+            ["# repro-lint: ignore[RPL001] -- first line of a",
+             "# two-line rationale",
+             "x = noise()"], self.CODES)
+        (suppression,) = table.suppressions
+        assert suppression.covers == 3
+
+    def test_missing_rationale_is_a_problem(self):
+        table = parse_suppressions(
+            ["# repro-lint: ignore[RPL001]"], self.CODES)
+        assert not table.suppressions
+        (problem,) = table.problems
+        assert "rationale" in problem[1]
+
+    def test_unknown_code_is_a_problem(self):
+        table = parse_suppressions(
+            ["# repro-lint: ignore[RPL999] -- nope"], self.CODES)
+        assert not table.suppressions
+        (problem,) = table.problems
+        assert "RPL999" in problem[1]
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        result = lint_source(tmp_path, '''\
+            """Docs showing `# repro-lint: ignore[RPL001] -- why`."""
+            X = 1
+            ''')
+        assert result.ok
+
+    def test_unused_suppression_fires_meta_rule(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            # repro-lint: ignore[RPL004] -- stale waiver
+            X = 1
+            """)
+        (finding,) = result.findings
+        assert finding.code == "RPL000"
+        assert "unused" in finding.message
+
+    def test_multiline_statement_fully_covered(self, tmp_path):
+        # The suppressed call sits on the *second* physical line of the
+        # statement under the comment; the whole span must be covered.
+        result = lint_source(tmp_path, """\
+            import time
+
+            def run_unit():
+                # repro-lint: ignore[RPL001] -- wall-clock metadata only
+                return dict(kind="sample",
+                            created=time.time())
+            """, entropy_roots=("run_unit",))
+        assert result.ok
+        assert len(result.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# Call graph and reachability
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    SOURCE = """\
+        import helpers
+
+        class Engine:
+            def run(self):
+                return self._step()
+
+            def _step(self):
+                return draw()
+
+        def draw():
+            return helpers.noise()
+
+        def unrelated():
+            return 42
+        """
+
+    HELPERS = """\
+        import random
+
+        def noise():
+            return random.random()
+        """
+
+    def build(self, tmp_path):
+        write_module(tmp_path, "main.py", self.SOURCE)
+        write_module(tmp_path, "helpers.py", self.HELPERS)
+        return build_index([tmp_path])
+
+    def test_reachability_crosses_modules_and_methods(self, tmp_path):
+        index = self.build(tmp_path)
+        chains = reachable_from(index, ("Engine.run",))
+        names = {function.qualname.split(":")[1]
+                 for function in chains}
+        assert {"Engine.run", "Engine._step", "draw",
+                "noise"} <= names
+        assert "unrelated" not in names
+
+    def test_chains_record_shortest_path(self, tmp_path):
+        index = self.build(tmp_path)
+        chains = reachable_from(index, ("Engine.run",))
+        noise = next(f for f in chains
+                     if f.qualname.endswith(":noise"))
+        assert chains[noise][0].endswith("Engine.run")
+        assert chains[noise][-1].endswith("noise")
+
+    def test_match_roots_supports_globs(self, tmp_path):
+        index = self.build(tmp_path)
+        assert match_roots(index, ("helpers:*",))
+        assert not match_roots(index, ("nonexistent:*",))
+
+
+# ----------------------------------------------------------------------
+# Individual rules on minimal sources
+# ----------------------------------------------------------------------
+class TestRules:
+    def test_rpl001_flags_reachable_entropy_only(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import random, time
+
+            def run_unit():
+                return helper()
+
+            def helper():
+                return random.random()
+
+            def reporting():
+                return time.time()
+            """, entropy_roots=("run_unit",))
+        (finding,) = result.findings
+        assert finding.code == "RPL001"
+        assert "random" in finding.message
+        assert "run_unit" in finding.details["reachable_via"]
+
+    def test_rpl001_flags_builtin_hash(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def make_key(name):
+                return hash(name) % 997
+            """, entropy_roots=("make_key",))
+        (finding,) = result.findings
+        assert finding.code == "RPL001"
+        assert "PYTHONHASHSEED" in finding.message
+
+    def test_rpl001_allows_seeded_default_rng(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+
+            def run_unit(seed):
+                return np.random.default_rng(seed).random()
+            """, entropy_roots=("run_unit",))
+        assert result.ok
+
+    def test_rpl002_requires_repr_on_held_state(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            class Codec:
+                def __init__(self, width):
+                    self.width = width
+
+            class Base:
+                pass
+
+            class Algo(Base):
+                def __init__(self):
+                    self._codec = Codec(8)
+            """, identity_bases=("Base",))
+        (finding,) = result.findings
+        assert finding.code == "RPL002"
+        assert "Codec" in finding.message
+
+    def test_rpl002_accepts_dataclass_repr(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Codec:
+                width: int = 8
+
+            class Base:
+                pass
+
+            class Algo(Base):
+                def __init__(self):
+                    self._codec = Codec()
+            """, identity_bases=("Base",))
+        assert result.ok
+
+    def test_rpl003_flags_lock_field(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import threading
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class State:
+                lock: threading.Lock = field(
+                    default_factory=threading.Lock)
+            """)
+        (finding,) = result.findings
+        assert finding.code == "RPL003"
+        assert "Lock" in finding.message
+
+    def test_rpl003_getstate_pair_exempts(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import threading
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class State:
+                lock: threading.Lock = field(
+                    default_factory=threading.Lock)
+
+                def __getstate__(self):
+                    return {}
+
+                def __setstate__(self, state):
+                    self.lock = threading.Lock()
+            """)
+        assert result.ok
+
+    def test_rpl003_lambda_factory_with_clean_body_ok(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class State:
+                pairs: dict = field(default_factory=lambda: {"a": 1})
+            """)
+        assert result.ok
+
+    def test_rpl003_audits_payload_init(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            class Unit:
+                def __init__(self, path):
+                    self._fh = open(path, "rb")
+            """, payload_roots=("Unit",))
+        (finding,) = result.findings
+        assert finding.code == "RPL003"
+        assert "file handle" in finding.message
+
+    def test_rpl004_flags_post_construction_mutation(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Box:
+                value: int
+
+                def __post_init__(self):
+                    object.__setattr__(self, "value",
+                                       int(self.value))
+
+            def poke(box):
+                object.__setattr__(box, "value", 0)
+            """)
+        (finding,) = result.findings
+        assert finding.code == "RPL004"
+        assert "poke" in finding.message
+
+    def test_rpl005_flags_mixed_lock_discipline(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+
+                def merge(self, other):
+                    self.count = self.count + other.count
+            """, guard_modules=("*",))
+        (finding,) = result.findings
+        assert finding.code == "RPL005"
+        assert "merge" in finding.message
+
+    def test_rpl005_locked_suffix_helper_is_clean(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+
+                def bump_locked(self):
+                    self.count += 1
+            """, guard_modules=("*",))
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# Config filters and rendering
+# ----------------------------------------------------------------------
+class TestConfigAndOutput:
+    SOURCE = """\
+        import random
+
+        def run_unit():
+            return random.random() + unsafe()
+
+        def unsafe():
+            return hash("x")
+        """
+
+    def test_select_filters_rules(self, tmp_path):
+        path = write_module(tmp_path, "fixture.py", self.SOURCE)
+        config = LintConfig(entropy_roots=("run_unit",))
+        all_findings = lint_paths([path], config).findings
+        assert {f.code for f in all_findings} == {"RPL001"}
+        filtered = lint_paths(
+            [path], config.with_filters(ignore=("RPL001",)))
+        assert filtered.ok
+
+    def test_filtered_run_skips_unused_check(self, tmp_path):
+        path = write_module(tmp_path, "fixture.py", """\
+            # repro-lint: ignore[RPL004] -- would be unused
+            X = 1
+            """)
+        config = LintConfig().with_filters(select=("RPL003",))
+        assert lint_paths([path], config).ok
+
+    def test_json_rendering_round_trips(self, tmp_path):
+        path = write_module(tmp_path, "fixture.py", self.SOURCE)
+        result = lint_paths([path],
+                            LintConfig(entropy_roots=("run_unit",)))
+        payload = json.loads(render_findings(result.findings, "json",
+                                             result.checked_files))
+        assert payload["summary"]["total"] == len(result.findings)
+        assert payload["summary"]["by_code"]["RPL001"] == \
+            len(result.findings)
+        codes = {item["code"] for item in payload["findings"]}
+        assert codes == {"RPL001"}
+
+    def test_text_rendering_interleaves_chains(self, tmp_path):
+        path = write_module(tmp_path, "fixture.py", self.SOURCE)
+        result = lint_paths([path],
+                            LintConfig(entropy_roots=("run_unit",)))
+        text = render_findings(result.findings, "text",
+                               result.checked_files)
+        assert "reachable via" in text
+
+    def test_rule_codes_cover_registry_and_meta(self):
+        assert rule_codes() == {"RPL000", "RPL001", "RPL002",
+                                "RPL003", "RPL004", "RPL005"}

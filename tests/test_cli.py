@@ -546,3 +546,55 @@ class TestCacheCommands:
     def test_cache_requires_subcommand(self, capsys):
         with pytest.raises(SystemExit):
             main(["cache"])
+
+
+class TestLint:
+    def test_shipped_tree_is_clean(self, capsys):
+        code, out, _ = run_cli(capsys, "lint")
+        assert code == 0
+        assert "clean" in out
+
+    def test_findings_set_exit_code(self, capsys, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text(
+            "import threading\n"
+            "from dataclasses import dataclass, field\n"
+            "\n"
+            "\n"
+            "@dataclass\n"
+            "class State:\n"
+            "    lock: threading.Lock = field("
+            "default_factory=threading.Lock)\n",
+            encoding="utf-8")
+        code, out, _ = run_cli(capsys, "lint", str(path))
+        assert code == 1
+        assert "RPL003" in out
+
+    def test_select_and_json_format(self, capsys, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text("import threading\n"
+                        "from dataclasses import dataclass, field\n"
+                        "\n"
+                        "\n"
+                        "@dataclass\n"
+                        "class State:\n"
+                        "    lock: threading.Lock = field("
+                        "default_factory=threading.Lock)\n",
+                        encoding="utf-8")
+        code, out, _ = run_cli(capsys, "lint", "--select", "RPL001",
+                               "--format", "json", str(path))
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["summary"]["total"] == 0
+        code, out, _ = run_cli(capsys, "lint", "--format", "json",
+                               str(path))
+        assert code == 1
+        assert json.loads(out)["summary"]["by_code"]["RPL003"] == 1
+
+    def test_fixture_corpus_mode(self, capsys):
+        import pathlib
+        fixtures = pathlib.Path(__file__).parent / "analysis_fixtures"
+        code, out, _ = run_cli(capsys, "lint", "--fixtures",
+                               str(fixtures))
+        assert code == 0
+        assert "behave as declared" in out

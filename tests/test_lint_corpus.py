@@ -1,0 +1,70 @@
+"""The historical-bug corpus: every shipped bug stays flagged.
+
+Each fixture under ``tests/analysis_fixtures/`` reintroduces one bug
+this repo actually shipped (PR 2 picklability/locking/frozen-mutation,
+PR 3 address-repr store keys) and declares the rule codes the linter
+must raise; negative twins assert the documented escape hatches
+(suppression with rationale, ``__getstate__`` pair, content ``__repr__``,
+``_locked`` suffix) stay silent. If a rule rots, the fixture for the
+bug it was built from fails first.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.corpus import check_corpus, check_fixture
+
+CORPUS = pathlib.Path(__file__).parent / "analysis_fixtures"
+
+EXPECTED_CODES = {
+    "bug_entropy_reachable.py": ["RPL001"],
+    "bug_pr2_frozen_mutation.py": ["RPL004"],
+    "bug_pr2_lock_in_payload.py": ["RPL003", "RPL003"],
+    "bug_pr2_unguarded_stats.py": ["RPL005"],
+    "bug_pr3_address_repr_codec.py": ["RPL002"],
+    "bug_suppression_discipline.py": ["RPL000", "RPL000", "RPL000"],
+    "ok_codec_with_repr.py": [],
+    "ok_entropy_suppressed.py": [],
+    "ok_guarded_stats.py": [],
+    "ok_lock_with_getstate.py": [],
+}
+
+
+def test_corpus_covers_every_rule_code():
+    flagged = {code for codes in EXPECTED_CODES.values()
+               for code in codes}
+    assert flagged == {"RPL000", "RPL001", "RPL002", "RPL003",
+                       "RPL004", "RPL005"}
+
+
+def test_corpus_matches_manifest():
+    names = sorted(p.name for p in CORPUS.glob("*.py")
+                   if p.name != "__init__.py")
+    assert names == sorted(EXPECTED_CODES)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_CODES))
+def test_fixture_fires_exactly_its_declared_codes(name):
+    outcome = check_fixture(CORPUS / name)
+    assert outcome.ok, (f"missing={outcome.missing} "
+                        f"unexpected={outcome.unexpected}")
+    codes = sorted(f.code for f in outcome.result.findings)
+    assert codes == sorted(EXPECTED_CODES[name])
+
+
+def test_negative_fixtures_use_the_documented_escape_hatches():
+    suppressed = check_fixture(CORPUS / "ok_entropy_suppressed.py")
+    assert len(suppressed.result.suppressed) == 1
+    assert suppressed.result.suppressed[0].code == "RPL001"
+
+
+def test_check_corpus_sweeps_the_directory():
+    outcomes = check_corpus(CORPUS)
+    assert len(outcomes) == len(EXPECTED_CODES)
+    assert all(outcome.ok for outcome in outcomes)
+
+
+def test_check_corpus_rejects_empty_directories(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        check_corpus(tmp_path)

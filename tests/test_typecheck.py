@@ -1,0 +1,27 @@
+"""The mypy leg of the invariant gate (skipped where mypy is absent).
+
+The container that runs tier-1 tests does not ship mypy; CI installs
+it for the typecheck job. Running it through the pytest gate too means
+``pip install mypy && pytest tests/test_typecheck.py`` reproduces the
+CI result locally with no extra wiring — the configuration lives in
+``mypy.ini`` either way.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api",
+                               reason="mypy is not installed; the CI "
+                                      "typecheck job runs this leg")
+
+REPO = pathlib.Path(__file__).parent.parent
+
+
+def test_src_typechecks_under_project_config():
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(REPO / "mypy.ini"), str(REPO / "src")])
+    sys.stdout.write(stdout)
+    sys.stderr.write(stderr)
+    assert status == 0, "mypy reported errors (see stdout)"
