@@ -29,7 +29,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import timed
 from repro.workloads.generators import make_multicolumn_table
 
-from _common import write_report
+from _common import emit_result
 
 PAGE = 4096
 FRACTION = 0.05
@@ -106,11 +106,22 @@ def test_engine_batching(benchmark, workload):
          str(stats["samples_materialized"]),
          str(stats["indexes_built"]), f"{speedup:.2f}x"],
     ]
-    write_report("engine_batching", format_table(
-        ["method", "ms", "samples drawn", "indexes built", "speedup"],
-        rows,
-        title=f"Candidate sizing: {len(key_sets)} key sets x "
-              f"{len(ALGORITHMS)} algorithms at f={FRACTION:.0%}"))
+    emit_result(
+        "engine_batching",
+        {"naive_seconds": naive.seconds,
+         "batched_seconds": batched.seconds,
+         "naive_samples": naive_samples,
+         "samples_materialized": stats["samples_materialized"],
+         "indexes_built": stats["indexes_built"],
+         "speedup": speedup},
+        parameters={"fraction": FRACTION, "page_size": PAGE,
+                    "algorithms": list(ALGORITHMS),
+                    "key_sets": len(key_sets)},
+        text=format_table(
+            ["method", "ms", "samples drawn", "indexes built",
+             "speedup"], rows,
+            title=f"Candidate sizing: {len(key_sets)} key sets x "
+                  f"{len(ALGORITHMS)} algorithms at f={FRACTION:.0%}"))
 
     # The reuse contract: one sample per table, one index per key set.
     assert stats["samples_materialized"] == len(workload["tables"])

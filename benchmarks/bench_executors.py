@@ -33,7 +33,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from _common import RESULTS_DIR  # noqa: E402
+from _common import RESULTS_DIR, emit_result  # noqa: E402
 
 from repro._version import __version__  # noqa: E402
 from repro.engine import (EstimationEngine, EstimationRequest,  # noqa: E402
@@ -151,9 +151,10 @@ def run(smoke: bool, workers: int, output: pathlib.Path) -> dict:
             timings["threads"] / timings["process"], 3),
         "estimates_identical": identical,
     }
-    output.parent.mkdir(exist_ok=True)
-    output.write_text(json.dumps(report, indent=2) + "\n",
-                      encoding="utf-8")
+    emit_result("executors", report,
+                parameters={"mode": "smoke" if smoke else "full",
+                            "workers": workers},
+                output=output)
     return report
 
 

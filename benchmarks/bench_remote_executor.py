@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import pathlib
 import platform
@@ -38,7 +39,7 @@ import tempfile
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from _common import RESULTS_DIR  # noqa: E402
+from _common import RESULTS_DIR, emit_result  # noqa: E402
 
 from repro._version import __version__  # noqa: E402
 from repro.engine import (EstimationEngine, EstimationRequest,  # noqa: E402
@@ -173,6 +174,32 @@ def run(smoke: bool, output: pathlib.Path) -> dict:
             "remote_units": remote_batch.stats["remote_units"],
         }
 
+        # -- cost-model calibration from observed span timings ---------
+        # The dispatcher feeds every unit's measured seconds back into
+        # UnitCostModel and publishes the EMA rates plus the
+        # predicted-vs-actual error as engine gauges; a remote run that
+        # stops producing them (or produces nonsense) is a scheduler
+        # quality regression even when the estimates stay correct.
+        gauges = remote_batch.stats["gauges"]
+        calibration = {name: gauges[name] for name in sorted(gauges)
+                       if name.startswith("cost_model.")}
+        report["calibration"] = calibration
+        rates = [value for name, value in calibration.items()
+                 if name.startswith("cost_model.seconds_per_cost.")]
+        if not rates or any(rate <= 0 for rate in rates):
+            raise AssertionError(
+                "remote run published no positive seconds-per-cost "
+                f"rates: {calibration}")
+        error = calibration.get("cost_model.mean_abs_rel_error")
+        if error is not None and not math.isfinite(error):
+            raise AssertionError(
+                f"predicted-vs-actual error is not finite: {error}")
+        if calibration.get("cost_model.observed_units", 0) != units:
+            raise AssertionError(
+                "calibration observed "
+                f"{calibration.get('cost_model.observed_units')} units, "
+                f"expected {units}")
+
         # -- warm store: fresh engine + fresh workers materialize 0 ----
         warm_batch, warm_seconds = with_workers(
             2, store_dir, False,
@@ -232,6 +259,19 @@ def run(smoke: bool, output: pathlib.Path) -> dict:
                     f"4-worker throughput only {ratio:.2f}x of 1 worker; "
                     "the scheduler is leaving parallelism on the floor")
 
+            # Under simulated service the time per unit IS
+            # scale * predicted cost, so the feedback loop must
+            # calibrate tightly — a large mean error means observed
+            # timings are no longer reaching the cost model.
+            sim_error = batch.stats["gauges"].get(
+                "cost_model.mean_abs_rel_error")
+            scaling["mean_abs_rel_error_simulated"] = (
+                round(sim_error, 4) if sim_error is not None else None)
+            if sim_error is None or sim_error > 1.0:
+                raise AssertionError(
+                    "simulated-service calibration error too large: "
+                    f"{sim_error}")
+
             # -- measured LPT vs round-robin under simulated service ---
             measured = {}
             for scheduler in ("lpt", "round_robin"):
@@ -246,9 +286,9 @@ def run(smoke: bool, output: pathlib.Path) -> dict:
                 measured[scheduler] = round(seconds, 4)
             report["makespan_measured_4_workers_no_steal"] = measured
 
-    output.parent.mkdir(exist_ok=True)
-    output.write_text(json.dumps(report, indent=2) + "\n",
-                      encoding="utf-8")
+    emit_result("remote_executor", report,
+                parameters={"mode": "smoke" if smoke else "full"},
+                output=output)
     return report
 
 

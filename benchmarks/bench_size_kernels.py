@@ -40,7 +40,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from _common import RESULTS_DIR  # noqa: E402
+from _common import RESULTS_DIR, emit_result  # noqa: E402
 
 from repro._version import __version__  # noqa: E402
 from repro.compression.registry import get_algorithm, list_algorithms  # noqa: E402
@@ -127,9 +127,9 @@ def run(smoke: bool, output: pathlib.Path) -> dict:
         },
         "parity": "bit-identical (asserted per codec)",
     }
-    output.parent.mkdir(exist_ok=True)
-    output.write_text(json.dumps(report, indent=2) + "\n",
-                      encoding="utf-8")
+    emit_result("size_kernels", report,
+                parameters={"mode": "smoke" if smoke else "full"},
+                output=output)
     return report
 
 

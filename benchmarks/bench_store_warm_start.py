@@ -41,7 +41,7 @@ import tempfile
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from _common import RESULTS_DIR  # noqa: E402
+from _common import RESULTS_DIR, emit_result  # noqa: E402
 
 from repro._version import __version__  # noqa: E402
 from repro.engine import EstimationEngine, EstimationRequest  # noqa: E402
@@ -183,9 +183,9 @@ def run(smoke: bool, store_dir: pathlib.Path | None,
     finally:
         if cleanup:
             shutil.rmtree(store_dir, ignore_errors=True)
-    output.parent.mkdir(exist_ok=True)
-    output.write_text(json.dumps(report, indent=2) + "\n",
-                      encoding="utf-8")
+    emit_result("store_warm_start", report,
+                parameters={"mode": "smoke" if smoke else "full"},
+                output=output)
     return report
 
 

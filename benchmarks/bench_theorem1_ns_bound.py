@@ -26,7 +26,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import engine_sweep
 from repro.workloads.generators import make_histogram
 
-from _common import bench_store, write_report
+from _common import bench_store, emit_result
 
 N = 1_000_000
 K = 20
@@ -102,10 +102,22 @@ def test_thm1_sigma_below_bound(benchmark, sweep):
             f"{point['sharp_bound']:.6f}",
         ])
         assert summary.std <= point["bound"], point["f"]
-    write_report(f"thm1_{name}", format_table(
-        ["f", "true CF", "bias", "measured sigma",
-         "Theorem 1 bound", "sharp bound"], rows,
-        title=f"Theorem 1 — {name} (n={N:,}, {TRIALS} trials/point)"))
+    emit_result(
+        f"thm1_{name}",
+        [{"f": point["f"],
+          "true_cf": point["summary"].true_value,
+          "bias": point["summary"].bias,
+          "std": point["summary"].std,
+          "bound": point["bound"],
+          "sharp_bound": point["sharp_bound"]}
+         for point in points],
+        parameters={"n": N, "k": K, "trials": TRIALS, "workload": name,
+                    "fractions": list(FRACTIONS)},
+        text=format_table(
+            ["f", "true CF", "bias", "measured sigma",
+             "Theorem 1 bound", "sharp bound"], rows,
+            title=f"Theorem 1 — {name} (n={N:,}, {TRIALS} "
+                  f"trials/point)"))
     # Granular tests are skipped under --benchmark-only; assert here.
     test_thm1_unbiased_at_every_fraction(sweep)
     test_thm1_sigma_scales_with_sqrt_f(sweep)

@@ -21,7 +21,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import engine_sweep
 from repro.workloads.generators import make_histogram
 
-from _common import bench_store, write_report
+from _common import bench_store, emit_result
 
 K = 20
 P = 2
@@ -74,10 +74,15 @@ def test_thm2_sweep(benchmark, series):
              f"{point['truth']:.5f}", f"{point['mean_error']:.4f}",
              f"{point['max_error']:.4f}", f"{point['bound']:.4f}"]
             for point in series]
-    write_report("thm2", format_table(
-        ["n", "d = sqrt(n)", "true CF", "mean ratio err",
-         "max ratio err", "bound 1 + dk/(fnp)"], rows,
-        title=f"Theorem 2 — small d (f={F:.0%}, {TRIALS} trials/point)"))
+    emit_result(
+        "thm2", series,
+        parameters={"k": K, "p": P, "fraction": F, "trials": TRIALS,
+                    "sizes": list(SIZES)},
+        text=format_table(
+            ["n", "d = sqrt(n)", "true CF", "mean ratio err",
+             "max ratio err", "bound 1 + dk/(fnp)"], rows,
+            title=f"Theorem 2 — small d (f={F:.0%}, {TRIALS} "
+                  f"trials/point)"))
     # Assert the theorem's claims inside the bench run too (the
     # granular tests below are skipped under --benchmark-only).
     test_thm2_all_points_within_bound(series)

@@ -19,7 +19,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import engine_sweep
 from repro.workloads.generators import make_histogram
 
-from _common import bench_store, write_report
+from _common import bench_store, emit_result
 
 K = 20
 P = 2
@@ -78,10 +78,16 @@ def test_thm3_sweep(benchmark, grid):
                          f"{point['truth']:.4f}",
                          f"{point['mean_error']:.4f}",
                          f"{point['bound']:.3f}"])
-    write_report("thm3", format_table(
-        ["alpha = d/n", "n", "true CF", "mean ratio err",
-         "constant bound"], rows,
-        title=f"Theorem 3 — large d (f={F:.0%}, {TRIALS} trials/point)"))
+    emit_result(
+        "thm3",
+        [grid[(alpha, n)] for alpha in ALPHAS for n in SIZES],
+        parameters={"k": K, "p": P, "fraction": F, "trials": TRIALS,
+                    "sizes": list(SIZES), "alphas": list(ALPHAS)},
+        text=format_table(
+            ["alpha = d/n", "n", "true CF", "mean ratio err",
+             "constant bound"], rows,
+            title=f"Theorem 3 — large d (f={F:.0%}, {TRIALS} "
+                  f"trials/point)"))
     # Assert the theorem's claims inside the bench run too (the
     # granular tests below are skipped under --benchmark-only).
     test_thm3_error_below_constant(grid)

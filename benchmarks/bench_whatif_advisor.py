@@ -39,7 +39,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from _common import RESULTS_DIR  # noqa: E402
+from _common import RESULTS_DIR, emit_result  # noqa: E402
 
 from repro._version import __version__  # noqa: E402
 from repro.advisor import (CostModel, Query, WhatIfAdvisor,  # noqa: E402
@@ -205,9 +205,9 @@ def run(smoke: bool, output: pathlib.Path) -> dict:
         "mean_savings_fraction": round(mean_savings, 4),
         "designs_identical": True,
     }
-    output.parent.mkdir(exist_ok=True)
-    output.write_text(json.dumps(report, indent=2) + "\n",
-                      encoding="utf-8")
+    emit_result("whatif_advisor", report,
+                parameters={"mode": "smoke" if smoke else "full"},
+                output=output)
     return report
 
 

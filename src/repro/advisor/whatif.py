@@ -317,7 +317,8 @@ class WhatIfAdvisor:
                  initial_trials: int = 1,
                  confidence: float = 0.999,
                  use_probabilistic: bool = True,
-                 empirical_inflation: float = 4.0) -> None:
+                 empirical_inflation: float = 4.0,
+                 tracer: object = None) -> None:
         from repro.engine.engine import EstimationEngine  # lazy: cycle
 
         if max_trials <= 0:
@@ -329,7 +330,8 @@ class WhatIfAdvisor:
                 f"{initial_trials}")
         if engine is None:
             engine = EstimationEngine(
-                seed=seed if seed is not None else 0, store=store)
+                seed=seed if seed is not None else 0, store=store,
+                tracer=tracer)
         else:
             if seed is not None:
                 raise AdvisorError(
@@ -340,6 +342,10 @@ class WhatIfAdvisor:
                     "pass either engine= or store=, not both: a "
                     "supplied engine already decided its persistence "
                     "tier")
+            if tracer is not None:
+                raise AdvisorError(
+                    "pass either engine= or tracer=, not both: a "
+                    "supplied engine already carries its tracer")
         self.tables = tables
         self.queries = list(queries)
         self.algorithms = resolve_algorithms(algorithms)
@@ -415,24 +421,35 @@ class WhatIfAdvisor:
         available = list(self.states)
         prune_events: list[PruneEvent] = []
         rounds = 0
-        while True:
-            rounds += 1
-            self.engine.stats.add("whatif_rounds")
-            winner = self._run_round(rounds, available, chosen, budget,
-                                     current, stats, prune_events)
-            if winner is None:
-                break
-            candidate = winner.as_candidate()
-            reduction, total = candidate_gain(
-                candidate, self.queries, stats, chosen, self.model,
-                current)
-            chosen.append(candidate)
-            available.remove(winner)
-            budget -= candidate.size_bytes
-            steps.append(
-                f"+{candidate.name} ({candidate.size_bytes:.0f} B, "
-                f"cost {current:.1f} -> {total:.1f})")
-            current = total
+        tracer = self.engine.tracer
+        with tracer.span("whatif.advise",
+                         bound=float(storage_bound_bytes),
+                         candidates=len(self.states)) as advise_span:
+            while True:
+                rounds += 1
+                self.engine.stats.add("whatif_rounds")
+                with tracer.span("whatif.round",
+                                 round=rounds) as round_span:
+                    winner = self._run_round(rounds, available, chosen,
+                                             budget, current, stats,
+                                             prune_events)
+                    round_span.annotate(
+                        winner=winner.name if winner is not None
+                        else None)
+                if winner is None:
+                    break
+                candidate = winner.as_candidate()
+                reduction, total = candidate_gain(
+                    candidate, self.queries, stats, chosen, self.model,
+                    current)
+                chosen.append(candidate)
+                available.remove(winner)
+                budget -= candidate.size_bytes
+                steps.append(
+                    f"+{candidate.name} ({candidate.size_bytes:.0f} B, "
+                    f"cost {current:.1f} -> {total:.1f})")
+                current = total
+            advise_span.annotate(rounds=rounds, chosen=len(chosen))
         report = self._finish_report(rounds, tuple(prune_events),
                                      executed_before)
         self.last_report = report
@@ -469,6 +486,9 @@ class WhatIfAdvisor:
                 deterministic=interval.deterministic,
                 incumbent_density=incumbent))
             self.engine.stats.add("whatif_pruned")
+            self.engine.tracer.event(
+                "whatif.prune", candidate=state.name, reason=reason,
+                round=round_no)
 
         # A resolved candidate's interval, size, and densities cannot
         # change within a round (chosen/budget/current only move

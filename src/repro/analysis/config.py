@@ -29,6 +29,12 @@ class LintConfig:
     #: samples, store handles). RPL003 closes over their field
     #: annotations and ``__init__`` assignments.
     payload_roots: tuple[str, ...] = ()
+    #: Module-name globs whose functions RPL001 never flags even when
+    #: reachable from an entropy root. The observability layer is the
+    #: sanctioned home for wall-clock reads (trace timestamps never
+    #: feed an estimate); keep this list to that one tree so the rule
+    #: still bites everywhere estimates are computed.
+    entropy_exempt_modules: tuple[str, ...] = ()
     #: Module-name globs where RPL005 audits lock discipline.
     guard_modules: tuple[str, ...] = ()
     #: Rule-code filters (empty select = all registered rules).
@@ -65,6 +71,12 @@ def project_config() -> LintConfig:
             # boundary (its None-seed behaviour is the one documented
             # exception, suppressed inline at the source).
             "repro.core.samplecf:SampleCF.*",
+        ),
+        entropy_exempt_modules=(
+            # Tracing needs monotonic timestamps and one wall anchor;
+            # both live behind this boundary and never reach estimates.
+            "repro.obs",
+            "repro.obs.*",
         ),
         identity_bases=("CompressionAlgorithm", "RowSampler",
                         "BlockSampler"),

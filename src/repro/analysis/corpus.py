@@ -8,6 +8,7 @@ directives::
     # repro-lint-fixture: expect=RPL003            (one per finding)
     # repro-lint-fixture: expect=RPL001:17         (pin the line too)
     # repro-lint-fixture: roots=drive              (RPL001 entry points)
+    # repro-lint-fixture: entropy-exempt=obs_mod   (RPL001 exemptions)
     # repro-lint-fixture: identity-bases=Algorithm (RPL002 anchors)
     # repro-lint-fixture: payload-roots=Shipped    (RPL003 anchors)
     # repro-lint-fixture: guard-all                (RPL005 everywhere)
@@ -45,6 +46,7 @@ class FixtureSpec:
 def parse_fixture(path: pathlib.Path) -> FixtureSpec:
     spec = FixtureSpec(path=path)
     entropy_roots: tuple[str, ...] = ()
+    entropy_exempt: tuple[str, ...] = ()
     identity_bases: tuple[str, ...] = ()
     payload_roots: tuple[str, ...] = ()
     guard_modules: tuple[str, ...] = ()
@@ -63,6 +65,8 @@ def parse_fixture(path: pathlib.Path) -> FixtureSpec:
                     (code, int(lineno) if lineno else None))
         elif key == "roots":
             entropy_roots = values
+        elif key == "entropy-exempt":
+            entropy_exempt = values
         elif key == "identity-bases":
             identity_bases = values
         elif key == "payload-roots":
@@ -73,6 +77,7 @@ def parse_fixture(path: pathlib.Path) -> FixtureSpec:
             raise ValueError(
                 f"{path.name}: unknown fixture directive {key!r}")
     spec.config = LintConfig(entropy_roots=entropy_roots,
+                             entropy_exempt_modules=entropy_exempt,
                              identity_bases=identity_bases,
                              payload_roots=payload_roots,
                              guard_modules=guard_modules)

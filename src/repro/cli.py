@@ -27,6 +27,8 @@ Examples::
     python -m repro advise design.json --what-if --max-trials 5
     python -m repro advise design.json --what-if --no-prune \
         --executor process
+    python -m repro estimate-batch spec.json --trace trace.jsonl
+    python -m repro trace summarize trace.jsonl --top 5
     python -m repro cache stats --store-dir ~/.repro-store
     python -m repro cache prune --store-dir ~/.repro-store \
         --max-bytes 104857600
@@ -86,6 +88,7 @@ from repro.workloads.generators import (histogram_to_table,
                                         make_multicolumn_table)
 from repro.workloads.scenarios import SCENARIOS, get_scenario
 from repro.advisor import Query, WhatIfAdvisor, advise_from_data
+from repro.obs import Tracer, one_line, read_trace, render, summarize
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -167,6 +170,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "a repeated batch over the same workloads "
                             "reports 0 sample materializations (all "
                             "tiers served from disk)")
+    batch.add_argument("--trace", default=None, metavar="FILE",
+                       help="record a JSONL span trace of the run to "
+                            "FILE and print a one-line summary to "
+                            "stderr; estimates are bit-identical with "
+                            "tracing on or off")
 
     advise = commands.add_parser(
         "advise",
@@ -215,6 +223,29 @@ def _build_parser() -> argparse.ArgumentParser:
                              "from disk")
     advise.add_argument("--indent", type=int, default=2,
                         help="JSON output indentation (default: 2)")
+    advise.add_argument("--trace", default=None, metavar="FILE",
+                        help="record a JSONL span trace of the run to "
+                             "FILE and print a one-line summary to "
+                             "stderr; the selected design is "
+                             "bit-identical with tracing on or off")
+
+    trace = commands.add_parser(
+        "trace",
+        help="inspect JSONL span traces recorded with --trace")
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+    trace_summarize = trace_commands.add_parser(
+        "summarize",
+        help="per-phase time breakdown, unit accounting, straggler "
+             "analysis, and the top-N slowest units of one trace")
+    trace_summarize.add_argument("trace_file",
+                                 help="path to a trace JSONL file")
+    trace_summarize.add_argument("--top", type=int, default=10,
+                                 help="slowest-units table size "
+                                      "(default: 10)")
+    trace_summarize.add_argument("--format", choices=("text", "json"),
+                                 default="text", dest="fmt",
+                                 help="output format (default: text)")
 
     cache = commands.add_parser(
         "cache",
@@ -519,6 +550,12 @@ def _build_batch_request(position: int, item: Any,
         **kwargs)
 
 
+def _close_and_summarize(tracer: Tracer, path: str) -> None:
+    """Finish a ``--trace`` run: flush the file, one-liner to stderr."""
+    tracer.close()
+    print(one_line(summarize(read_trace(path))), file=sys.stderr)
+
+
 def _cmd_estimate_batch(args: argparse.Namespace) -> str:
     spec = _load_batch_spec(args.spec)
     workload_specs = spec.get("workloads")
@@ -534,12 +571,17 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> str:
     seed = args.seed if args.seed is not None else int(spec.get("seed", 0))
     executor_name = args.executor or spec.get("executor", "serial")
     store_dir = args.store_dir or spec.get("store_dir")
+    tracer = (Tracer.to_path(args.trace) if args.trace is not None
+              else None)
     engine = EstimationEngine(
         seed=seed,
         executor=_cli_executor(executor_name, args.workers),
-        store=store_dir)
+        store=store_dir,
+        tracer=tracer)
     plan = engine.plan(requests)
     batch = engine.execute(plan)
+    if tracer is not None:
+        _close_and_summarize(tracer, args.trace)
     results = []
     for request, result in zip(requests, batch.results):
         values = result.values
@@ -664,12 +706,17 @@ def _cmd_advise(args: argparse.Namespace) -> str:
         "storage_bound_bytes": float(bound),
         "store_dir": store_dir,
     }
+    tracer = (Tracer.to_path(args.trace) if args.trace is not None
+              else None)
     if args.what_if:
         advisor = WhatIfAdvisor(
             tables, queries, algorithms=algorithms, fraction=fraction,
             max_trials=trials, seed=seed, executor=executor,
-            store=store_dir, prune=args.prune, adaptive=args.adaptive)
+            store=store_dir, prune=args.prune, adaptive=args.adaptive,
+            tracer=tracer)
         result = advisor.advise(float(bound))
+        if tracer is not None:
+            _close_and_summarize(tracer, args.trace)
         payload["prune"] = args.prune
         payload["adaptive"] = args.adaptive
         payload["what_if"] = result.report.as_dict()
@@ -680,6 +727,15 @@ def _cmd_advise(args: argparse.Namespace) -> str:
                          "sample_cache_hits", "whatif_rounds",
                          "whatif_pruned", "whatif_early_stops",
                          "whatif_trials_saved")}
+    elif tracer is not None:
+        # A traced eager run builds the engine here so the tracer rides
+        # along; engine= then carries seed/executor/store itself.
+        engine = EstimationEngine(seed=seed, executor=executor,
+                                  store=store_dir, tracer=tracer)
+        result = advise_from_data(
+            tables, queries, float(bound), algorithms=algorithms,
+            fraction=fraction, trials=trials, engine=engine)
+        _close_and_summarize(tracer, args.trace)
     else:
         result = advise_from_data(
             tables, queries, float(bound), algorithms=algorithms,
@@ -695,6 +751,24 @@ def _cmd_advise(args: argparse.Namespace) -> str:
     })
     indent = args.indent if args.indent and args.indent > 0 else None
     return json.dumps(payload, indent=indent)
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    """``trace summarize``: report over one recorded JSONL trace."""
+    try:
+        records = read_trace(args.trace_file)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot read trace {args.trace_file!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ReproError(
+            f"trace {args.trace_file!r} is not valid JSONL: {exc}")
+    if not records:
+        raise ReproError(f"trace {args.trace_file!r} is empty")
+    summary = summarize(records, top=args.top)
+    if args.fmt == "json":
+        return json.dumps(summary, indent=2)
+    return render(summary)
 
 
 def _cmd_cache(args: argparse.Namespace) -> str:
@@ -820,6 +894,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _cmd_estimate_batch(args)
         elif args.command == "advise":
             output = _cmd_advise(args)
+        elif args.command == "trace":
+            output = _cmd_trace(args)
         elif args.command == "cache":
             output = _cmd_cache(args)
         elif args.command == "worker":

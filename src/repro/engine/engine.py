@@ -40,8 +40,10 @@ from repro.engine.requests import (BatchResult, EstimationRequest,
                                    RequestResult)
 from repro.engine.samples import EngineStats, SampleCache
 from repro.engine.units import UnitContext, plan_units
+from repro.obs import NULL_TRACER, absorb_engine_stats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import NullTracer, Tracer
     from repro.store.store import SampleStore
 
 
@@ -86,6 +88,13 @@ class EstimationEngine:
         sample-on-disk -> materialize, and new samples/estimates are
         written through — which is what lets a *different process* (or
         a later run) warm-start instead of re-drawing.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`: every ``execute`` emits
+        nested spans (``engine.execute`` -> ``plan.build`` ->
+        ``unit.run`` -> ...) into it, across whichever executor runs
+        the units. The default :data:`~repro.obs.NULL_TRACER` keeps
+        the hot path allocation-free, and estimates are bit-identical
+        with tracing on or off (locked by the determinism suite).
     """
 
     def __init__(self, seed: SeedLike = 0,
@@ -93,6 +102,7 @@ class EstimationEngine:
                  sample_cache_size: int | None = None,
                  sample_cache_bytes: int | None = None,
                  store: "SampleStore | str | os.PathLike | None" = None,
+                 tracer: "Tracer | NullTracer | None" = None,
                  ) -> None:
         self.master_seed = _resolve_master_seed(seed)
         if isinstance(executor, str):
@@ -105,6 +115,7 @@ class EstimationEngine:
             store = open_store(store)
         self.store: "SampleStore | None" = store
         self.stats = EngineStats(cache=self.cache)
+        self.tracer: "Tracer | NullTracer" = tracer or NULL_TRACER
 
     # ------------------------------------------------------------------
     # Planning
@@ -141,34 +152,54 @@ class EstimationEngine:
         :func:`default_engine`) each report exactly their own batch's
         movement instead of interleaved snapshot deltas.
         """
-        if isinstance(requests, EstimationPlan):
-            plan = requests
-        else:
-            plan = self.plan(requests)
-        if isinstance(executor, str):
-            executor = make_executor(executor)
-        runner = executor or self.executor
-        local = EngineStats()
-        local.add("requests", plan.num_requests)
-        local.add("unique_requests", plan.num_unique)
-        local.add("trials", plan.num_units)
-        units = plan_units(plan)
-        context = UnitContext(cache=self.cache, stats=local,
-                              store=self.store)
-        values = runner.run(units, context)
-        estimates_by_node: list[tuple[SampleCFEstimate, ...]] = []
-        cursor = 0
-        for node in plan.nodes:
-            estimates_by_node.append(
-                tuple(values[cursor:cursor + node.trials]))
-            cursor += node.trials
-        slots: list[RequestResult | None] = [None] * plan.num_requests
-        for node, estimates in zip(plan.nodes, estimates_by_node):
-            for position in node.positions:
-                slots[position] = RequestResult(request=node.request,
-                                                estimates=estimates)
-        self.stats.merge(local)
-        return BatchResult(results=tuple(slots), stats=local.snapshot())
+        tracer = self.tracer
+        with tracer.span("engine.execute") as batch_span:
+            if isinstance(requests, EstimationPlan):
+                plan = requests
+            else:
+                with tracer.span("plan.build"):
+                    plan = self.plan(requests)
+            if isinstance(executor, str):
+                executor = make_executor(executor)
+            runner = executor or self.executor
+            local = EngineStats(cache=self.cache)
+            local.add("requests", plan.num_requests)
+            local.add("unique_requests", plan.num_unique)
+            local.add("trials", plan.num_units)
+            units = plan_units(plan)
+            batch_span.annotate(requests=plan.num_requests,
+                                units=plan.num_units,
+                                executor=runner.name)
+            context = UnitContext(cache=self.cache, stats=local,
+                                  store=self.store, tracer=tracer)
+            store_before = (dict(self.store.counters)
+                            if tracer.enabled and self.store is not None
+                            else None)
+            values = runner.run(units, context)
+            estimates_by_node: list[tuple[SampleCFEstimate, ...]] = []
+            cursor = 0
+            for node in plan.nodes:
+                estimates_by_node.append(
+                    tuple(values[cursor:cursor + node.trials]))
+                cursor += node.trials
+            slots: list[RequestResult | None] = [None] * plan.num_requests
+            for node, estimates in zip(plan.nodes, estimates_by_node):
+                for position in node.positions:
+                    slots[position] = RequestResult(request=node.request,
+                                                    estimates=estimates)
+            self.stats.merge(local)
+            if tracer.enabled:
+                absorb_engine_stats(tracer.metrics, self.stats)
+                if store_before is not None:
+                    after = self.store.counters
+                    for name in ("bytes_read", "bytes_written"):
+                        moved = after.get(name, 0) \
+                            - store_before.get(name, 0)
+                        if moved:
+                            tracer.metrics.counter(
+                                f"store.{name}").inc(moved)
+            return BatchResult(results=tuple(slots),
+                               stats=local.as_dict())
 
     def estimate(self, request: EstimationRequest) -> RequestResult:
         """Single-request convenience over :meth:`execute`."""

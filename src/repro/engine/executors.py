@@ -39,6 +39,7 @@ from typing import Protocol, Sequence
 from repro.errors import EstimationError
 from repro.engine.samples import EngineStats, SampleCache
 from repro.engine.units import PlanUnit, UnitContext, run_plan_unit
+from repro.obs import NULL_TRACER, SpanContext, Tracer
 
 
 class PlanExecutor(Protocol):
@@ -83,13 +84,30 @@ class ThreadPoolPlanExecutor:
 
     def run(self, units: Sequence[PlanUnit],
             context: UnitContext | None = None) -> list:
+        # Pool threads have no open spans, so when tracing they must
+        # re-attach under the caller's current span (engine.execute)
+        # or every unit span would float at the trace root.
+        parent = (context.tracer.current_context()
+                  if context is not None and context.tracer.enabled
+                  else None)
         with concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.max_workers) as pool:
-            futures = [pool.submit(unit, context) for unit in units]
+            if parent is not None:
+                futures = [pool.submit(_run_attached, unit, context,
+                                       parent) for unit in units]
+            else:
+                futures = [pool.submit(unit, context) for unit in units]
             return [future.result() for future in futures]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadPoolPlanExecutor(max_workers={self.max_workers})"
+
+
+def _run_attached(unit: PlanUnit, context: UnitContext,
+                  parent: SpanContext) -> object:
+    """Run one unit on a foreign thread, re-parented under ``parent``."""
+    with context.tracer.attach(parent):
+        return unit(context)
 
 
 # ----------------------------------------------------------------------
@@ -99,9 +117,14 @@ class ThreadPoolPlanExecutor:
 _WORKER_UNITS: tuple[PlanUnit, ...] = ()
 #: Per-worker-process runtime state (private cache + local counters).
 _WORKER_CONTEXT: UnitContext | None = None
+#: Per-worker-process span collector; ``None`` when the batch is
+#: untraced (the common case — workers then skip trace plumbing
+#: entirely and return two-element results).
+_WORKER_TRACER: Tracer | None = None
 
 
-def _init_worker(blob: bytes, store_blob: bytes | None = None) -> None:
+def _init_worker(blob: bytes, store_blob: bytes | None = None,
+                 trace_ctx: SpanContext | None = None) -> None:
     """Pool initializer: install this worker's units and context.
 
     The unit list arrives as one pre-pickled blob so sources shared by
@@ -112,25 +135,38 @@ def _init_worker(blob: bytes, store_blob: bytes | None = None) -> None:
     on the same directory), so all workers share one disk tier instead
     of private cold caches — a sample any worker materializes is a disk
     hit for every other worker, and for every later run.
+
+    When the parent batch is traced, ``trace_ctx`` carries the parent
+    span's identity: this worker's spans buffer in a collector rooted
+    under it and ship home with each unit result, where the parent
+    tracer adopts them (see :meth:`repro.obs.Tracer.adopt`).
     """
-    global _WORKER_UNITS, _WORKER_CONTEXT
+    global _WORKER_UNITS, _WORKER_CONTEXT, _WORKER_TRACER
     _WORKER_UNITS = tuple(pickle.loads(blob))
     store = pickle.loads(store_blob) if store_blob is not None else None
+    _WORKER_TRACER = (Tracer.collector(trace_ctx)
+                      if trace_ctx is not None else None)
     _WORKER_CONTEXT = UnitContext(cache=SampleCache(),
-                                  stats=EngineStats(), store=store)
+                                  stats=EngineStats(), store=store,
+                                  tracer=_WORKER_TRACER
+                                  if _WORKER_TRACER is not None
+                                  else NULL_TRACER)
 
 
-def _run_worker_unit(position: int) -> tuple[object, dict]:
-    """Run one unit in a worker; returns (estimate, stats delta).
+def _run_worker_unit(position: int) -> tuple:
+    """Run one unit in a worker; returns (estimate, stats delta[, spans]).
 
     Workers are single-threaded, so a before/after snapshot of the
-    worker-local stats is an exact per-unit delta.
+    worker-local stats is an exact per-unit delta. Traced workers
+    append a third element: the span records this unit produced.
     """
     context = _WORKER_CONTEXT
     assert context is not None, "worker initializer did not run"
     before = context.stats.snapshot()
     estimate = run_plan_unit(_WORKER_UNITS[position], context)
     delta = EngineStats.delta(before, context.stats.snapshot())
+    if _WORKER_TRACER is not None:
+        return estimate, delta, _WORKER_TRACER.drain()
     return estimate, delta
 
 
@@ -210,16 +246,27 @@ class ProcessPoolPlanExecutor:
                       if context.store is not None else None)
         mp_context = multiprocessing.get_context(self.start_method)
         workers = min(self.max_workers, len(shipped))
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers, mp_context=mp_context,
-                initializer=_init_worker,
-                initargs=(blob, store_blob)) as pool:
-            futures = [pool.submit(_run_worker_unit, j)
-                       for j in range(len(shipped))]
-            for position, future in zip(remote, futures):
-                estimate, delta = future.result()
-                results[position] = estimate
-                context.stats.merge(delta)
+        tracer = context.tracer
+        with tracer.span("pool.run", workers=workers,
+                         units=len(shipped)) as pool_span:
+            initargs: tuple = (blob, store_blob)
+            if tracer.enabled:
+                # Worker spans re-parent under this pool.run span: its
+                # context ships via the initializer, collectors return
+                # per-unit records, and the parent adopts them here.
+                initargs = (blob, store_blob, pool_span.context)
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers, mp_context=mp_context,
+                    initializer=_init_worker,
+                    initargs=initargs) as pool:
+                futures = [pool.submit(_run_worker_unit, j)
+                           for j in range(len(shipped))]
+                for position, future in zip(remote, futures):
+                    estimate, delta, *extra = future.result()
+                    results[position] = estimate
+                    context.stats.merge(delta)
+                    if extra:
+                        tracer.adopt(extra[0])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ProcessPoolPlanExecutor("

@@ -47,10 +47,18 @@ parent -> worker               worker -> parent
 ``install`` may repeat on one connection (work stealing appends to the
 worker's unit table); each unit therefore ships at most twice — once to
 its LPT home, once more if stolen or reassigned after a failure.
+
+Traced batches extend ``run`` with an optional third element — the
+parent ``chunk.run`` span's :class:`~repro.obs.SpanContext` — and the
+worker then appends a fourth ``results`` element: the span records its
+units produced, rooted under that context (the parent adopts them into
+its trace). Untraced frames keep the exact three/two-element shapes
+above, so old parents and workers interoperate.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import socket
@@ -67,6 +75,7 @@ from repro.errors import EstimationError
 from repro.sampling.base import rows_for_fraction
 from repro.engine.samples import EngineStats, SampleCache
 from repro.engine.units import PlanUnit, UnitContext, run_plan_unit
+from repro.obs import SpanContext, Tracer
 
 #: Environment variable ``make_executor("remote")`` reads worker
 #: addresses from (comma-separated ``host:port`` pairs), so string
@@ -317,7 +326,9 @@ def handle_connection(sock: socket.socket, state: WorkerState) -> str:
             send_frame(sock, ("installed", len(pairs)))
         elif kind == "run":
             try:
-                reply = _run_positions(message[1], units, state)
+                reply = _run_positions(
+                    message[1], units, state,
+                    message[2] if len(message) > 2 else None)
             except KeyError as exc:
                 # A protocol error, not a crash: tell the parent (it
                 # buries this worker) instead of dying replyless.
@@ -331,8 +342,17 @@ def handle_connection(sock: socket.socket, state: WorkerState) -> str:
 
 
 def _run_positions(positions: Sequence[int], units: dict[int, PlanUnit],
-                   state: WorkerState) -> tuple:
+                   state: WorkerState,
+                   trace_ctx: SpanContext | None = None) -> tuple:
     context = state.context
+    collector: Tracer | None = None
+    if trace_ctx is not None:
+        # Traced chunk: spans buffer in a per-call collector rooted
+        # under the parent's chunk.run span. The shared WorkerState
+        # context is replaced, not mutated — concurrent connections
+        # (and untraced ones) keep their own tracer.
+        collector = Tracer.collector(trace_ctx)
+        context = dataclasses.replace(context, tracer=collector)
     before = context.stats.snapshot()
     out = []
     for position in positions:
@@ -347,6 +367,8 @@ def _run_positions(positions: Sequence[int], units: dict[int, PlanUnit],
                     time.perf_counter() - started))
         state.executed_units += 1
     delta = EngineStats.delta(before, context.stats.snapshot())
+    if collector is not None:
+        return ("results", out, delta, collector.drain())
     return ("results", out, delta)
 
 
@@ -677,46 +699,108 @@ class RemotePlanExecutor:
             link.queue.extend(positions[index] for index in shard)
         state = _DispatchState(units=units, results=results,
                                context=context, links=links)
-        threads = [threading.Thread(target=self._drive_worker,
-                                    args=(link, state), daemon=True)
-                   for link in links]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        tracer = context.tracer
+        with tracer.span("shard.dispatch", workers=len(links),
+                         units=len(positions),
+                         scheduler=self.scheduler) as dispatch_span:
+            parent_ctx = (dispatch_span.context if tracer.enabled
+                          else None)
+            threads = [threading.Thread(target=self._drive_worker,
+                                        args=(link, state, parent_ctx),
+                                        daemon=True)
+                       for link in links]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        self._publish_calibration(state, context)
         with state.lock:
             leftover = [position for position in positions
                         if position not in state.done]
         return leftover
 
-    def _drive_worker(self, link: _WorkerLink,
-                      state: _DispatchState) -> None:
+    def _drive_worker(self, link: _WorkerLink, state: _DispatchState,
+                      parent_ctx: SpanContext | None = None) -> None:
+        tracer = state.context.tracer
+        worker_name = f"{link.address[0]}:{link.address[1]}"
         try:
-            while True:
-                chunk = self._next_chunk(link, state)
-                if not chunk:
-                    return
-                self._ship_missing(link, state, chunk)
-                reply = link.request(("run", chunk))
-                if reply[0] != "results":
-                    raise ConnectionError(
-                        f"unexpected reply {reply[0]!r} from "
-                        f"{link.address}")
-                _, rows, delta = reply
-                with state.lock:
-                    for position, estimate, seconds in rows:
-                        state.results[position] = estimate
-                        state.done.add(position)
-                        self.cost_model.observe(state.units[position],
-                                                seconds)
-                    state.in_flight.pop(link, None)
-                state.context.stats.merge(delta)
-                state.context.stats.add("remote_units", len(rows))
+            # Driver threads run outside the dispatching thread's span
+            # stack; re-attach under shard.dispatch so chunk spans nest.
+            with tracer.attach(parent_ctx):
+                while True:
+                    chunk = self._next_chunk(link, state)
+                    if not chunk:
+                        return
+                    self._ship_missing(link, state, chunk)
+                    with tracer.span("chunk.run", worker=worker_name,
+                                     units=len(chunk)) as chunk_span:
+                        if tracer.enabled:
+                            reply = link.request(
+                                ("run", chunk, chunk_span.context))
+                        else:
+                            reply = link.request(("run", chunk))
+                        if reply[0] != "results":
+                            raise ConnectionError(
+                                f"unexpected reply {reply[0]!r} from "
+                                f"{link.address}")
+                        _, rows, delta, *spans = reply
+                        with state.lock:
+                            for position, estimate, seconds in rows:
+                                state.results[position] = estimate
+                                state.done.add(position)
+                                unit = state.units[position]
+                                predicted = \
+                                    self.cost_model.predict_seconds(unit)
+                                if predicted is not None and seconds > 0:
+                                    state.predicted_error_abs += abs(
+                                        predicted - seconds) / seconds
+                                    state.predicted_seconds += predicted
+                                    state.compared_units += 1
+                                state.observed_seconds += seconds
+                                state.observed_units += 1
+                                self.cost_model.observe(unit, seconds)
+                            state.in_flight.pop(link, None)
+                    if spans:
+                        tracer.adopt(spans[0])
+                    state.context.stats.merge(delta)
+                    state.context.stats.add("remote_units", len(rows))
         except (ConnectionError, OSError, socket.timeout,
                 pickle.PickleError, EstimationError):
             self._bury_worker(link, state)
         finally:
             link.close()
+
+    def _publish_calibration(self, state: _DispatchState,
+                             context: UnitContext) -> None:
+        """Expose cost-model calibration as gauges on the batch stats.
+
+        ``cost_model.seconds_per_cost.<algorithm>`` is the EMA rate the
+        model converged to; ``cost_model.mean_abs_rel_error`` is the
+        mean |predicted - observed| / observed over units that had a
+        prediction *before* their observation folded in — the metric
+        ``bench_remote_executor`` asserts calibration quality on.
+        """
+        with state.lock:
+            observed_units = state.observed_units
+            compared = state.compared_units
+            error = state.predicted_error_abs
+            observed_seconds = state.observed_seconds
+        if not observed_units:
+            return
+        stats = context.stats
+        for name, rate in self.cost_model.snapshot().items():
+            stats.set_gauge(f"cost_model.seconds_per_cost.{name}", rate)
+        stats.set_gauge("cost_model.observed_units", observed_units)
+        stats.set_gauge("cost_model.observed_seconds", observed_seconds)
+        if compared:
+            stats.set_gauge("cost_model.mean_abs_rel_error",
+                            error / compared)
+            stats.set_gauge("cost_model.compared_units", compared)
+        if context.tracer.enabled:
+            registry = context.tracer.metrics
+            for name, value in stats.gauges().items():
+                if name.startswith("cost_model."):
+                    registry.gauge(name).set(value)
 
     def _next_chunk(self, link: _WorkerLink,
                     state: _DispatchState) -> list[int]:
@@ -750,12 +834,16 @@ class RemotePlanExecutor:
     def _steal_into(self, thief: _WorkerLink,
                     state: _DispatchState) -> None:
         """Move work into an idle worker's queue (caller holds lock)."""
+        thief_name = f"{thief.address[0]}:{thief.address[1]}"
         if state.orphans:
             take = min(len(state.orphans),
                        max(self.chunk_units, len(state.orphans) // 2))
             for _ in range(take):
                 thief.queue.append(state.orphans.popleft())
             state.context.stats.add("remote_retried_units", take)
+            state.context.tracer.event(
+                "steal", thief=thief_name, source="orphans", units=take,
+                orphans_left=len(state.orphans))
             return
         if not self.steal:
             return
@@ -768,6 +856,10 @@ class RemotePlanExecutor:
         for _ in range(take):
             thief.queue.append(victim.queue.pop())  # steal the tail
         state.context.stats.add("remote_steals", 1)
+        state.context.tracer.event(
+            "steal", thief=thief_name, source="victim",
+            victim=f"{victim.address[0]}:{victim.address[1]}",
+            units=take, victim_left=len(victim.queue))
 
     def _ship_missing(self, link: _WorkerLink, state: _DispatchState,
                       chunk: list[int]) -> None:
@@ -803,6 +895,10 @@ class RemotePlanExecutor:
             link.queue.clear()
             state.orphans.extend(requeue)
         state.context.stats.add("remote_worker_failures", 1)
+        state.context.tracer.event(
+            "worker.failed",
+            worker=f"{link.address[0]}:{link.address[1]}",
+            requeued=len(requeue))
 
     # -- local fallback ------------------------------------------------
     def _run_local_fallback(self, units: list[PlanUnit],
@@ -811,11 +907,14 @@ class RemotePlanExecutor:
         from repro.engine.executors import ProcessPoolPlanExecutor
 
         subset = [units[position] for position in positions]
-        try:
-            values = ProcessPoolPlanExecutor(
-                max_workers=self.max_local_workers).run(subset, context)
-        except EstimationError:
-            values = [run_plan_unit(unit, context) for unit in subset]
+        with context.tracer.span("remote.fallback", units=len(subset)):
+            try:
+                values = ProcessPoolPlanExecutor(
+                    max_workers=self.max_local_workers).run(subset,
+                                                            context)
+            except EstimationError:
+                values = [run_plan_unit(unit, context)
+                          for unit in subset]
         for position, value in zip(positions, values):
             results[position] = value
 
@@ -842,3 +941,11 @@ class _DispatchState:
     done: set[int] = field(default_factory=set)
     orphans: deque[int] = field(default_factory=deque)
     in_flight: dict[_WorkerLink, list[int]] = field(default_factory=dict)
+    #: Cost-model calibration accumulators (guarded by ``lock``):
+    #: summed |predicted - observed| / observed over units that had a
+    #: pre-observation prediction, plus raw observed totals.
+    predicted_error_abs: float = 0.0
+    predicted_seconds: float = 0.0
+    observed_seconds: float = 0.0
+    observed_units: int = 0
+    compared_units: int = 0

@@ -359,10 +359,19 @@ class EngineStats:
     observed mid-batch, and ``remote_fallback_units`` counts units the
     local fallback executed because no worker could.
 
-    When constructed with a ``cache`` backref, :meth:`as_dict`
-    additionally reports the memory tier's current entry count, byte
-    load, and both bounds as gauges (they are not counters and never
-    participate in :meth:`merge`).
+    Counters are not the only series: :meth:`set_gauge` stores named
+    point-in-time values (cost-model calibration rates, queue depths)
+    that :meth:`gauges` reports alongside the computed sample-cache
+    gauges when a ``cache`` backref is attached. :meth:`as_dict` keeps
+    counters at the top level and nests every gauge under a ``gauges``
+    key so JSON consumers can tell the two apart; :meth:`snapshot`,
+    :meth:`delta`, and :meth:`merge` stay counters-only (gauges are
+    points, not movement — merging copies the other side's last-set
+    values instead of summing).
+
+    This bag is the **authoritative** engine-side accounting; the
+    :mod:`repro.obs` metrics registry only mirrors it (see
+    :func:`repro.obs.metrics.absorb_engine_stats`).
     """
 
     FIELDS = ("requests", "unique_requests", "trials",
@@ -381,6 +390,7 @@ class EngineStats:
         self._lock = threading.Lock()
         self._cache = cache
         self._counts: dict[str, int] = {name: 0 for name in self.FIELDS}
+        self._gauges: dict[str, float] = {}
 
     def add(self, name: str, amount: int = 1) -> None:
         if name not in self._counts:
@@ -391,6 +401,22 @@ class EngineStats:
     def __getitem__(self, name: str) -> int:
         with self._lock:
             return self._counts[name]
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value (not a counter; last set wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauges(self) -> dict[str, float]:
+        """Stored gauges plus the attached cache's computed size gauges."""
+        with self._lock:
+            data = dict(self._gauges)
+        if self._cache is not None:
+            data["sample_cache_size"] = len(self._cache)
+            data["sample_cache_capacity"] = self._cache.capacity
+            data["sample_cache_bytes"] = self._cache.nbytes
+            data["sample_cache_max_bytes"] = self._cache.max_bytes
+        return data
 
     def snapshot(self) -> dict[str, int]:
         """A point-in-time copy of all counters."""
@@ -410,20 +436,27 @@ class EngineStats:
         and how process-pool worker deltas reach a batch's counters —
         one atomic merge instead of racy before/after snapshots.
         """
-        counts = other.snapshot() if isinstance(other, EngineStats) \
-            else other
+        if isinstance(other, EngineStats):
+            counts = other.snapshot()
+            with other._lock:
+                gauges = dict(other._gauges)
+        else:
+            counts = other
+            gauges = {}
         with self._lock:
             for name, amount in counts.items():
                 if name not in self._counts:
                     raise EstimationError(f"unknown engine stat {name!r}")
                 self._counts[name] += amount
+            self._gauges.update(gauges)
 
     def as_dict(self) -> dict[str, Any]:
-        """Counters plus, when a cache is attached, its size gauges."""
+        """Counters at the top level, every gauge nested under ``gauges``.
+
+        The nested key is deliberate: JSON consumers (``repro cache
+        stats``, ``estimate-batch`` payloads) must be able to tell
+        summable counters from point-in-time gauges without a schema.
+        """
         data: dict[str, Any] = self.snapshot()
-        if self._cache is not None:
-            data["sample_cache_size"] = len(self._cache)
-            data["sample_cache_capacity"] = self._cache.capacity
-            data["sample_cache_bytes"] = self._cache.nbytes
-            data["sample_cache_max_bytes"] = self._cache.max_bytes
+        data["gauges"] = self.gauges()
         return data

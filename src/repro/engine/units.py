@@ -37,9 +37,11 @@ from repro.engine.requests import EstimationRequest
 from repro.engine.samples import (EngineStats, MaterializedSample,
                                   SampleCache, materialize_histogram_sample,
                                   materialize_table_sample)
+from repro.obs import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.plan import EstimationPlan
+    from repro.obs import NullTracer, Tracer
     from repro.store.store import SampleStore
 
 
@@ -51,6 +53,9 @@ class UnitContext:
     stats: EngineStats
     #: Disk tier; ``None`` keeps the engine memory-only.
     store: "SampleStore | None" = None
+    #: Span sink; the default :data:`~repro.obs.NULL_TRACER` keeps the
+    #: unit path allocation-free when tracing is off.
+    tracer: "Tracer | NullTracer" = NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -69,6 +74,11 @@ class PlanUnit:
     seed: object
     #: The trial's sample-cache key; ``None`` means uncacheable.
     sample_key: tuple | None
+    #: Position in the plan's flat unit list — the unit's identity in
+    #: trace records (``-1`` for hand-built units outside a plan).
+    #: Never part of a store key: fingerprints enumerate their fields
+    #: explicitly.
+    index: int = -1
 
     def __call__(self, context: UnitContext | None = None,
                  ) -> SampleCFEstimate:
@@ -82,11 +92,14 @@ def plan_units(plan: "EstimationPlan") -> tuple[PlanUnit, ...]:
     order executors must preserve so the engine can fan results back
     out to batch positions.
     """
+    flat = ((node, trial)
+            for node in plan.nodes for trial in range(node.trials))
     return tuple(
         PlanUnit(request=node.request, trial=trial,
                  seed=node.trial_seeds[trial],
-                 sample_key=node.sample_keys[trial])
-        for node in plan.nodes for trial in range(node.trials))
+                 sample_key=node.sample_keys[trial],
+                 index=position)
+        for position, (node, trial) in enumerate(flat))
 
 
 def run_plan_unit(unit: PlanUnit,
@@ -99,6 +112,19 @@ def run_plan_unit(unit: PlanUnit,
     """
     if context is None:
         context = UnitContext(cache=SampleCache(8), stats=EngineStats())
+    tracer = context.tracer
+    if not tracer.enabled:
+        return _execute_unit(unit, context)
+    request = unit.request
+    with tracer.span("unit.run", unit=unit.index, trial=unit.trial,
+                     algorithm=request.algorithm.name,
+                     fraction=float(request.fraction),
+                     label=request.label):
+        return _execute_unit(unit, context)
+
+
+def _execute_unit(unit: PlanUnit,
+                  context: UnitContext) -> SampleCFEstimate:
     if unit.request.is_table:
         return run_table_unit(unit, context)
     return run_histogram_unit(unit, context)
@@ -107,16 +133,23 @@ def run_plan_unit(unit: PlanUnit,
 def _sample_for(unit: PlanUnit,
                 context: UnitContext) -> MaterializedSample:
     request = unit.request
+    tracer = context.tracer
     if request.is_table:
-        def materialize() -> MaterializedSample:
+        def _draw() -> MaterializedSample:
             return materialize_table_sample(
                 request.table, request.sampler, request.fraction,
                 unit.seed)
     else:
-        def materialize() -> MaterializedSample:
+        def _draw() -> MaterializedSample:
             return materialize_histogram_sample(
                 request.histogram, request.sampler, request.fraction,
                 unit.seed)
+
+    def materialize() -> MaterializedSample:
+        with tracer.span("sample.materialize", unit=unit.index) as span:
+            sample = _draw()
+            span.annotate(rows=sample.sample_rows)
+            return sample
     if unit.sample_key is None:
         sample = materialize()
         context.stats.add("samples_materialized")
@@ -148,11 +181,15 @@ def _sample_for(unit: PlanUnit,
         meta = {"source": source_fingerprint(unit),
                 "fraction": float(request.fraction),
                 "seed": int(unit.seed)}
-        try:
-            sample, disk_hit = store.get_or_create_sample(
-                sample_store_key(unit), materialize, meta)
-        except StoreError:
-            return materialize()
+        with tracer.span("store.get", kind="sample",
+                         unit=unit.index) as span:
+            try:
+                sample, disk_hit = store.get_or_create_sample(
+                    sample_store_key(unit), materialize, meta)
+            except StoreError:
+                span.annotate(hit=False, error=True)
+                return materialize()
+            span.annotate(hit=disk_hit)
         tier["disk_hit"] = disk_hit
         tier["stored"] = not disk_hit
         return sample
@@ -184,16 +221,22 @@ def _estimate_tier(unit: PlanUnit, context: UnitContext):
     return context.store, estimate_store_key(unit)
 
 
-def _stored_estimate(store, key) -> SampleCFEstimate | None:
+def _stored_estimate(unit: PlanUnit, context: UnitContext, store,
+                     key) -> SampleCFEstimate | None:
     if store is None:
         return None
     from repro.errors import StoreError
 
-    try:
-        cached = store.get_estimate(key)
-    except StoreError:  # unreadable store == miss, never a crash
-        return None
-    if isinstance(cached, SampleCFEstimate):
+    with context.tracer.span("store.get", kind="estimate",
+                             unit=unit.index) as span:
+        try:
+            cached = store.get_estimate(key)
+        except StoreError:  # unreadable store == miss, never a crash
+            span.annotate(hit=False, error=True)
+            return None
+        hit = isinstance(cached, SampleCFEstimate)
+        span.annotate(hit=hit)
+    if hit:
         return cached
     return None
 
@@ -205,12 +248,14 @@ def _persist_estimate(unit: PlanUnit, context: UnitContext, store, key,
     from repro.errors import StoreError
     from repro.store.fingerprint import source_fingerprint
 
-    try:
-        store.put_estimate(key, estimate,
-                           meta={"source": source_fingerprint(unit),
-                                 "algorithm": estimate.algorithm})
-    except StoreError:  # a cache-tier write failure loses only reuse
-        return
+    with context.tracer.span("store.put", kind="estimate",
+                             unit=unit.index):
+        try:
+            store.put_estimate(key, estimate,
+                               meta={"source": source_fingerprint(unit),
+                                     "algorithm": estimate.algorithm})
+        except StoreError:  # a cache-tier write failure loses only reuse
+            return
     context.stats.add("estimate_store_writes")
 
 
@@ -219,7 +264,7 @@ def run_table_unit(unit: PlanUnit,
     """The literal Figure 2 path: sample rows, index them, compress."""
     request = unit.request
     store, estimate_key = _estimate_tier(unit, context)
-    cached = _stored_estimate(store, estimate_key)
+    cached = _stored_estimate(unit, context, store, estimate_key)
     if cached is not None:
         context.stats.add("estimate_store_hits")
         return cached
@@ -232,11 +277,13 @@ def run_table_unit(unit: PlanUnit,
     # Size-only path: the estimator consumes sizes, not blobs, so the
     # vectorized kernels compute payloads directly (bit-identical to
     # compress(); the parity suite and the store contract rely on it).
-    result = entry.index.estimate_compression(
-        request.algorithm, accounting=request.accounting,
-        repack_pages=request.repack,
-        on_kernel=lambda: context.stats.add("size_kernel_hits"),
-        on_fallback=lambda: context.stats.add("size_scalar_fallbacks"))
+    with context.tracer.span("kernel.size", unit=unit.index,
+                             algorithm=request.algorithm.name):
+        result = entry.index.estimate_compression(
+            request.algorithm, accounting=request.accounting,
+            repack_pages=request.repack,
+            on_kernel=lambda: context.stats.add("size_kernel_hits"),
+            on_fallback=lambda: context.stats.add("size_scalar_fallbacks"))
     context.stats.add("estimates_computed")
     estimate = SampleCFEstimate(
         estimate=result.compression_fraction,
@@ -259,7 +306,7 @@ def run_histogram_unit(unit: PlanUnit,
     """The closed-form fast path over a sampled histogram."""
     request = unit.request
     store, estimate_key = _estimate_tier(unit, context)
-    cached = _stored_estimate(store, estimate_key)
+    cached = _stored_estimate(unit, context, store, estimate_key)
     if cached is not None:
         context.stats.add("estimate_store_hits")
         return cached

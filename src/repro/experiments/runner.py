@@ -93,7 +93,7 @@ def sweep(parameters: Iterable[Any],
 def _resolve_engine(engine: "EstimationEngine | None",
                     seed: SeedLike,
                     store: "SampleStore | str | None" = None,
-                    ) -> "EstimationEngine":
+                    tracer: object = None) -> "EstimationEngine":
     from repro.engine.engine import EstimationEngine  # lazy: cycle guard
 
     if engine is not None:
@@ -105,9 +105,13 @@ def _resolve_engine(engine: "EstimationEngine | None",
             raise ExperimentError(
                 "pass either engine= or store=, not both: a supplied "
                 "engine already decided its persistence tier")
+        if tracer is not None:
+            raise ExperimentError(
+                "pass either engine= or tracer=, not both: a supplied "
+                "engine already carries its tracer")
         return engine
     return EstimationEngine(seed=seed if seed is not None else 0,
-                            store=store)
+                            store=store, tracer=tracer)
 
 
 def run_request_trials(request: "EstimationRequest",
@@ -244,7 +248,7 @@ def engine_sweep(parameters: Iterable[Any],
                  seed: SeedLike = None,
                  executor: "PlanExecutor | str | None" = None,
                  store: "SampleStore | str | None" = None,
-                 ) -> list[SweepPoint]:
+                 tracer: object = None) -> list[SweepPoint]:
     """Evaluate an estimator grid as **one** shared-sample batch.
 
     ``make_truth_and_request(parameter)`` returns ``(truth, request,
@@ -257,12 +261,14 @@ def engine_sweep(parameters: Iterable[Any],
     changing any estimate. ``store`` (a
     :class:`~repro.store.store.SampleStore` or directory path) lets
     whole artefact regenerations warm-start from samples and estimates
-    persisted by earlier sweeps.
+    persisted by earlier sweeps. ``tracer`` (a
+    :class:`~repro.obs.Tracer`) records the sweep's spans; mutually
+    exclusive with ``engine=`` like ``seed``/``store``.
     """
     if trials <= 0:
         raise ExperimentError(f"need a positive trial count, got {trials}")
     parameters = list(parameters)
-    resolved = _resolve_engine(engine, seed, store)
+    resolved = _resolve_engine(engine, seed, store, tracer)
     truths: list[float] = []
     extras: list[dict] = []
     requests: list["EstimationRequest"] = []

@@ -162,6 +162,7 @@ class SampleStore:
             "sample_hits": 0, "sample_misses": 0, "sample_writes": 0,
             "estimate_hits": 0, "estimate_misses": 0,
             "estimate_writes": 0, "quarantined": 0, "evicted": 0,
+            "bytes_read": 0, "bytes_written": 0,
         }
         self._init_layout()
 
@@ -253,6 +254,7 @@ class SampleStore:
             ) from exc
         if self.max_bytes is not None:
             self._note_write(len(blob))
+        self._count("bytes_written", len(blob))
         return len(blob)
 
     def _read_entry(self, kind: str, key: str) -> Any | None:
@@ -264,6 +266,7 @@ class SampleStore:
         except OSError as exc:
             raise StoreError(
                 f"cannot read store entry {path}: {exc}") from exc
+        self._count("bytes_read", len(blob))
         try:
             _meta, payload = _unpack_envelope(blob)
             value = pickle.loads(payload)

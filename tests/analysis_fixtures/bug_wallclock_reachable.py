@@ -1,0 +1,29 @@
+# repro-lint-fixture: expect=RPL001
+# repro-lint-fixture: roots=run_unit
+"""Wall-clock on the estimate path, outside the observability layer.
+
+``repro.obs`` is the one sanctioned home for clock reads (span
+timestamps never feed an estimate); this fixture reintroduces the
+pattern the exemption must NOT cover — a ``time.time()`` call in an
+ordinary unit-reachable module. The ``entropy-exempt`` twin
+(``ok_wallclock_exempt_module.py``) shows the same code going silent
+once its module is declared part of the observability tree.
+"""
+
+import time
+
+
+def _stamp_result(value: float) -> tuple[float, float]:
+    # The bug: a wall-clock read two calls deep on the unit path. Even
+    # when the timestamp is "just metadata", it lands in a payload the
+    # replay comparator hashes — estimates stop being bit-identical.
+    return value, time.time()
+
+
+def _finalize(value: float) -> tuple[float, float]:
+    return _stamp_result(value)
+
+
+def run_unit(unit: float) -> tuple[float, float]:
+    """Fixture stand-in for ``repro.engine.units.run_plan_unit``."""
+    return _finalize(unit)

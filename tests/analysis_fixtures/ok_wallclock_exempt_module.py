@@ -1,0 +1,26 @@
+# repro-lint-fixture: roots=run_unit
+# repro-lint-fixture: entropy-exempt=ok_wallclock_exempt_module
+"""The sanctioned wall-clock home: exempt module, silent linter.
+
+The same reachable ``time.time()`` as ``bug_wallclock_reachable.py``,
+but this module is declared entropy-exempt — the fixture analogue of
+``repro.obs``, where span timestamps live by design. The exemption is
+per *module*, not per call site: anything the tracing layer does with
+clocks is fine precisely because its output never feeds an estimate.
+"""
+
+import time
+
+
+def _span_timestamp(value: float) -> tuple[float, float]:
+    # Sanctioned: this module is the fixture's observability layer.
+    return value, time.time()
+
+
+def _finalize(value: float) -> tuple[float, float]:
+    return _span_timestamp(value)
+
+
+def run_unit(unit: float) -> tuple[float, float]:
+    """Fixture stand-in for ``repro.engine.units.run_plan_unit``."""
+    return _finalize(unit)

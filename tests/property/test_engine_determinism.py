@@ -209,3 +209,49 @@ class TestRemoteDeterminism:
         assert fingerprint(batch) == fingerprint(serial)
         assert batch.stats["remote_fallback_units"] > 0
         assert batch.stats["remote_units"] == 0
+
+
+class TestTracedDeterminism:
+    """Tracing observes the run; it must never perturb the numbers.
+
+    The ``--trace`` contract: estimates are bit-identical with tracing
+    on or off, on every executor — the tracer only ever *reads* the
+    execution (span timestamps live in ``repro.obs``, outside the unit
+    path the entropy linter audits).
+    """
+
+    def _traced(self, executor, tmp_path):
+        from repro.obs import Tracer, read_trace
+
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer.to_path(path)
+        engine = EstimationEngine(seed=MASTER_SEED, executor=executor,
+                                  tracer=tracer)
+        batch = engine.execute(build_requests())
+        tracer.close()
+        return batch, read_trace(path)
+
+    def test_traced_serial_identical(self, reference, tmp_path):
+        batch, records = self._traced(SerialExecutor(), tmp_path)
+        assert fingerprint(batch) == reference
+        assert any(r.get("name") == "unit.run" for r in records)
+
+    def test_traced_process_identical(self, reference, tmp_path):
+        batch, records = self._traced(ProcessPoolPlanExecutor(2),
+                                      tmp_path)
+        assert fingerprint(batch) == reference
+        # Worker-side spans came home across the pickle boundary.
+        assert any(r.get("adopted") for r in records)
+
+    def test_traced_remote_identical(self, reference, tmp_path):
+        started = [start_worker_thread() for _ in range(2)]
+        try:
+            executor = RemotePlanExecutor(
+                workers=[address for address, _ in started],
+                chunk_units=2)
+            batch, records = self._traced(executor, tmp_path)
+            assert fingerprint(batch) == reference
+            assert any(r.get("name") == "chunk.run" for r in records)
+        finally:
+            for _, shutdown in started:
+                shutdown()

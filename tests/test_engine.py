@@ -299,8 +299,8 @@ class TestSampleCacheBytes:
     def test_byte_gauges_in_stats(self):
         engine = EstimationEngine(seed=3, sample_cache_bytes=12345)
         data = engine.stats.as_dict()
-        assert data["sample_cache_max_bytes"] == 12345
-        assert data["sample_cache_bytes"] == 0
+        assert data["gauges"]["sample_cache_max_bytes"] == 12345
+        assert data["gauges"]["sample_cache_bytes"] == 0
 
 
 class TestEngineSharing:

@@ -190,11 +190,11 @@ class TestCacheConfiguration:
         engine = EstimationEngine(seed=1, sample_cache_size=9)
         engine.execute(_requests(algorithms=("null_suppression",),
                                  trials=1))
-        gauges = engine.stats.as_dict()
+        gauges = engine.stats.as_dict()["gauges"]
         assert gauges["sample_cache_capacity"] == 9
         assert gauges["sample_cache_size"] == 1
-        # plain counter sets don't grow gauges
-        assert "sample_cache_size" not in EngineStats().as_dict()
+        # a cache-less stats bag reports no cache gauges
+        assert "sample_cache_size" not in EngineStats().as_dict()["gauges"]
 
 
 class TestStackIntegration:

@@ -24,10 +24,12 @@ EXPECTED_CODES = {
     "bug_pr2_unguarded_stats.py": ["RPL005"],
     "bug_pr3_address_repr_codec.py": ["RPL002"],
     "bug_suppression_discipline.py": ["RPL000", "RPL000", "RPL000"],
+    "bug_wallclock_reachable.py": ["RPL001"],
     "ok_codec_with_repr.py": [],
     "ok_entropy_suppressed.py": [],
     "ok_guarded_stats.py": [],
     "ok_lock_with_getstate.py": [],
+    "ok_wallclock_exempt_module.py": [],
 }
 
 
