@@ -37,6 +37,11 @@ class LintConfig:
     entropy_exempt_modules: tuple[str, ...] = ()
     #: Module-name globs where RPL005 audits lock discipline.
     guard_modules: tuple[str, ...] = ()
+    #: Module-name globs where RPL006 flags overbroad exception
+    #: handlers that swallow silently (no re-raise, no call that could
+    #: record/degrade, no counter increment). These are the layers
+    #: whose failure semantics promise "absorbed *and accounted*".
+    swallow_modules: tuple[str, ...] = ()
     #: Rule-code filters (empty select = all registered rules).
     select: tuple[str, ...] = ()
     ignore: tuple[str, ...] = ()
@@ -84,4 +89,6 @@ def project_config() -> LintConfig:
                        "MaterializedSample", "SampleCFEstimate",
                        "SampleStore"),
         guard_modules=("repro.engine.*", "repro.store.*"),
+        swallow_modules=("repro.engine", "repro.engine.*",
+                         "repro.store", "repro.store.*"),
     )

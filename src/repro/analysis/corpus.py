@@ -12,6 +12,7 @@ directives::
     # repro-lint-fixture: identity-bases=Algorithm (RPL002 anchors)
     # repro-lint-fixture: payload-roots=Shipped    (RPL003 anchors)
     # repro-lint-fixture: guard-all                (RPL005 everywhere)
+    # repro-lint-fixture: swallow-all              (RPL006 everywhere)
 
 A fixture with no ``expect`` lines is a **negative** fixture: the
 pattern is contract-clean (suppressed with rationale, or paired with
@@ -50,6 +51,7 @@ def parse_fixture(path: pathlib.Path) -> FixtureSpec:
     identity_bases: tuple[str, ...] = ()
     payload_roots: tuple[str, ...] = ()
     guard_modules: tuple[str, ...] = ()
+    swallow_modules: tuple[str, ...] = ()
     for line in path.read_text(encoding="utf-8").splitlines():
         match = _DIRECTIVE.search(line)
         if match is None:
@@ -73,6 +75,8 @@ def parse_fixture(path: pathlib.Path) -> FixtureSpec:
             payload_roots = values
         elif key == "guard-all":
             guard_modules = ("*",)
+        elif key == "swallow-all":
+            swallow_modules = ("*",)
         else:
             raise ValueError(
                 f"{path.name}: unknown fixture directive {key!r}")
@@ -80,7 +84,8 @@ def parse_fixture(path: pathlib.Path) -> FixtureSpec:
                              entropy_exempt_modules=entropy_exempt,
                              identity_bases=identity_bases,
                              payload_roots=payload_roots,
-                             guard_modules=guard_modules)
+                             guard_modules=guard_modules,
+                             swallow_modules=swallow_modules)
     return spec
 
 

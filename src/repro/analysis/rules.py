@@ -555,6 +555,73 @@ def check_unguarded_writes(index: ProjectIndex,
 
 
 # ----------------------------------------------------------------------
+# RPL006 — overbroad exception handlers that swallow silently
+# ----------------------------------------------------------------------
+_OVERBROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _handler_overbroad(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches everything (or near enough)."""
+    if handler.type is None:
+        return True
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for node in types:
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name in _OVERBROAD_NAMES:
+            return True
+    return False
+
+
+def _handler_accounts(handler: ast.ExceptHandler) -> bool:
+    """Whether the body visibly re-raises, records, or degrades.
+
+    Deliberately coarse: *any* raise, call, or augmented assignment in
+    the handler body counts as accounting. The store/engine degradation
+    idioms all pass (``self._quarantine(...)``, ``stats.add(...)``,
+    ``counter += 1``, ``raise X from exc``); only the genuinely silent
+    ``except Exception: pass`` / bare-``return`` shapes get flagged.
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Call, ast.AugAssign)):
+            return True
+    return False
+
+
+def check_swallowed_exceptions(index: ProjectIndex,
+                               config: LintConfig) -> list[Finding]:
+    if not config.swallow_modules:
+        return []
+    findings: list[Finding] = []
+    for module in index.modules.values():
+        if not _module_guarded(module.name, config.swallow_modules):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _handler_overbroad(node):
+                continue
+            if _handler_accounts(node):
+                continue
+            caught = ("bare except" if node.type is None
+                      else f"except {ast.unparse(node.type)}")
+            findings.append(_finding(
+                module, node.lineno, "RPL006",
+                f"{caught} swallows without re-raising, calling a "
+                f"degradation/quarantine path, or incrementing a "
+                f"counter; the failure-semantics contract is "
+                f"absorbed-and-accounted — a silent handler here "
+                f"turns an injected fault (or a real one) into an "
+                f"invisible wrong-path, so narrow the type, re-raise, "
+                f"or record the drop before suppressing"))
+    return findings
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 RULES: tuple[Rule, ...] = (
@@ -573,6 +640,9 @@ RULES: tuple[Rule, ...] = (
     Rule("RPL005", "unguarded-shared-state",
          "shared attributes written both inside and outside the lock",
          check_unguarded_writes),
+    Rule("RPL006", "swallowed-exception",
+         "overbroad except blocks that neither re-raise nor account",
+         check_swallowed_exceptions),
 )
 
 #: RPL000 is synthesised by the runner from suppression parsing, not a

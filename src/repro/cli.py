@@ -77,6 +77,8 @@ from repro.core.bounds import (dict_large_d_bound, dict_small_d_bound,
 from repro.core.metrics import ErrorSummary, ratio_error
 from repro.core.samplecf import SampleCF, true_cf_histogram
 from repro.engine.engine import EstimationEngine
+from repro.engine.requests import PartialBatchResult
+from repro.faults import RetryPolicy
 from repro.engine.executors import EXECUTOR_NAMES, make_executor
 from repro.engine.requests import EstimationRequest
 from repro.experiments.registry import list_experiments
@@ -175,6 +177,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             "FILE and print a one-line summary to "
                             "stderr; estimates are bit-identical with "
                             "tracing on or off")
+    batch.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="batch time budget: units past it are "
+                            "skipped as typed deadline failures and "
+                            "the output gains a per-unit 'outcomes' "
+                            "accounting instead of erroring")
+    batch.add_argument("--max-retries", type=int, default=None,
+                       metavar="N",
+                       help="attempts per transient store failure "
+                            "before degrading to re-materialization "
+                            "(default: 3; backoff is deterministic "
+                            "per unit seed)")
 
     advise = commands.add_parser(
         "advise",
@@ -573,30 +587,44 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> str:
     store_dir = args.store_dir or spec.get("store_dir")
     tracer = (Tracer.to_path(args.trace) if args.trace is not None
               else None)
+    retry_policy = (RetryPolicy(max_attempts=args.max_retries)
+                    if args.max_retries is not None else None)
     engine = EstimationEngine(
         seed=seed,
         executor=_cli_executor(executor_name, args.workers),
         store=store_dir,
-        tracer=tracer)
+        tracer=tracer,
+        retry_policy=retry_policy)
     plan = engine.plan(requests)
-    batch = engine.execute(plan)
+    batch = engine.execute(plan, deadline=args.deadline)
     if tracer is not None:
         _close_and_summarize(tracer, args.trace)
     results = []
     for request, result in zip(requests, batch.results):
-        values = result.values
         entry: dict[str, Any] = {
             "workload": request.label,
             "algorithm": request.algorithm.name,
             "fraction": request.fraction,
             "trials": request.trials,
+        }
+        if result is None:
+            # Deadline-bounded runs may leave requests unevaluated; a
+            # typed null (never a partial trial set) keeps positions
+            # aligned with the spec's request list.
+            entry.update({"path": None, "estimates": [], "mean": None,
+                          "std": None, "sample_rows": [],
+                          "deadline_exceeded": True})
+            results.append(entry)
+            continue
+        values = result.values
+        entry.update({
             "path": result.estimates[0].path,
             "estimates": [float(v) for v in values],
             "mean": float(values.mean()),
             "std": (float(values.std(ddof=1)) if len(values) > 1
                     else None),
             "sample_rows": [e.sample_rows for e in result.estimates],
-        }
+        })
         results.append(entry)
     payload = {
         "seed": seed,
@@ -612,6 +640,15 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> str:
         "results": results,
         "stats": batch.stats,
     }
+    if isinstance(batch, PartialBatchResult):
+        payload["deadline"] = args.deadline
+        payload["complete"] = batch.complete
+        payload["outcome_counts"] = batch.counts()
+        payload["outcomes"] = [
+            {"unit": outcome.index, "trial": outcome.trial,
+             "status": outcome.status,
+             **({"detail": outcome.detail} if outcome.detail else {})}
+            for outcome in batch.outcomes]
     indent = args.indent if args.indent and args.indent > 0 else None
     return json.dumps(payload, indent=indent)
 

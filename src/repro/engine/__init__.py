@@ -39,7 +39,8 @@ from repro.engine.remote import (RemotePlanExecutor, UnitCostModel,
 from repro.engine.plan import (EstimationPlan, PlanNode, expand_trials,
                                plan_batch)
 from repro.engine.requests import (BatchResult, EstimationRequest,
-                                   RequestResult, derive_seed)
+                                   PartialBatchResult, RequestResult,
+                                   UnitOutcome, derive_seed)
 from repro.engine.samples import (DEFAULT_SAMPLE_CACHE_BYTES,
                                   DEFAULT_SAMPLE_CACHE_SIZE,
                                   SAMPLE_CACHE_BYTES_ENV,
@@ -49,8 +50,8 @@ from repro.engine.samples import (DEFAULT_SAMPLE_CACHE_BYTES,
                                   materialize_table_sample,
                                   resolve_sample_cache_bytes,
                                   resolve_sample_cache_size)
-from repro.engine.units import (PlanUnit, UnitContext, plan_units,
-                                run_plan_unit)
+from repro.engine.units import (PlanUnit, UnitContext, UnitFailure,
+                                plan_units, run_plan_unit)
 
 __all__ = [
     "BatchResult",
@@ -61,6 +62,7 @@ __all__ = [
     "EstimationPlan",
     "EstimationRequest",
     "MaterializedSample",
+    "PartialBatchResult",
     "PlanExecutor",
     "PlanNode",
     "PlanUnit",
@@ -74,6 +76,8 @@ __all__ = [
     "ThreadPoolPlanExecutor",
     "UnitContext",
     "UnitCostModel",
+    "UnitFailure",
+    "UnitOutcome",
     "default_engine",
     "derive_seed",
     "expand_trials",

@@ -31,15 +31,19 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.errors import EstimationError
+from repro.faults import (DEFAULT_RETRY_POLICY, Deadline, FaultInjector,
+                          NullInjector, RetryPolicy, injector_from_env)
 from repro.sampling.rng import SeedLike
 from repro.core.samplecf import SampleCFEstimate
 from repro.engine.executors import (PlanExecutor, SerialExecutor,
                                     make_executor)
 from repro.engine.plan import EstimationPlan, expand_trials, plan_batch
 from repro.engine.requests import (BatchResult, EstimationRequest,
-                                   RequestResult)
+                                   PartialBatchResult, RequestResult,
+                                   UnitOutcome)
 from repro.engine.samples import EngineStats, SampleCache
-from repro.engine.units import UnitContext, plan_units
+from repro.engine.units import UnitContext, UnitFailure, plan_units
 from repro.obs import NULL_TRACER, absorb_engine_stats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -103,6 +107,8 @@ class EstimationEngine:
                  sample_cache_bytes: int | None = None,
                  store: "SampleStore | str | os.PathLike | None" = None,
                  tracer: "Tracer | NullTracer | None" = None,
+                 retry_policy: RetryPolicy | None = None,
+                 injector: FaultInjector | NullInjector | None = None,
                  ) -> None:
         self.master_seed = _resolve_master_seed(seed)
         if isinstance(executor, str):
@@ -116,6 +122,9 @@ class EstimationEngine:
         self.store: "SampleStore | None" = store
         self.stats = EngineStats(cache=self.cache)
         self.tracer: "Tracer | NullTracer" = tracer or NULL_TRACER
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self.injector = (injector if injector is not None
+                         else injector_from_env())
 
     # ------------------------------------------------------------------
     # Planning
@@ -143,7 +152,9 @@ class EstimationEngine:
     # ------------------------------------------------------------------
     def execute(self,
                 requests: Sequence[EstimationRequest] | EstimationPlan,
-                executor: PlanExecutor | str | None = None) -> BatchResult:
+                executor: PlanExecutor | str | None = None,
+                deadline: "Deadline | float | None" = None,
+                ) -> BatchResult | PartialBatchResult:
         """Run a batch (or a pre-built plan) and fan results back out.
 
         Stats accumulate into a batch-local counter first and merge
@@ -151,6 +162,15 @@ class EstimationEngine:
         concurrent ``execute`` calls on one engine (e.g. the shared
         :func:`default_engine`) each report exactly their own batch's
         movement instead of interleaved snapshot deltas.
+
+        With ``deadline`` (a :class:`~repro.faults.Deadline`, or a
+        float of seconds from now) the batch becomes *bounded*: units
+        past the budget are skipped as typed failures instead of run,
+        and the return type switches to
+        :class:`~repro.engine.requests.PartialBatchResult`, which
+        accounts every submitted unit exactly once as done, degraded,
+        or deadline-exceeded — a budget can shrink the result, never
+        corrupt it.
         """
         tracer = self.tracer
         with tracer.span("engine.execute") as batch_span:
@@ -170,36 +190,71 @@ class EstimationEngine:
             batch_span.annotate(requests=plan.num_requests,
                                 units=plan.num_units,
                                 executor=runner.name)
+            if isinstance(deadline, (int, float)):
+                deadline = Deadline.after(float(deadline))
             context = UnitContext(cache=self.cache, stats=local,
-                                  store=self.store, tracer=tracer)
+                                  store=self.store, tracer=tracer,
+                                  deadline=deadline,
+                                  retry=self.retry_policy,
+                                  injector=self.injector)
             store_before = (dict(self.store.counters)
                             if tracer.enabled and self.store is not None
                             else None)
             values = runner.run(units, context)
             estimates_by_node: list[tuple[SampleCFEstimate, ...]] = []
+            failed_nodes: set[int] = set()
             cursor = 0
-            for node in plan.nodes:
-                estimates_by_node.append(
-                    tuple(values[cursor:cursor + node.trials]))
+            for node_pos, node in enumerate(plan.nodes):
+                chunk = tuple(values[cursor:cursor + node.trials])
+                if any(isinstance(value, UnitFailure) for value in chunk):
+                    failed_nodes.add(node_pos)
+                estimates_by_node.append(chunk)
                 cursor += node.trials
+            if deadline is None and failed_nodes:
+                raise EstimationError(
+                    "executor returned unit failures without a "
+                    "deadline in force — executor bug")
             slots: list[RequestResult | None] = [None] * plan.num_requests
-            for node, estimates in zip(plan.nodes, estimates_by_node):
+            for node_pos, (node, estimates) in enumerate(
+                    zip(plan.nodes, estimates_by_node)):
+                result = (None if node_pos in failed_nodes
+                          else RequestResult(request=node.request,
+                                             estimates=estimates))
                 for position in node.positions:
-                    slots[position] = RequestResult(request=node.request,
-                                                    estimates=estimates)
+                    slots[position] = result
             self.stats.merge(local)
             if tracer.enabled:
                 absorb_engine_stats(tracer.metrics, self.stats)
                 if store_before is not None:
                     after = self.store.counters
-                    for name in ("bytes_read", "bytes_written"):
+                    for name in ("bytes_read", "bytes_written",
+                                 "faults_injected", "quarantined"):
                         moved = after.get(name, 0) \
                             - store_before.get(name, 0)
                         if moved:
                             tracer.metrics.counter(
                                 f"store.{name}").inc(moved)
-            return BatchResult(results=tuple(slots),
-                               stats=local.as_dict())
+            if deadline is None:
+                return BatchResult(results=tuple(slots),
+                                   stats=local.as_dict())
+            degraded = context.degraded or set()
+            outcomes = []
+            for position, (unit, value) in enumerate(zip(units, values)):
+                if isinstance(value, UnitFailure):
+                    outcomes.append(UnitOutcome(
+                        index=unit.index, trial=unit.trial,
+                        status="deadline_exceeded", detail=value.detail))
+                elif unit.index in degraded:
+                    outcomes.append(UnitOutcome(
+                        index=unit.index, trial=unit.trial,
+                        status="degraded"))
+                else:
+                    outcomes.append(UnitOutcome(
+                        index=unit.index, trial=unit.trial,
+                        status="done"))
+            return PartialBatchResult(results=tuple(slots),
+                                      outcomes=tuple(outcomes),
+                                      stats=local.as_dict())
 
     def estimate(self, request: EstimationRequest) -> RequestResult:
         """Single-request convenience over :meth:`execute`."""

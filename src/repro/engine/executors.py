@@ -34,11 +34,14 @@ import concurrent.futures
 import multiprocessing
 import os
 import pickle
+from concurrent.futures.process import BrokenProcessPool
 from typing import Protocol, Sequence
 
 from repro.errors import EstimationError
+from repro.faults import injector_from_env
 from repro.engine.samples import EngineStats, SampleCache
-from repro.engine.units import PlanUnit, UnitContext, run_plan_unit
+from repro.engine.units import (PlanUnit, UnitContext, _note_degraded,
+                                deadline_failure, run_plan_unit)
 from repro.obs import NULL_TRACER, SpanContext, Tracer
 
 
@@ -60,7 +63,14 @@ class SerialExecutor:
 
     def run(self, units: Sequence[PlanUnit],
             context: UnitContext | None = None) -> list:
-        return [unit(context) for unit in units]
+        if context is None or context.deadline is None:
+            return [unit(context) for unit in units]
+        # Deadline granularity is the unit boundary: a unit that
+        # started gets to finish (its result is already paid for);
+        # units past the budget become typed failures, never raises.
+        return [deadline_failure(unit, context)
+                if context.deadline.expired else unit(context)
+                for unit in units]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialExecutor()"
@@ -92,7 +102,10 @@ class ThreadPoolPlanExecutor:
                   else None)
         with concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.max_workers) as pool:
-            if parent is not None:
+            if context is not None and context.deadline is not None:
+                futures = [pool.submit(_run_checked, unit, context,
+                                       parent) for unit in units]
+            elif parent is not None:
                 futures = [pool.submit(_run_attached, unit, context,
                                        parent) for unit in units]
             else:
@@ -108,6 +121,17 @@ def _run_attached(unit: PlanUnit, context: UnitContext,
     """Run one unit on a foreign thread, re-parented under ``parent``."""
     with context.tracer.attach(parent):
         return unit(context)
+
+
+def _run_checked(unit: PlanUnit, context: UnitContext,
+                 parent: SpanContext | None) -> object:
+    """The deadline-aware pool-thread entry: skip past-budget units."""
+    assert context.deadline is not None
+    if context.deadline.expired:
+        return deadline_failure(unit, context)
+    if parent is not None:
+        return _run_attached(unit, context, parent)
+    return unit(context)
 
 
 # ----------------------------------------------------------------------
@@ -146,11 +170,16 @@ def _init_worker(blob: bytes, store_blob: bytes | None = None,
     store = pickle.loads(store_blob) if store_blob is not None else None
     _WORKER_TRACER = (Tracer.collector(trace_ctx)
                       if trace_ctx is not None else None)
+    # Workers arm their own injector from REPRO_FAULT_PLAN (inherited
+    # with the environment), counting hook invocations process-locally
+    # — which is how chaos plans reach pool workers without widening
+    # the initializer protocol.
     _WORKER_CONTEXT = UnitContext(cache=SampleCache(),
                                   stats=EngineStats(), store=store,
                                   tracer=_WORKER_TRACER
                                   if _WORKER_TRACER is not None
-                                  else NULL_TRACER)
+                                  else NULL_TRACER,
+                                  injector=injector_from_env())
 
 
 def _run_worker_unit(position: int) -> tuple:
@@ -162,6 +191,12 @@ def _run_worker_unit(position: int) -> tuple:
     """
     context = _WORKER_CONTEXT
     assert context is not None, "worker initializer did not run"
+    if context.injector.enabled and \
+            context.injector.fire("pool.unit") is not None:
+        # Simulated hard worker death. Only workers check this site —
+        # the parent's rerun path must stay immune so a crash plan can
+        # never take down the test process itself.
+        os._exit(33)
     before = context.stats.snapshot()
     estimate = run_plan_unit(_WORKER_UNITS[position], context)
     delta = EngineStats.delta(before, context.stats.snapshot())
@@ -228,7 +263,11 @@ class ProcessPoolPlanExecutor:
             self._run_remote(units, remote, results, context)
         for position, unit in enumerate(units):
             if unit.request.seed_is_opaque():
-                results[position] = run_plan_unit(unit, context)
+                if context.deadline is not None and \
+                        context.deadline.expired:
+                    results[position] = deadline_failure(unit, context)
+                else:
+                    results[position] = run_plan_unit(unit, context)
         return results
 
     def _run_remote(self, units: list[PlanUnit], remote: list[int],
@@ -261,12 +300,68 @@ class ProcessPoolPlanExecutor:
                     initargs=initargs) as pool:
                 futures = [pool.submit(_run_worker_unit, j)
                            for j in range(len(shipped))]
-                for position, future in zip(remote, futures):
-                    estimate, delta, *extra = future.result()
-                    results[position] = estimate
-                    context.stats.merge(delta)
-                    if extra:
-                        tracer.adopt(extra[0])
+                rerun = self._collect(units, remote, futures,
+                                      results, context, tracer)
+            if rerun:
+                # A dead worker breaks the whole pool, so every unit
+                # it owed comes home at once; reruns happen here in
+                # the parent where the crash site is never armed, and
+                # produce bit-identical values (all randomness was
+                # resolved at plan time).
+                context.stats.add("pool_worker_deaths")
+                for position in rerun:
+                    unit = units[position]
+                    if context.deadline is not None and \
+                            context.deadline.expired:
+                        results[position] = deadline_failure(unit,
+                                                             context)
+                        continue
+                    context.stats.add("pool_degraded_units")
+                    _note_degraded(context, unit, "pool_worker_death")
+                    results[position] = run_plan_unit(unit, context)
+
+    def _collect(self, units: list[PlanUnit], remote: list[int],
+                 futures: list, results: list, context: UnitContext,
+                 tracer: Tracer) -> list[int]:
+        """Drain worker futures; return positions owed by dead workers.
+
+        Three non-happy paths, each a *typed* outcome instead of an
+        executor-level raise: a past-deadline future becomes a
+        :class:`~repro.engine.units.UnitFailure`, a broken pool queues
+        the position for a parent-side rerun, and worker-side
+        degradations (visible in the exact per-unit stats delta) mark
+        the unit degraded in the parent's context.
+        """
+        rerun: list[int] = []
+        for position, future in zip(remote, futures):
+            try:
+                if context.deadline is None:
+                    payload = future.result()
+                elif context.deadline.expired and not future.done():
+                    future.cancel()
+                    results[position] = deadline_failure(
+                        units[position], context)
+                    continue
+                else:
+                    payload = future.result(
+                        timeout=max(context.deadline.remaining(), 0.0))
+            except concurrent.futures.TimeoutError:
+                future.cancel()
+                results[position] = deadline_failure(units[position],
+                                                     context)
+                continue
+            except BrokenProcessPool:
+                rerun.append(position)
+                continue
+            estimate, delta, *extra = payload
+            results[position] = estimate
+            context.stats.merge(delta)
+            if delta.get("degraded_units") and \
+                    context.degraded is not None:
+                context.degraded.add(units[position].index)
+            if extra:
+                tracer.adopt(extra[0])
+        return rerun
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ProcessPoolPlanExecutor("

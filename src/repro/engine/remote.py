@@ -72,9 +72,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import EstimationError
+from repro.faults import (CircuitBreaker, FaultInjector, NullInjector,
+                          injector_from_env)
 from repro.sampling.base import rows_for_fraction
 from repro.engine.samples import EngineStats, SampleCache
-from repro.engine.units import PlanUnit, UnitContext, run_plan_unit
+from repro.engine.units import (PlanUnit, UnitContext, _note_degraded,
+                                deadline_failure, run_plan_unit)
 from repro.obs import SpanContext, Tracer
 
 #: Environment variable ``make_executor("remote")`` reads worker
@@ -629,7 +632,11 @@ class RemotePlanExecutor:
                  timeout: float = 600.0,
                  connect_timeout: float = 5.0,
                  max_local_workers: int | None = None,
-                 cost_model: UnitCostModel | None = None) -> None:
+                 cost_model: UnitCostModel | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: int = 0,
+                 injector: FaultInjector | NullInjector | None = None,
+                 ) -> None:
         self.addresses = parse_worker_addresses(workers)
         if scheduler not in SCHEDULERS:
             raise EstimationError(
@@ -645,6 +652,20 @@ class RemotePlanExecutor:
         self.connect_timeout = connect_timeout
         self.max_local_workers = max_local_workers
         self.cost_model = cost_model or UnitCostModel()
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.injector = (injector if injector is not None
+                         else injector_from_env())
+        # Links and breakers persist across batches: a live link keeps
+        # its socket (and the worker keeps its warm cache/store) from
+        # one run() to the next; a dead one is retried through its
+        # address's circuit breaker, which is what lets a worker that
+        # died and *restarted* between batches rejoin instead of
+        # staying buried forever. One batch at a time per executor —
+        # run() holds _batch_lock for its whole span.
+        self._batch_lock = threading.Lock()
+        self._links: dict[tuple[str, int], _WorkerLink] = {}
+        self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
 
     # -- public entry --------------------------------------------------
     def run(self, units: Sequence[PlanUnit],
@@ -661,29 +682,117 @@ class RemotePlanExecutor:
         results: list = [None] * len(units)
         shippable = [position for position, unit in enumerate(units)
                      if not unit.request.seed_is_opaque()]
-        pending = shippable
-        if shippable:
-            links = self._connect()
-            if links:
-                pending = self._dispatch(units, shippable, links,
-                                         results, context)
-            if pending:
-                context.stats.add("remote_fallback_units", len(pending))
-                self._run_local_fallback(units, pending, results, context)
+        with self._batch_lock:
+            pending = shippable
+            if shippable:
+                links = self._connect(context)
+                if links:
+                    pending = self._dispatch(units, shippable, links,
+                                             results, context)
+                if pending:
+                    self._finish_pending(units, pending, results,
+                                         context)
         # Opaque Generator seeds cannot ship (pickling would fork the
         # stream); they run in the parent, exactly like the process pool.
         for position, unit in enumerate(units):
             if unit.request.seed_is_opaque():
-                results[position] = run_plan_unit(unit, context)
+                if context.deadline is not None and \
+                        context.deadline.expired:
+                    results[position] = deadline_failure(unit, context)
+                else:
+                    results[position] = run_plan_unit(unit, context)
         return results
 
+    def _finish_pending(self, units: list[PlanUnit],
+                        pending: list[int], results: list,
+                        context: UnitContext) -> None:
+        """Resolve positions no worker completed.
+
+        Past-deadline leftovers become typed failures; the rest run on
+        the local process pool. When workers *were* configured, landing
+        here means remote execution degraded — each unit is marked so
+        a :class:`~repro.engine.requests.PartialBatchResult` reports it
+        (values stay bit-identical either way). With no addresses at
+        all the fallback is just this executor's documented local mode,
+        not a degradation.
+        """
+        if context.deadline is not None and context.deadline.expired:
+            for position in pending:
+                results[position] = deadline_failure(units[position],
+                                                     context)
+            return
+        if self.addresses:
+            for position in pending:
+                _note_degraded(context, units[position],
+                               "remote_fallback")
+        context.stats.add("remote_fallback_units", len(pending))
+        self._run_local_fallback(units, pending, results, context)
+
+    def close(self) -> None:
+        """Drop all warm links and breaker history (e.g. at shutdown)."""
+        with self._batch_lock:
+            for link in self._links.values():
+                link.close()
+            self._links.clear()
+            self._breakers.clear()
+
     # -- connection management -----------------------------------------
-    def _connect(self) -> list[_WorkerLink]:
+    def _connect(self, context: UnitContext) -> list[_WorkerLink]:
+        """Collect this batch's usable links, reviving dead ones.
+
+        Live links from the previous batch are reused as-is (socket,
+        worker cache, and shipped store all stay warm). A dead or
+        never-connected address goes through its circuit breaker:
+        while open, the address is skipped without a connect attempt
+        (``breaker_open_skips``); when the breaker half-opens, one
+        probe reconnect is tried (``breaker_probes``), and on success
+        (``breaker_reconnects``) the restarted worker rejoins the
+        rotation — the fix for restarted workers staying buried.
+        """
         links = []
+        stats = context.stats
         for address in self.addresses:
-            link = _WorkerLink(address, self.timeout)
-            if link.connect(self.connect_timeout):
-                links.append(link)
+            breaker = self._breakers.get(address)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    cooldown=self.breaker_cooldown)
+                self._breakers[address] = breaker
+            link = self._links.get(address)
+            if link is None:
+                link = _WorkerLink(address, self.timeout)
+                self._links[address] = link
+            # Unit positions are batch-local, so a warm worker's
+            # installed table from last batch is stale by numbering:
+            # forget what shipped and let _ship_missing re-send. The
+            # store handle, by contrast, is batch-independent.
+            link.installed.clear()
+            link.queue.clear()
+            if link.dead or link.sock is None:
+                if not breaker.allow():
+                    stats.add("breaker_open_skips")
+                    context.tracer.event(
+                        "breaker.skip",
+                        worker=f"{address[0]}:{address[1]}")
+                    continue
+                probing = breaker.state == "half_open"
+                if probing:
+                    stats.add("breaker_probes")
+                link.close()
+                link.dead = False
+                link.store_sent = False
+                if link.connect(self.connect_timeout):
+                    breaker.record_success()
+                    if probing:
+                        stats.add("breaker_reconnects")
+                        context.tracer.event(
+                            "breaker.reconnect",
+                            worker=f"{address[0]}:{address[1]}")
+                else:
+                    link.dead = True
+                    breaker.record_failure()
+                    continue
+            links.append(link)
         return links
 
     # -- dispatch core -------------------------------------------------
@@ -735,10 +844,12 @@ class RemotePlanExecutor:
                     with tracer.span("chunk.run", worker=worker_name,
                                      units=len(chunk)) as chunk_span:
                         if tracer.enabled:
-                            reply = link.request(
+                            reply = self._injected_request(
+                                link, state,
                                 ("run", chunk, chunk_span.context))
                         else:
-                            reply = link.request(("run", chunk))
+                            reply = self._injected_request(
+                                link, state, ("run", chunk))
                         if reply[0] != "results":
                             raise ConnectionError(
                                 f"unexpected reply {reply[0]!r} from "
@@ -768,7 +879,46 @@ class RemotePlanExecutor:
                 pickle.PickleError, EstimationError):
             self._bury_worker(link, state)
         finally:
-            link.close()
+            # Only dead links close here — a live one stays warm for
+            # the next batch (see _connect).
+            if link.dead:
+                link.close()
+
+    def _injected_request(self, link: _WorkerLink,
+                          state: _DispatchState,
+                          message: object) -> tuple:
+        """One ``run`` round trip, through the remote fault hooks.
+
+        ``remote.send`` may drop (a raised ``ConnectionError`` — the
+        normal burial path absorbs it) or delay the request;
+        ``remote.recv`` may drop the reply after the worker already
+        executed the chunk, which is the nastier case: the parent must
+        re-run units whose results it never saw without double-counting
+        the ones it did.
+        """
+        injector = self.injector
+        if injector.enabled:
+            spec = injector.fire("remote.send")
+            if spec is not None:
+                state.context.stats.add("faults_injected")
+                state.context.tracer.event(
+                    "fault.inject", site="remote.send", kind=spec.kind,
+                    worker=f"{link.address[0]}:{link.address[1]}")
+                if spec.kind == "drop":
+                    raise ConnectionError(
+                        f"injected remote.send drop to {link.address}")
+                time.sleep(float(spec.arg))
+        reply = link.request(message)
+        if injector.enabled:
+            spec = injector.fire("remote.recv")
+            if spec is not None:
+                state.context.stats.add("faults_injected")
+                state.context.tracer.event(
+                    "fault.inject", site="remote.recv", kind=spec.kind,
+                    worker=f"{link.address[0]}:{link.address[1]}")
+                raise ConnectionError(
+                    f"injected remote.recv drop from {link.address}")
+        return reply
 
     def _publish_calibration(self, state: _DispatchState,
                              context: UnitContext) -> None:
@@ -814,6 +964,11 @@ class RemotePlanExecutor:
         """
         while True:
             with state.lock:
+                deadline = state.context.deadline
+                if deadline is not None and deadline.expired:
+                    # Past-budget units stay queued; run() turns every
+                    # leftover into a typed deadline failure.
+                    return []
                 if not link.queue:
                     self._steal_into(link, state)
                 if link.queue:
@@ -894,6 +1049,9 @@ class RemotePlanExecutor:
             requeue.extend(link.queue)
             link.queue.clear()
             state.orphans.extend(requeue)
+        breaker = self._breakers.get(link.address)
+        if breaker is not None:
+            breaker.record_failure()
         state.context.stats.add("remote_worker_failures", 1)
         state.context.tracer.event(
             "worker.failed",

@@ -241,6 +241,70 @@ class BatchResult:
         return self.results[position]
 
 
+#: Legal per-unit statuses in a :class:`PartialBatchResult`.
+UNIT_STATUSES = frozenset({"done", "degraded", "deadline_exceeded"})
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """Accounting entry for one (node, trial) unit of a bounded run.
+
+    ``done`` means the unit ran cleanly; ``degraded`` means it ran and
+    produced a correct value but took a degradation path on the way
+    (store retry exhausted, worker died and the parent re-ran it, ...);
+    ``deadline_exceeded`` means the unit never ran — its batch budget
+    was spent first — so its node has no value.
+    """
+
+    index: int
+    trial: int
+    status: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in UNIT_STATUSES:
+            raise EstimationError(
+                f"unknown unit status {self.status!r}; known: "
+                f"{sorted(UNIT_STATUSES)}")
+
+
+@dataclass(frozen=True)
+class PartialBatchResult:
+    """Outcome of a deadline-bounded :meth:`EstimationEngine.execute`.
+
+    The accounting contract: ``outcomes`` holds exactly one entry per
+    submitted plan unit — done, degraded, or deadline-exceeded — so no
+    unit is ever silently lost. A request whose node lost any trial to
+    the deadline gets ``None`` in ``results`` (a partial trial set
+    would silently change the mean); every completed request's value is
+    bit-identical to an unbounded run's.
+    """
+
+    results: tuple[RequestResult | None, ...]
+    outcomes: tuple[UnitOutcome, ...]
+    #: Engine stats delta attributable to this batch.
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every submitted unit actually ran."""
+        return all(outcome.status != "deadline_exceeded"
+                   for outcome in self.outcomes)
+
+    def counts(self) -> dict[str, int]:
+        """Outcome tally by status (all statuses always present)."""
+        tally = {status: 0 for status in sorted(UNIT_STATUSES)}
+        for outcome in self.outcomes:
+            tally[outcome.status] += 1
+        return tally
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, position: int) -> RequestResult | None:
+        return self.results[position]
+
+
 def as_requests(items: Sequence[EstimationRequest],
                 ) -> tuple[EstimationRequest, ...]:
     """Validate a request sequence (helpful error for stray inputs)."""

@@ -384,7 +384,12 @@ class EngineStats:
               "whatif_pruned", "whatif_early_stops",
               "whatif_trials_saved", "remote_units", "remote_steals",
               "remote_retried_units", "remote_worker_failures",
-              "remote_fallback_units")
+              "remote_fallback_units", "faults_injected",
+              "retry_attempts", "retry_giveups", "store_degraded_reads",
+              "store_degraded_writes", "degraded_units",
+              "deadline_skipped_units", "pool_worker_deaths",
+              "pool_degraded_units", "breaker_open_skips",
+              "breaker_probes", "breaker_reconnects")
 
     def __init__(self, cache: "SampleCache | None" = None) -> None:
         self._lock = threading.Lock()

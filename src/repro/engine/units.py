@@ -29,20 +29,25 @@ With a store attached, a unit resolves in tier order:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING, TypeVar
 
 from repro.core.samplecf import SampleCFEstimate
 from repro.engine.requests import EstimationRequest
 from repro.engine.samples import (EngineStats, MaterializedSample,
                                   SampleCache, materialize_histogram_sample,
                                   materialize_table_sample)
+from repro.faults import (DEFAULT_RETRY_POLICY, NULL_INJECTOR, Deadline,
+                          FaultInjector, NullInjector, RetryPolicy)
 from repro.obs import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.plan import EstimationPlan
     from repro.obs import NullTracer, Tracer
     from repro.store.store import SampleStore
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -56,6 +61,95 @@ class UnitContext:
     #: Span sink; the default :data:`~repro.obs.NULL_TRACER` keeps the
     #: unit path allocation-free when tracing is off.
     tracer: "Tracer | NullTracer" = NULL_TRACER
+    #: Execution budget shared by executors (skip units past it) and
+    #: store I/O (cap retry sleeps); ``None`` means unbounded.
+    deadline: "Deadline | None" = None
+    #: Retry policy for *transient* store failures; permanent failures
+    #: and exhausted budgets degrade exactly as before.
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    #: Fault hooks for engine-side sites; the default no-op keeps the
+    #: hot path at one attribute check, mirroring the tracer.
+    injector: "FaultInjector | NullInjector" = NULL_INJECTOR
+    #: Unit indexes that absorbed a fault by degrading (lost cache
+    #: reuse or persistence, ran on a fallback path). ``None`` disables
+    #: the per-unit tracking; counters still move either way.
+    degraded: "set[int] | None" = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """A typed non-result: the unit was accounted for but not executed.
+
+    Executors emit these in result slots (instead of raising) when a
+    deadline expires, so :meth:`EstimationEngine.execute` can report
+    every submitted unit exactly once in a
+    :class:`~repro.engine.requests.PartialBatchResult`.
+    """
+
+    index: int
+    trial: int
+    kind: str = "deadline"
+    detail: str = ""
+
+
+def deadline_failure(unit: "PlanUnit",
+                     context: UnitContext) -> UnitFailure:
+    """The canonical deadline-exceeded slot value, counted once."""
+    context.stats.add("deadline_skipped_units")
+    context.tracer.event("unit.deadline_skipped", unit=unit.index,
+                         trial=unit.trial)
+    return UnitFailure(index=unit.index, trial=unit.trial,
+                       kind="deadline",
+                       detail="deadline expired before execution")
+
+
+def _note_degraded(context: UnitContext, unit: "PlanUnit",
+                   reason: str) -> None:
+    """Record one absorbed fault: counters, trace event, per-unit mark."""
+    context.stats.add("degraded_units")
+    if context.degraded is not None:
+        context.degraded.add(unit.index)
+    context.tracer.event("unit.degraded", unit=unit.index, reason=reason)
+
+
+def _with_store_retries(context: UnitContext, unit: "PlanUnit",
+                        op: str, fn: Callable[[], _T]) -> _T:
+    """Run a store operation, retrying transient failures only.
+
+    Retry timing derives from the unit's resolved seed (decorrelated
+    jitter, deterministic), sleeps are capped by the context deadline,
+    and only :class:`~repro.errors.TransientStoreError` retries —
+    permanent failures propagate immediately so callers degrade without
+    burning the budget. On give-up the last transient error propagates
+    and the existing ``except StoreError`` degradation paths take over.
+    """
+    from repro.errors import TransientStoreError
+
+    policy = context.retry
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except TransientStoreError as exc:
+            attempt += 1
+            context.stats.add("retry_attempts")
+            context.tracer.event("retry.attempt", op=op,
+                                 unit=unit.index, attempt=attempt,
+                                 error=str(exc))
+            if attempt >= policy.max_attempts:
+                context.stats.add("retry_giveups")
+                raise
+            seed = unit.seed if isinstance(unit.seed, int) else 0
+            delay = policy.delay_for(seed, attempt)
+            deadline = context.deadline
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    context.stats.add("retry_giveups")
+                    raise
+                delay = min(delay, remaining)
+            if delay > 0:
+                time.sleep(delay)
 
 
 @dataclass(frozen=True)
@@ -184,10 +278,14 @@ def _sample_for(unit: PlanUnit,
         with tracer.span("store.get", kind="sample",
                          unit=unit.index) as span:
             try:
-                sample, disk_hit = store.get_or_create_sample(
-                    sample_store_key(unit), materialize, meta)
+                sample, disk_hit = _with_store_retries(
+                    context, unit, "sample.get_or_create",
+                    lambda: store.get_or_create_sample(
+                        sample_store_key(unit), materialize, meta))
             except StoreError:
                 span.annotate(hit=False, error=True)
+                context.stats.add("store_degraded_reads")
+                _note_degraded(context, unit, "store_read")
                 return materialize()
             span.annotate(hit=disk_hit)
         tier["disk_hit"] = disk_hit
@@ -230,9 +328,13 @@ def _stored_estimate(unit: PlanUnit, context: UnitContext, store,
     with context.tracer.span("store.get", kind="estimate",
                              unit=unit.index) as span:
         try:
-            cached = store.get_estimate(key)
+            cached = _with_store_retries(
+                context, unit, "estimate.get",
+                lambda: store.get_estimate(key))
         except StoreError:  # unreadable store == miss, never a crash
             span.annotate(hit=False, error=True)
+            context.stats.add("store_degraded_reads")
+            _note_degraded(context, unit, "estimate_read")
             return None
         hit = isinstance(cached, SampleCFEstimate)
         span.annotate(hit=hit)
@@ -251,10 +353,15 @@ def _persist_estimate(unit: PlanUnit, context: UnitContext, store, key,
     with context.tracer.span("store.put", kind="estimate",
                              unit=unit.index):
         try:
-            store.put_estimate(key, estimate,
-                               meta={"source": source_fingerprint(unit),
-                                     "algorithm": estimate.algorithm})
+            _with_store_retries(
+                context, unit, "estimate.put",
+                lambda: store.put_estimate(
+                    key, estimate,
+                    meta={"source": source_fingerprint(unit),
+                          "algorithm": estimate.algorithm}))
         except StoreError:  # a cache-tier write failure loses only reuse
+            context.stats.add("store_degraded_writes")
+            _note_degraded(context, unit, "estimate_write")
             return
     context.stats.add("estimate_store_writes")
 

@@ -78,6 +78,35 @@ class StoreError(ReproError):
     """The persistent sample/estimate store cannot serve a request."""
 
 
+class TransientStoreError(StoreError):
+    """A store failure that may clear on retry.
+
+    Lock timeouts, interrupted syscalls, a momentarily full disk: the
+    operation was well-formed and the store is structurally sound, so
+    the engine's :class:`~repro.faults.RetryPolicy` targets exactly
+    this class — and nothing broader — before degrading.
+    """
+
+
+class PermanentStoreError(StoreError):
+    """A store failure no retry can fix.
+
+    Format-version mismatches, malformed keys, unserializable payloads:
+    retrying would burn the deadline repeating the same failure, so
+    these degrade immediately (materialize / skip persistence).
+    """
+
+
+class InjectedFault(ReproError):
+    """Raised by fault-injection hooks that simulate hard process death.
+
+    Deliberately *not* a :class:`StoreError`: the degradation paths
+    must never absorb a simulated crash — the torture harness catches
+    it at the call site instead (subprocess variants ``os._exit`` and
+    never raise at all).
+    """
+
+
 class AdvisorError(ReproError):
     """The physical-design advisor received an infeasible problem."""
 

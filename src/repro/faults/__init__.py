@@ -1,0 +1,42 @@
+"""Deterministic fault injection and unified failure policies.
+
+Two halves, one contract:
+
+* :mod:`repro.faults.plan` — seeded, content-addressed fault schedules
+  (:class:`FaultPlan`) delivered through narrow hook points by a
+  :class:`FaultInjector` (default :data:`NULL_INJECTOR`, allocation
+  free, mirroring ``NULL_TRACER``);
+* :mod:`repro.faults.policy` — :class:`RetryPolicy` (deterministic
+  decorrelated jitter), :class:`Deadline` (one budget shared by store
+  I/O and executors), and :class:`CircuitBreaker` (per-worker gating
+  for the remote executor).
+
+The contract the chaos property suite enforces: any injected fault
+sequence either yields bit-identical results to the fault-free run or
+a typed degradation report — never a wrong number, a hang, or a lost
+unit.
+"""
+
+from repro.faults.plan import (FAULT_PLAN_ENV, FAULT_SITES, FaultInjector,
+                               FaultPlan, FaultSpec, FiredFault,
+                               NULL_INJECTOR, NullInjector,
+                               injector_from_env, plan_from_env)
+from repro.faults.policy import (DEFAULT_RETRY_POLICY, CircuitBreaker,
+                                 Deadline, RetryPolicy)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "injector_from_env",
+    "plan_from_env",
+    "DEFAULT_RETRY_POLICY",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+]

@@ -1,0 +1,276 @@
+"""Deterministic fault injection: seeded, content-addressed schedules.
+
+A :class:`FaultPlan` is a plain description of *which* hook-point
+invocations misbehave and *how*: "the 3rd ``store.read`` raises a
+transient error", "the first ``remote.send`` drops the connection",
+"the pool worker crashes on its 2nd unit". Plans are data — JSON
+round-trippable, content-fingerprinted, seedable — so a chaos run is
+exactly as replayable as the estimates it perturbs.
+
+A :class:`FaultInjector` arms one plan: hook points threaded through
+the store, the executors, and the remote transport call
+:meth:`FaultInjector.fire` with their site name, and the injector
+matches the invocation count against the plan's specs. The default
+:data:`NULL_INJECTOR` mirrors :data:`repro.obs.NULL_TRACER`: a
+falsy-``enabled`` singleton whose hooks cost one attribute check, so
+production hot paths stay allocation-free.
+
+Sites and the kinds they honour::
+
+    store.read    error | corrupt | truncate   (arg: byte offset / keep)
+    store.write   error | error_permanent | torn | crash   (arg: bytes
+                  written before the tear/kill; ``crash`` os._exit(32)s)
+    store.lock    error
+    pool.unit     crash                        (worker os._exit(33))
+    remote.send   drop | delay                 (arg: delay seconds)
+    remote.recv   drop
+
+The ``REPRO_FAULT_PLAN`` environment variable carries a plan into
+subprocess workers (process pools inherit the parent's environment):
+inline JSON, or a path to a JSON file. :func:`injector_from_env` is
+what the store and the pool initializer consult when no injector was
+passed explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import EstimationError
+
+#: Environment hook: an inline JSON fault plan, or a path to one.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Every site hook points may fire, with the kinds each honours.
+FAULT_SITES: dict[str, tuple[str, ...]] = {
+    "store.read": ("error", "corrupt", "truncate"),
+    "store.write": ("error", "error_permanent", "torn", "crash"),
+    "store.lock": ("error",),
+    "pool.unit": ("crash",),
+    "remote.send": ("drop", "delay"),
+    "remote.recv": ("drop",),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire at invocations [at, at + count) of a site."""
+
+    site: str
+    kind: str
+    #: 0-based index of the first matching invocation of ``site``.
+    at: int = 0
+    #: Consecutive invocations that fire (so ``count >= max_attempts``
+    #: exhausts a retry budget, while ``count=1`` tests absorption).
+    count: int = 1
+    #: Kind-specific parameter: byte offset for ``corrupt``/``torn``/
+    #: ``crash``, bytes kept for ``truncate``, seconds for ``delay``.
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        kinds = FAULT_SITES.get(self.site)
+        if kinds is None:
+            raise EstimationError(
+                f"unknown fault site {self.site!r}; known: "
+                f"{sorted(FAULT_SITES)}")
+        if self.kind not in kinds:
+            raise EstimationError(
+                f"site {self.site!r} does not honour kind "
+                f"{self.kind!r}; known: {list(kinds)}")
+        if self.at < 0 or self.count <= 0:
+            raise EstimationError(
+                f"fault window needs at >= 0 and count > 0, got "
+                f"at={self.at} count={self.count}")
+
+    def matches(self, invocation: int) -> bool:
+        return self.at <= invocation < self.at + self.count
+
+    def as_dict(self) -> dict:
+        return {"site": self.site, "kind": self.kind, "at": self.at,
+                "count": self.count, "arg": self.arg}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic fault schedule: plain data, content-addressed."""
+
+    faults: tuple[FaultSpec, ...] = ()
+    #: The seed that generated this plan (0 for hand-written plans);
+    #: recorded so a chaos failure reproduces from its report alone.
+    seed: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form — the plan's identity."""
+        return hashlib.sha256(
+            self.to_json().encode("utf-8")).hexdigest()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed,
+             "faults": [spec.as_dict() for spec in self.faults]},
+            sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise EstimationError(
+                f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or \
+                not isinstance(data.get("faults"), list):
+            raise EstimationError(
+                "a fault plan is a JSON object with a 'faults' list")
+        faults = tuple(
+            FaultSpec(site=str(item["site"]), kind=str(item["kind"]),
+                      at=int(item.get("at", 0)),
+                      count=int(item.get("count", 1)),
+                      arg=float(item.get("arg", 0.0)))
+            for item in data["faults"])
+        return cls(faults=faults, seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def generate(cls, seed: int, n_faults: int = 3,
+                 sites: tuple[str, ...] | None = None) -> "FaultPlan":
+        """A seeded random schedule over ``sites`` (all, by default).
+
+        Derivation is pure :mod:`hashlib` over ``(seed, index)`` so the
+        same seed always produces the same plan, independent of process
+        state — the property the chaos smoke run in CI relies on.
+        """
+        if n_faults < 0:
+            raise EstimationError(
+                f"need a non-negative fault count, got {n_faults}")
+        chosen_sites = tuple(sites) if sites is not None \
+            else tuple(sorted(FAULT_SITES))
+        specs = []
+        for index in range(n_faults):
+            digest = hashlib.sha256(
+                f"fault-plan\x1f{seed}\x1f{index}".encode()).digest()
+            site = chosen_sites[digest[0] % len(chosen_sites)]
+            kinds = FAULT_SITES[site]
+            kind = kinds[digest[1] % len(kinds)]
+            specs.append(FaultSpec(
+                site=site, kind=kind, at=digest[2] % 4,
+                count=1 + digest[3] % 2,
+                arg=float(digest[4]) if kind != "delay"
+                else digest[4] / 25600.0))
+        return cls(faults=tuple(specs), seed=seed)
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One fault the injector actually delivered (for reports/tests)."""
+
+    site: str
+    kind: str
+    invocation: int
+
+
+class FaultInjector:
+    """Arms one :class:`FaultPlan`: counts site invocations, fires specs.
+
+    Thread-safe (executors fire hooks from driver threads) and
+    picklable: the plan is plain data, and ``__getstate__`` drops the
+    lock and the invocation counters so a worker process starts its own
+    count — which is the correct semantic: the plan describes each
+    process's local invocation sequence, exactly like the seeded RNGs
+    it perturbs.
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._invocations: dict[str, int] = {}
+        self.fired: list[FiredFault] = []
+
+    def fire(self, site: str) -> FaultSpec | None:
+        """Count one invocation of ``site``; the matching spec, if any."""
+        with self._lock:
+            invocation = self._invocations.get(site, 0)
+            self._invocations[site] = invocation + 1
+            for spec in self.plan.faults:
+                if spec.site == site and spec.matches(invocation):
+                    self.fired.append(
+                        FiredFault(site=site, kind=spec.kind,
+                                   invocation=invocation))
+                    return spec
+        return None
+
+    def fired_count(self) -> int:
+        with self._lock:
+            return len(self.fired)
+
+    def reset(self) -> None:
+        """Zero the invocation counters (a fresh run of the same plan)."""
+        with self._lock:
+            self._invocations.clear()
+            self.fired.clear()
+
+    def __getstate__(self) -> dict:
+        return {"plan": self.plan}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["plan"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FaultInjector(faults={len(self.plan.faults)}, "
+                f"fingerprint={self.plan.fingerprint[:12]}…)")
+
+
+class NullInjector:
+    """The do-nothing injector; ``enabled`` is False so hooks early-out."""
+
+    enabled = False
+
+    def fire(self, site: str) -> None:
+        return None
+
+    def fired_count(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NULL_INJECTOR"
+
+
+#: Shared no-op injector: hot paths hold this by default, so an
+#: un-chaos'd run pays one ``enabled`` attribute check per hook.
+NULL_INJECTOR = NullInjector()
+
+
+def plan_from_env() -> FaultPlan | None:
+    """The ``REPRO_FAULT_PLAN`` plan, or ``None`` when unset.
+
+    The value is inline JSON when it starts with ``{``, otherwise a
+    path to a JSON file — the path form is what CI's chaos smoke uses
+    so the plan also lands in the uploaded artifacts.
+    """
+    raw = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    if not raw:
+        return None
+    if raw.startswith("{"):
+        return FaultPlan.from_json(raw)
+    path = pathlib.Path(raw)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise EstimationError(
+            f"{FAULT_PLAN_ENV} points at an unreadable plan file "
+            f"{raw!r}: {exc}") from exc
+    return FaultPlan.from_json(text)
+
+
+def injector_from_env() -> "FaultInjector | NullInjector":
+    """An armed injector for the environment's plan, else NULL_INJECTOR."""
+    plan = plan_from_env()
+    if plan is None:
+        return NULL_INJECTOR
+    return FaultInjector(plan)

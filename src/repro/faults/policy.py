@@ -1,0 +1,178 @@
+"""Unified failure policies: retry backoff, deadlines, circuit breaking.
+
+Three small, composable pieces shared by the store tier, the engine,
+and the remote executor — so "what happens when something fails" is a
+policy object, not an accident of whichever ``except`` clause happens
+to catch first:
+
+* :class:`RetryPolicy` — bounded attempts with decorrelated-jitter
+  backoff whose jitter derives from a caller-supplied deterministic
+  seed (pure :mod:`hashlib`), so a retried run sleeps the same amounts
+  as its replay and stays bit-identical end to end;
+* :class:`Deadline` — a monotonic-clock budget propagated through
+  :class:`~repro.engine.units.UnitContext` into store I/O (caps retry
+  sleeps) and executors (skip units past the budget, reported as typed
+  outcomes instead of raising);
+* :class:`CircuitBreaker` — per-worker failure gating for the remote
+  executor: closed while healthy, open after ``failure_threshold``
+  consecutive failures, then a half-open probe re-``connect()``s the
+  worker (after ``cooldown`` skipped batches, 0 by default so the
+  probe lands on the next batch).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import EstimationError
+
+
+def _jitter(seed: int, attempt: int) -> float:
+    """A deterministic uniform draw in [0, 1) from (seed, attempt).
+
+    Pure hashlib — no RNG object, no process state — so retry timing
+    replays exactly and never perturbs any seeded estimate stream.
+    """
+    digest = hashlib.sha256(
+        f"retry-jitter\x1f{seed}\x1f{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic decorrelated-jitter backoff.
+
+    ``max_attempts`` counts total tries (1 = no retry). Delays follow
+    the decorrelated-jitter recursion ``d_{i} = min(max_delay,
+    uniform(base_delay, 3 * d_{i-1}))`` with the uniform driven by
+    :func:`_jitter`, so two processes retrying the same (seed, attempt)
+    sleep identically.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.005
+    max_delay: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise EstimationError(
+                f"need a positive attempt budget, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise EstimationError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}/{self.max_delay}")
+
+    def delay_for(self, seed: int, attempt: int) -> float:
+        """The sleep before retry ``attempt`` (1-based), in seconds."""
+        if attempt <= 0:
+            raise EstimationError(
+                f"retry attempts are 1-based, got {attempt}")
+        delay = self.base_delay
+        for step in range(1, attempt + 1):
+            span = max(3.0 * delay - self.base_delay, 0.0)
+            delay = min(self.max_delay,
+                        self.base_delay + _jitter(seed, step) * span)
+        return delay
+
+
+#: The engine-wide default: three tries, sub-second total backoff —
+#: a transient store hiccup heals without ever dominating a batch.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A monotonic-clock execution budget.
+
+    Built with :meth:`after`; carried through ``UnitContext`` so every
+    layer shares one budget. Comparisons use ``time.monotonic`` (never
+    wall-clock), so a deadline is meaningful only within the process
+    (and its forked children) that created it — which is exactly the
+    scope executors run in.
+    """
+
+    expires_at: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        if seconds < 0:
+            raise EstimationError(
+                f"need a non-negative deadline, got {seconds}")
+        return cls(expires_at=time.monotonic() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def clamp(self, timeout: float) -> float:
+        """``timeout`` capped to the remaining budget (floored at ~0)."""
+        return max(0.001, min(timeout, self.remaining()))
+
+
+class CircuitBreaker:
+    """Per-worker failure gating: closed -> open -> half-open -> closed.
+
+    Thread-safe; the remote executor holds one per worker address
+    across batches. ``allow()`` gates (re)connection attempts:
+    closed always allows; open skips ``cooldown`` calls, then goes
+    half-open and allows exactly the probe; the probe's
+    ``record_success``/``record_failure`` closes or re-opens.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown: int = 0) -> None:
+        if failure_threshold <= 0:
+            raise EstimationError(
+                f"need a positive failure threshold, got "
+                f"{failure_threshold}")
+        if cooldown < 0:
+            raise EstimationError(
+                f"need a non-negative cooldown, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._skips_left = 0
+        self._state = "closed"
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a (re)connection attempt may proceed right now."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._skips_left > 0:
+                    self._skips_left -= 1
+                    return False
+                self._state = "half_open"
+            return True  # half-open: this attempt is the probe
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == "half_open" or \
+                    self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._skips_left = self.cooldown
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"threshold={self.failure_threshold}, "
+                f"cooldown={self.cooldown})")

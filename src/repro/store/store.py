@@ -45,6 +45,7 @@ Guarantees:
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -56,8 +57,11 @@ import threading
 import time
 from typing import Any, Callable, Iterator, NamedTuple
 
-from repro.errors import StoreError
+from repro.errors import (InjectedFault, PermanentStoreError, StoreError,
+                          TransientStoreError)
 from repro.engine.samples import MaterializedSample
+from repro.faults import FaultInjector, NULL_INJECTOR, NullInjector, \
+    injector_from_env
 from repro.store.locks import FileLock
 
 #: On-disk format version; bumped on incompatible envelope changes.
@@ -82,6 +86,22 @@ class StoreEntry(NamedTuple):
     path: pathlib.Path
     size_bytes: int
     mtime: float
+
+
+#: OS error codes a retry can plausibly clear: contention, interrupted
+#: syscalls, momentary resource exhaustion. Everything else stays a
+#: plain :class:`StoreError` (degrade immediately, no retry).
+_TRANSIENT_ERRNOS = frozenset({
+    errno.EAGAIN, errno.EINTR, errno.EBUSY, errno.ENOSPC, errno.EDQUOT,
+    errno.ETIMEDOUT, errno.EMFILE, errno.ENFILE,
+})
+
+
+def _store_error_for(exc: OSError) -> type[StoreError]:
+    """The StoreError subclass matching an OS error's retryability."""
+    if exc.errno in _TRANSIENT_ERRNOS:
+        return TransientStoreError
+    return StoreError
 
 
 def _checksum(body: bytes) -> bytes:
@@ -147,12 +167,19 @@ class SampleStore:
     """
 
     def __init__(self, root: str | os.PathLike,
-                 max_bytes: int | None = None) -> None:
+                 max_bytes: int | None = None,
+                 injector: "FaultInjector | NullInjector | None" = None,
+                 ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise StoreError(
                 f"store size budget must be positive, got {max_bytes}")
         self.root = pathlib.Path(root).expanduser()
         self.max_bytes = max_bytes
+        # Fault hooks: explicit injector, else the REPRO_FAULT_PLAN
+        # environment hook (how subprocess workers inherit chaos
+        # plans), else the allocation-free no-op.
+        self.injector = injector if injector is not None \
+            else injector_from_env()
         self._counter_lock = threading.Lock()
         #: Running size estimate this handle maintains so budgeted
         #: writes don't rescan the directory every time; ``None`` until
@@ -162,7 +189,7 @@ class SampleStore:
             "sample_hits": 0, "sample_misses": 0, "sample_writes": 0,
             "estimate_hits": 0, "estimate_misses": 0,
             "estimate_writes": 0, "quarantined": 0, "evicted": 0,
-            "bytes_read": 0, "bytes_written": 0,
+            "bytes_read": 0, "bytes_written": 0, "faults_injected": 0,
         }
         self._init_layout()
 
@@ -179,7 +206,7 @@ class SampleStore:
         if version_file.exists():
             text = version_file.read_text(encoding="ascii").strip()
             if text != str(STORE_FORMAT):
-                raise StoreError(
+                raise PermanentStoreError(
                     f"store at {self.root} uses format {text!r}; this "
                     f"build reads format {STORE_FORMAT} — clear the "
                     f"directory or point --store-dir elsewhere")
@@ -197,9 +224,10 @@ class SampleStore:
 
     def _entry_path(self, kind: str, key: str) -> pathlib.Path:
         if kind not in _KINDS:
-            raise StoreError(f"unknown entry kind {kind!r}")
+            raise PermanentStoreError(f"unknown entry kind {kind!r}")
         if not key or any(c not in "0123456789abcdef" for c in key):
-            raise StoreError(f"store keys are hex digests, got {key!r}")
+            raise PermanentStoreError(
+                f"store keys are hex digests, got {key!r}")
         return self.root / kind / key[:2] / f"{key}.bin"
 
     def _store_lock(self) -> FileLock:
@@ -211,6 +239,55 @@ class SampleStore:
     def _count(self, name: str, amount: int = 1) -> None:
         with self._counter_lock:
             self.counters[name] += amount
+
+    # ------------------------------------------------------------------
+    # Fault hooks (no-ops unless an injector is armed)
+    # ------------------------------------------------------------------
+    def _injected_read(self, blob: bytes) -> bytes:
+        """Apply any scheduled ``store.read`` fault to a read blob."""
+        spec = self.injector.fire("store.read")
+        if spec is None:
+            return blob
+        self._count("faults_injected")
+        if spec.kind == "error":
+            raise TransientStoreError(
+                "injected store.read fault (transient I/O error)")
+        offset = int(spec.arg) % max(len(blob), 1)
+        if spec.kind == "corrupt":
+            # Flip one byte — the envelope checksum must catch it and
+            # the entry must quarantine, never decode garbage.
+            return (blob[:offset] + bytes([blob[offset] ^ 0xFF])
+                    + blob[offset + 1:])
+        return blob[:offset]  # "truncate": a short read
+
+    def _injected_write(self, blob: bytes,
+                        directory: pathlib.Path) -> None:
+        """Apply any scheduled ``store.write`` fault before publishing."""
+        spec = self.injector.fire("store.write")
+        if spec is None:
+            return
+        self._count("faults_injected")
+        if spec.kind == "error":
+            raise TransientStoreError(
+                "injected store.write fault (transient I/O error)")
+        if spec.kind == "error_permanent":
+            raise PermanentStoreError(
+                "injected store.write fault (permanent)")
+        # "torn" / "crash": simulate the writer dying mid-write — the
+        # partial envelope lands in a private tmp file that is never
+        # os.replace-d, exactly the on-disk state a real kill leaves.
+        offset = min(int(spec.arg), len(blob))
+        fd, tmp = tempfile.mkstemp(prefix=f".tmp-{os.getpid()}-",
+                                   dir=directory)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob[:offset])
+            handle.flush()
+            os.fsync(handle.fileno())
+        if spec.kind == "crash":
+            os._exit(32)
+        raise InjectedFault(
+            f"injected torn write after {offset} of {len(blob)} bytes "
+            f"(tmp file abandoned at {tmp})")
 
     # ------------------------------------------------------------------
     # Raw entry I/O
@@ -229,10 +306,12 @@ class SampleStore:
             payload = pickle.dumps(payload_obj,
                                    protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
-            raise StoreError(
+            raise PermanentStoreError(
                 f"cannot serialize {kind} entry {key[:12]}…: {exc}"
             ) from exc
         blob = _pack_envelope(full_meta, payload)
+        if self.injector.enabled:
+            self._injected_write(blob, path.parent)
         tmp = None
         try:
             # mkstemp: a unique name per call, so concurrent writers of
@@ -249,7 +328,7 @@ class SampleStore:
         except OSError as exc:
             if tmp is not None:
                 pathlib.Path(tmp).unlink(missing_ok=True)
-            raise StoreError(
+            raise _store_error_for(exc)(
                 f"cannot write store entry under {self.root}: {exc}"
             ) from exc
         if self.max_bytes is not None:
@@ -264,8 +343,10 @@ class SampleStore:
         except FileNotFoundError:
             return None
         except OSError as exc:
-            raise StoreError(
+            raise _store_error_for(exc)(
                 f"cannot read store entry {path}: {exc}") from exc
+        if self.injector.enabled:
+            blob = self._injected_read(blob)
         self._count("bytes_read", len(blob))
         try:
             _meta, payload = _unpack_envelope(blob)
@@ -330,6 +411,11 @@ class SampleStore:
         sample = self.get_sample(key)
         if sample is not None:
             return sample, True
+        if self.injector.enabled and \
+                self.injector.fire("store.lock") is not None:
+            self._count("faults_injected")
+            raise TransientStoreError(
+                f"injected store.lock fault for key {key[:12]}…")
         with self._key_lock(key):
             sample = self.get_sample(key)
             if sample is not None:

@@ -1,0 +1,28 @@
+# repro-lint-fixture: expect=RPL006:25
+# repro-lint-fixture: swallow-all
+"""A silently swallowed store failure, reintroduced in isolation.
+
+The failure-semantics contract for the store/engine layers is
+*absorbed and accounted*: a fault may be degraded around, but only
+through a path that re-raises, records a counter, or routes through a
+quarantine/degradation call. An ``except Exception: pass`` turns an
+injected (or real) fault into an invisible wrong-path — the estimate
+silently comes from nowhere and no counter moves.
+"""
+
+
+class Store:
+    def __init__(self) -> None:
+        self.misses = 0
+
+    def read(self, path: str) -> bytes | None:
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            # Clean: a narrow type is an explicit decision, not a net.
+            return None
+        except Exception:
+            # The bug: every other failure class — permission, I/O,
+            # corruption mid-read — vanishes without a trace.
+            return None

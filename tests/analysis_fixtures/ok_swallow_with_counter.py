@@ -1,0 +1,44 @@
+# repro-lint-fixture: swallow-all
+"""Negative twin of the swallowed-exception bug: absorbed *and* accounted.
+
+Same read shape as ``bug_swallowed_exception.py``; every overbroad
+handler now either bumps a counter, routes through a degradation call,
+or carries a suppression with a rationale — the linter must stay
+silent.
+"""
+
+
+class Store:
+    def __init__(self) -> None:
+        self.degraded_reads = 0
+
+    def _quarantine(self, path: str) -> None:
+        self.degraded_reads += 1
+
+    def read(self, path: str) -> bytes | None:
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except Exception:
+            # Clean: the miss is recorded before being absorbed.
+            self.degraded_reads += 1
+            return None
+
+    def read_quarantining(self, path: str) -> bytes | None:
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except Exception:
+            # Clean: degradation routed through an accounting call.
+            self._quarantine(path)
+            return None
+
+    def probe(self, path: str) -> bool:
+        try:
+            with open(path, "rb"):
+                return True
+        # repro-lint: ignore[RPL006] -- best-effort existence probe on
+        # the diagnostics path; a failure here is equivalent to a miss
+        # and deliberately unrecorded.
+        except Exception:
+            return False

@@ -385,4 +385,5 @@ class TestConfigAndOutput:
 
     def test_rule_codes_cover_registry_and_meta(self):
         assert rule_codes() == {"RPL000", "RPL001", "RPL002",
-                                "RPL003", "RPL004", "RPL005"}
+                                "RPL003", "RPL004", "RPL005",
+                                "RPL006"}

@@ -24,11 +24,13 @@ EXPECTED_CODES = {
     "bug_pr2_unguarded_stats.py": ["RPL005"],
     "bug_pr3_address_repr_codec.py": ["RPL002"],
     "bug_suppression_discipline.py": ["RPL000", "RPL000", "RPL000"],
+    "bug_swallowed_exception.py": ["RPL006"],
     "bug_wallclock_reachable.py": ["RPL001"],
     "ok_codec_with_repr.py": [],
     "ok_entropy_suppressed.py": [],
     "ok_guarded_stats.py": [],
     "ok_lock_with_getstate.py": [],
+    "ok_swallow_with_counter.py": [],
     "ok_wallclock_exempt_module.py": [],
 }
 
@@ -37,7 +39,7 @@ def test_corpus_covers_every_rule_code():
     flagged = {code for codes in EXPECTED_CODES.values()
                for code in codes}
     assert flagged == {"RPL000", "RPL001", "RPL002", "RPL003",
-                       "RPL004", "RPL005"}
+                       "RPL004", "RPL005", "RPL006"}
 
 
 def test_corpus_matches_manifest():

@@ -270,3 +270,138 @@ class TestRemoteExecutorSmall:
             assert got.stats["remote_fallback_units"] == 0
         finally:
             shutdown()
+
+
+class TestCircuitBreaker:
+    """Cross-batch worker lifecycle: bury, skip, probe, rejoin.
+
+    The executor keeps links and per-address breakers across run()
+    calls; a worker that dies is buried through its breaker, and —
+    the PR 9 satellite fix — a worker that *restarts* on the same
+    address rejoins via the half-open probe instead of staying buried
+    for the executor's lifetime.
+    """
+
+    @staticmethod
+    def _worker_on(port, **kwargs):
+        """serve() on a chosen port (0 = ephemeral); returns addr+stop."""
+        box: dict = {}
+        bound = threading.Event()
+        stop = threading.Event()
+
+        def ready(addr):
+            box["addr"] = addr
+            bound.set()
+
+        thread = threading.Thread(
+            target=remote.serve,
+            kwargs={"port": port, "ready": ready,
+                    "stop_event": stop, **kwargs},
+            daemon=True)
+        thread.start()
+        assert bound.wait(timeout=10)
+
+        def shutdown():
+            stop.set()
+            thread.join(timeout=5)
+
+        return box["addr"], shutdown
+
+    @staticmethod
+    def _requests():
+        table = make_table(n=600, d=25, k=10, seed=8, page_size=1024)
+        return [EstimationRequest(
+            table=table, columns=("a",), algorithm=name,
+            fraction=0.05, trials=2, page_size=512)
+            for name in ("null_suppression", "rle")]
+
+    def _reference(self):
+        from repro.engine.executors import SerialExecutor
+
+        batch = EstimationEngine(
+            seed=4, executor=SerialExecutor()).execute(self._requests())
+        return [r.values.tolist() for r in batch.results]
+
+    def test_restarted_worker_rejoins_via_probe(self):
+        """Die between batches, restart on the same port, rejoin."""
+        reference = self._reference()
+        # fail_after_units=4: batch 1 (4 units) completes, batch 2's
+        # first chunk kills the connection — death *between* batches
+        # from the executor's point of view.
+        address, shutdown = self._worker_on(0, fail_after_units=4)
+        executor = RemotePlanExecutor(
+            workers=[address], breaker_threshold=1,
+            max_local_workers=2, connect_timeout=0.5)
+        engine = EstimationEngine(seed=4, executor=executor)
+        try:
+            one = engine.execute(self._requests())
+            assert one.stats["remote_units"] == 4
+            assert [r.values.tolist() for r in one.results] == reference
+
+            two = engine.execute(self._requests())  # worker dies here
+            assert two.stats["remote_worker_failures"] == 1
+            assert two.stats["remote_units"] == 0
+            assert [r.values.tolist() for r in two.results] == reference
+        finally:
+            shutdown()
+        # The worker restarts on the same address; the next batch's
+        # half-open probe must re-connect() it, not skip it forever.
+        address2, shutdown2 = self._worker_on(address[1])
+        assert address2 == address
+        try:
+            three = engine.execute(self._requests())
+            assert three.stats["breaker_probes"] == 1
+            assert three.stats["breaker_reconnects"] == 1
+            assert three.stats["remote_units"] == 4
+            assert three.stats["remote_fallback_units"] == 0
+            assert [r.values.tolist()
+                    for r in three.results] == reference
+        finally:
+            shutdown2()
+            executor.close()
+
+    def test_open_breaker_skips_for_cooldown_batches(self):
+        """cooldown=N: N batches skip the address without connecting."""
+        reference = self._reference()
+        address, shutdown = self._worker_on(0, fail_after_units=4)
+        executor = RemotePlanExecutor(
+            workers=[address], breaker_threshold=1, breaker_cooldown=1,
+            max_local_workers=2, connect_timeout=0.5)
+        engine = EstimationEngine(seed=4, executor=executor)
+        try:
+            engine.execute(self._requests())            # warm batch
+            engine.execute(self._requests())            # death -> open
+        finally:
+            shutdown()
+        address2, shutdown2 = self._worker_on(address[1])
+        try:
+            skip = engine.execute(self._requests())     # cooldown skip
+            assert skip.stats["breaker_open_skips"] == 1
+            assert skip.stats["remote_units"] == 0
+            assert [r.values.tolist()
+                    for r in skip.results] == reference
+            probe = engine.execute(self._requests())    # the probe
+            assert probe.stats["breaker_probes"] == 1
+            assert probe.stats["breaker_reconnects"] == 1
+            assert probe.stats["remote_units"] == 4
+            assert [r.values.tolist()
+                    for r in probe.results] == reference
+        finally:
+            shutdown2()
+            executor.close()
+
+    def test_unreachable_address_opens_breaker(self):
+        """Connect failures count toward the threshold too."""
+        address, shutdown = self._worker_on(0)
+        shutdown()  # nothing listens any more
+        executor = RemotePlanExecutor(
+            workers=[address], breaker_threshold=2, breaker_cooldown=5,
+            max_local_workers=2, connect_timeout=0.2)
+        engine = EstimationEngine(seed=4, executor=executor)
+        reference = self._reference()
+        for expected_skips in (0, 0, 1):
+            batch = engine.execute(self._requests())
+            assert batch.stats["breaker_open_skips"] == expected_skips
+            assert [r.values.tolist()
+                    for r in batch.results] == reference
+        executor.close()

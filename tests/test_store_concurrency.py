@@ -142,3 +142,49 @@ class TestCrossProcess:
         clone = pickle.loads(pickle.dumps(store))
         assert clone.max_bytes == store.max_bytes
         assert clone.get_sample(KEY) is not None
+
+    def test_corrupt_entry_race_rematerializes_exactly_once(
+            self, tmp_path):
+        """Two processes racing a byte-flipped envelope: one factory run.
+
+        A valid entry is corrupted in place on disk; both racers see
+        the checksum miss (quarantine-as-miss), and the per-key flock
+        must still collapse re-materialization to exactly one factory
+        run across both processes — the second racer reads the fresh
+        entry the winner wrote.
+        """
+        store_dir = tmp_path / "store"
+        store = SampleStore(store_dir)
+        store.put_sample(KEY, _draw_sample())
+        entry = store._entry_path("samples", KEY)
+        blob = bytearray(entry.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # flip one body byte
+        entry.write_bytes(bytes(blob))
+        log_path = tmp_path / "materializations.log"
+        results = [tmp_path / "result-0.json", tmp_path / "result-1.json"]
+        barrier = _CTX.Barrier(3)
+        workers = [
+            _CTX.Process(target=_contending_worker,
+                         args=(str(store_dir), str(log_path),
+                               str(result), barrier))
+            for result in results
+        ]
+        for worker in workers:
+            worker.start()
+        barrier.wait(timeout=30)
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        # Exactly one re-materialization across both processes, and
+        # both racers agree on the recovered sample.
+        assert log_path.read_text().splitlines() == ["materialized"]
+        outcomes = [json.loads(result.read_text()) for result in results]
+        assert sorted(o["hit"] for o in outcomes) == [False, True]
+        assert outcomes[0]["first_row"] == outcomes[1]["first_row"]
+        # The corrupt envelope was moved aside, and the rewritten
+        # entry reads clean from a fresh handle.
+        fresh = SampleStore(store_dir)
+        recovered = fresh.get_sample(KEY)
+        assert recovered is not None
+        assert recovered.rows == _draw_sample().rows
+        assert fresh.counters["quarantined"] == 0
