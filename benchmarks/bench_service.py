@@ -1,0 +1,240 @@
+"""Experiment `perf-service` — multi-tenant micro-batching under load.
+
+The service fronts one warm :class:`EstimationEngine` with an HTTP
+surface and a collection window that coalesces concurrent clients into
+shared engine batches. This bench pins the three claims that design
+makes:
+
+1. **Correctness under concurrency.** Every client's results are
+   bit-identical to a serial one-spec-at-a-time reference run —
+   coalescing, thread scheduling, and round composition never leak
+   into an estimate.
+2. **Cross-client sample sharing is real.** A fleet of clients posting
+   overlapping specs materializes each distinct (source, fraction,
+   seed) sample exactly once; everything else resolves from the
+   memory tier (``sample_cache_hits`` + in-batch dedup cover the
+   rest of the trial units).
+3. **Coalescing reduces engine rounds.** With a collection window the
+   engine executes far fewer batches than the number of submissions;
+   with ``--window 0`` every submission is its own round. The bench
+   reports rounds, coalesced submissions, and wall-clock for both.
+
+Results land in ``benchmarks/results/BENCH_service.json``. Run::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import threading
+import time
+import urllib.request
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _common import RESULTS_DIR, emit_result  # noqa: E402
+
+from repro._version import __version__  # noqa: E402
+from repro.service import ServiceConfig, make_server  # noqa: E402
+from repro.service.app import EstimationService  # noqa: E402
+
+MASTER_SEED = 7200
+
+
+def build_specs(smoke: bool) -> list[dict]:
+    """Overlapping tenant specs: same workloads, varied request mixes.
+
+    Clients deliberately share workload definitions and most request
+    shapes so the cross-client dedup has something to merge, with a
+    few per-client fractions mixed in so rounds are not pure
+    duplicates.
+    """
+    clients = 4 if smoke else 8
+    specs = []
+    for client in range(clients):
+        spec = {
+            "seed": MASTER_SEED,
+            "workloads": {
+                "names": {"scenario": "status_codes", "rows": 4000},
+                "ids": {"n": 3000, "d": 30, "k": 20, "seed": 5},
+            },
+            "requests": [
+                {"workload": "names", "algorithm": "null_suppression",
+                 "fraction": 0.02, "trials": 3},
+                {"workload": "ids", "algorithm": "rle",
+                 "fraction": 0.05, "trials": 2},
+                # One per-client shape so rounds mix shared + unique.
+                {"workload": "ids", "algorithm": "null_suppression",
+                 "fraction": 0.02 + 0.01 * (client % 4), "trials": 2},
+            ],
+        }
+        specs.append(spec)
+    return specs
+
+
+def post_json(base: str, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        if resp.status != 200:
+            raise AssertionError(f"POST {path} -> {resp.status}")
+        return json.loads(resp.read())
+
+
+def hammer(window: float, specs: list[dict],
+           rounds: int) -> tuple[list[list], dict, float]:
+    """Run ``rounds`` waves of concurrent clients; return results,
+    final /stats-equivalent counters, and wall-clock seconds."""
+    server, service = make_server(ServiceConfig(window=window))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    results: list[list] = [[] for _ in specs]
+    try:
+        start = time.perf_counter()
+        for _ in range(rounds):
+            barrier = threading.Barrier(len(specs))
+            wave: list = [None] * len(specs)
+
+            def client(position: int, spec: dict) -> None:
+                barrier.wait()
+                wave[position] = post_json(base, "/estimate-batch",
+                                           spec)
+
+            threads = [threading.Thread(target=client, args=(i, spec))
+                       for i, spec in enumerate(specs)]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=120)
+            if any(entry is None for entry in wave):
+                raise AssertionError("a client never completed")
+            for position, payload in enumerate(wave):
+                results[position].append(payload["results"])
+        seconds = time.perf_counter() - start
+        counters = {
+            "engine": service.engine.stats.as_dict(),
+            "batcher": service.batcher.snapshot(),
+            "workload_cache": service.workloads.snapshot(),
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=10)
+    return results, counters, seconds
+
+
+def run(smoke: bool, output: pathlib.Path) -> dict:
+    specs = build_specs(smoke)
+    waves = 2 if smoke else 4
+    report: dict = {
+        "experiment": "service",
+        "version": __version__,
+        "mode": "smoke" if smoke else "full",
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "clients": len(specs),
+        "waves": waves,
+    }
+
+    # -- serial reference: each spec alone on a fresh service ----------
+    serial = EstimationService(ServiceConfig(window=0.0))
+    try:
+        reference = [serial.run_batch(spec)["results"]
+                     for spec in specs]
+    finally:
+        serial.close()
+
+    # -- concurrent clients through the collection window --------------
+    coalesced, stats, seconds = hammer(0.05, specs, waves)
+    for client_results in zip(coalesced, reference):
+        observed, expected = client_results
+        for wave_results in observed:
+            if wave_results != expected:
+                raise AssertionError(
+                    "coalesced results differ from the serial "
+                    "reference — batching broke determinism")
+    submissions = stats["batcher"]["submissions"]
+    rounds = stats["batcher"]["rounds"]
+    report["coalesced"] = {
+        "seconds": round(seconds, 4),
+        "submissions": submissions,
+        "engine_rounds": rounds,
+        "coalesced_submissions":
+            stats["batcher"]["coalesced_submissions"],
+        "largest_round": stats["batcher"]["largest_round"],
+        "samples_materialized":
+            stats["engine"]["samples_materialized"],
+        "sample_cache_hits": stats["engine"]["sample_cache_hits"],
+        "workload_cache": stats["workload_cache"],
+    }
+    if rounds >= submissions:
+        raise AssertionError(
+            f"no coalescing happened: {rounds} engine rounds for "
+            f"{submissions} submissions")
+    # Cross-client + cross-wave sharing: each distinct (source,
+    # fraction, seed) sample materializes exactly once for the whole
+    # run. Shared shapes: names@0.02 x3 trials + ids@0.05 x2. Extras
+    # add fractions 0.02/0.03/0.04/0.05 over ids x2 trials each, but
+    # samples are algorithm-blind, so the 0.05 extra rides the shared
+    # ids@0.05 samples: 3 + 2 + (4*2 - 2) = 11.
+    distinct = 11
+    if stats["engine"]["samples_materialized"] != distinct:
+        raise AssertionError(
+            f"expected {distinct} distinct samples materialized, got "
+            f"{stats['engine']['samples_materialized']}")
+    if stats["workload_cache"]["entries"] != 2:
+        raise AssertionError("workload cache failed to canonicalize "
+                             "the shared workload definitions")
+
+    # -- same load, window 0: every submission its own round -----------
+    unbatched, stats0, seconds0 = hammer(0.0, specs, waves)
+    for observed, expected in zip(unbatched, reference):
+        for wave_results in observed:
+            if wave_results != expected:
+                raise AssertionError(
+                    "window-0 results differ from the serial "
+                    "reference")
+    report["unbatched"] = {
+        "seconds": round(seconds0, 4),
+        "submissions": stats0["batcher"]["submissions"],
+        "engine_rounds": stats0["batcher"]["rounds"],
+        "samples_materialized":
+            stats0["engine"]["samples_materialized"],
+    }
+    report["rounds_saved_fraction"] = round(
+        1.0 - rounds / submissions, 3)
+
+    emit_result("service", report,
+                parameters={"mode": "smoke" if smoke else "full"},
+                output=output)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the estimation service: coalescing, "
+                    "cross-client sharing, determinism under load.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run (4 clients, 2 waves)")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=RESULTS_DIR / "BENCH_service.json",
+                        help="where to write the JSON baseline")
+    args = parser.parse_args(argv)
+    report = run(args.smoke, args.output)
+    print(json.dumps(report, indent=2))
+    print(f"\nbaseline written to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,7 @@ and skipping its estimation cannot change the selection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -404,8 +404,18 @@ class WhatIfAdvisor:
     # ------------------------------------------------------------------
     # The lazy greedy loop
     # ------------------------------------------------------------------
-    def advise(self, storage_bound_bytes: float) -> WhatIfResult:
-        """Select a design under ``storage_bound_bytes``, lazily."""
+    def advise(self, storage_bound_bytes: float,
+               on_round: "Callable[[dict[str, Any]], None] | None" = None,
+               ) -> WhatIfResult:
+        """Select a design under ``storage_bound_bytes``, lazily.
+
+        ``on_round``, when given, is called after every greedy round
+        with a plain-dict progress event (round number, the committed
+        winner or ``None`` on the final round, running cost, remaining
+        budget) — the hook a streaming service uses to emit incremental
+        events while a long run is still deciding. The callback is
+        observational: selection is bit-identical with or without it.
+        """
         if storage_bound_bytes <= 0:
             raise AdvisorError(
                 f"storage bound must be positive, got "
@@ -437,6 +447,11 @@ class WhatIfAdvisor:
                         winner=winner.name if winner is not None
                         else None)
                 if winner is None:
+                    if on_round is not None:
+                        on_round({"round": rounds, "winner": None,
+                                  "chosen": len(chosen),
+                                  "cost": current,
+                                  "budget_remaining": budget})
                     break
                 candidate = winner.as_candidate()
                 reduction, total = candidate_gain(
@@ -449,6 +464,12 @@ class WhatIfAdvisor:
                     f"+{candidate.name} ({candidate.size_bytes:.0f} B, "
                     f"cost {current:.1f} -> {total:.1f})")
                 current = total
+                if on_round is not None:
+                    on_round({"round": rounds, "winner": candidate.name,
+                              "size_bytes": candidate.size_bytes,
+                              "chosen": len(chosen),
+                              "cost": current,
+                              "budget_remaining": budget})
             advise_span.annotate(rounds=rounds, chosen=len(chosen))
         report = self._finish_report(rounds, tuple(prune_events),
                                      executed_before)

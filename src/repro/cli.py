@@ -29,6 +29,7 @@ Examples::
         --executor process
     python -m repro estimate-batch spec.json --trace trace.jsonl
     python -m repro trace summarize trace.jsonl --top 5
+    python -m repro serve --port 8080 --store-dir ~/.repro-store
     python -m repro cache stats --store-dir ~/.repro-store
     python -m repro cache prune --store-dir ~/.repro-store \
         --max-bytes 104857600
@@ -71,7 +72,6 @@ import numpy as np
 from repro._version import __version__
 from repro.errors import ReproError
 from repro.compression.registry import get_algorithm, list_algorithms
-from repro.storage.index import IndexKind
 from repro.core.bounds import (dict_large_d_bound, dict_small_d_bound,
                                ns_stddev_bound)
 from repro.core.metrics import ErrorSummary, ratio_error
@@ -85,12 +85,17 @@ from repro.experiments.registry import list_experiments
 from repro.experiments.report import fmt_bytes, format_table
 from repro.sampling.rng import make_rng
 from repro.store import SampleStore
-from repro.workloads.generators import (histogram_to_table,
-                                        make_histogram,
-                                        make_multicolumn_table)
+from repro.workloads.generators import make_histogram
 from repro.workloads.scenarios import SCENARIOS, get_scenario
-from repro.advisor import Query, WhatIfAdvisor, advise_from_data
+from repro.advisor import WhatIfAdvisor, advise_from_data
 from repro.obs import Tracer, one_line, read_trace, render, summarize
+# The JSON spec language is shared with the HTTP service; the builders
+# live in repro.service.schemas and the CLI imports them back.
+from repro.service.schemas import (build_advise_query,
+                                   build_advise_table,
+                                   build_batch, candidate_entry,
+                                   parse_spec_text,
+                                   request_result_entry)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -307,6 +312,49 @@ def _build_parser() -> argparse.ArgumentParser:
     worker_serve.add_argument("--fail-after-units", type=int,
                               default=None, help=argparse.SUPPRESS)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the estimation HTTP service over one shared engine")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to bind; 0 picks an ephemeral one "
+                            "(printed on the ready line)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="engine master seed (results never depend "
+                            "on it: specs are seed-normalized)")
+    serve.add_argument("--window", type=float, default=0.02,
+                       metavar="SECONDS",
+                       help="micro-batch collection window; concurrent "
+                            "clients arriving within it share one "
+                            "engine batch (default: 0.02)")
+    serve.add_argument("--store-dir", default=None,
+                       help="persistent sample/estimate store shared "
+                            "by every client of this service")
+    serve.add_argument("--executor", choices=list(EXECUTOR_NAMES),
+                       default=None,
+                       help="engine executor for coalesced batches")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker count for thread/process executors")
+    serve.add_argument("--max-body-bytes", type=int, default=1 << 20,
+                       help="reject larger request bodies with 413 "
+                            "(default: 1048576)")
+    serve.add_argument("--max-batch-requests", type=int, default=256,
+                       help="reject larger batches with 413 "
+                            "(default: 256)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="batching queue bound; a full queue "
+                            "rejects with 429 (default: 64)")
+    serve.add_argument("--max-concurrent", type=int, default=4,
+                       help="concurrent engine execute slots; direct "
+                            "(deadline/advise) runs beyond it get 503 "
+                            "(default: 4)")
+    serve.add_argument("--trace", default=None, metavar="FILE",
+                       help="record a JSONL span trace of every batch "
+                            "to FILE")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
     lint = commands.add_parser(
         "lint",
         help="run the repro invariant linter (determinism, "
@@ -490,78 +538,7 @@ def _load_batch_spec(path: str) -> dict:
             text = pathlib.Path(path).read_text(encoding="utf-8")
         except OSError as exc:
             raise ReproError(f"cannot read batch spec {path!r}: {exc}")
-    try:
-        spec = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise ReproError(f"batch spec is not valid JSON: {exc}")
-    if not isinstance(spec, dict):
-        raise ReproError("batch spec must be a JSON object")
-    return spec
-
-
-def _build_batch_workload(name: str, spec: Any) -> dict:
-    """One named workload: a histogram, optionally materialised."""
-    if not isinstance(spec, dict):
-        raise ReproError(f"workload {name!r} must be a JSON object")
-    seed = int(spec.get("seed", 0))
-    if "scenario" in spec:
-        histogram = get_scenario(spec["scenario"]).build(
-            spec.get("rows"), seed=seed)
-    elif all(field in spec for field in ("n", "d", "k")):
-        histogram = make_histogram(
-            int(spec["n"]), int(spec["d"]), int(spec["k"]),
-            distribution=spec.get("distribution", "zipf"), seed=seed)
-    else:
-        raise ReproError(
-            f"workload {name!r} needs either 'scenario' or all of "
-            f"'n'/'d'/'k'")
-    if spec.get("storage"):
-        table = histogram_to_table(
-            histogram, name=name, order=spec.get("order", "shuffled"),
-            page_size=int(spec.get("page_size", 8192)), seed=seed)
-        return {"table": table}
-    return {"histogram": histogram,
-            "page_size": int(spec.get("page_size", 8192))}
-
-
-_BATCH_KINDS = {"clustered": IndexKind.CLUSTERED,
-                "nonclustered": IndexKind.NONCLUSTERED}
-
-
-def _build_batch_request(position: int, item: Any,
-                         workloads: dict[str, dict]) -> EstimationRequest:
-    if not isinstance(item, dict):
-        raise ReproError(f"request #{position} must be a JSON object")
-    workload_name = item.get("workload")
-    if workload_name not in workloads:
-        raise ReproError(
-            f"request #{position} references unknown workload "
-            f"{workload_name!r}; defined: {sorted(workloads)}")
-    source = workloads[workload_name]
-    kwargs: dict[str, Any] = {
-        "algorithm": get_algorithm(
-            item.get("algorithm", "null_suppression")),
-        "fraction": float(item.get("fraction", 0.01)),
-        "trials": int(item.get("trials", 1)),
-        "label": workload_name,
-    }
-    if "seed" in item:
-        kwargs["seed"] = int(item["seed"])
-    if "table" in source:
-        table = source["table"]
-        kind = str(item.get("kind", "clustered"))
-        if kind not in _BATCH_KINDS:
-            raise ReproError(
-                f"request #{position} has unknown index kind {kind!r}; "
-                f"known: {sorted(_BATCH_KINDS)}")
-        return EstimationRequest(
-            table=table, columns=("a",), kind=_BATCH_KINDS[kind],
-            page_size=int(item.get("page_size", table.page_size)),
-            **kwargs)
-    return EstimationRequest(
-        histogram=source["histogram"],
-        page_size=int(item.get("page_size", source["page_size"])),
-        **kwargs)
+    return parse_spec_text(text, what="batch spec")
 
 
 def _close_and_summarize(tracer: Tracer, path: str) -> None:
@@ -572,17 +549,8 @@ def _close_and_summarize(tracer: Tracer, path: str) -> None:
 
 def _cmd_estimate_batch(args: argparse.Namespace) -> str:
     spec = _load_batch_spec(args.spec)
-    workload_specs = spec.get("workloads")
-    request_specs = spec.get("requests")
-    if not isinstance(workload_specs, dict) or not workload_specs:
-        raise ReproError("batch spec needs a non-empty 'workloads' object")
-    if not isinstance(request_specs, list) or not request_specs:
-        raise ReproError("batch spec needs a non-empty 'requests' list")
-    workloads = {name: _build_batch_workload(name, wspec)
-                 for name, wspec in workload_specs.items()}
-    requests = [_build_batch_request(position, item, workloads)
-                for position, item in enumerate(request_specs)]
-    seed = args.seed if args.seed is not None else int(spec.get("seed", 0))
+    requests, spec_seed = build_batch(spec)
+    seed = args.seed if args.seed is not None else spec_seed
     executor_name = args.executor or spec.get("executor", "serial")
     store_dir = args.store_dir or spec.get("store_dir")
     tracer = (Tracer.to_path(args.trace) if args.trace is not None
@@ -599,33 +567,8 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> str:
     batch = engine.execute(plan, deadline=args.deadline)
     if tracer is not None:
         _close_and_summarize(tracer, args.trace)
-    results = []
-    for request, result in zip(requests, batch.results):
-        entry: dict[str, Any] = {
-            "workload": request.label,
-            "algorithm": request.algorithm.name,
-            "fraction": request.fraction,
-            "trials": request.trials,
-        }
-        if result is None:
-            # Deadline-bounded runs may leave requests unevaluated; a
-            # typed null (never a partial trial set) keeps positions
-            # aligned with the spec's request list.
-            entry.update({"path": None, "estimates": [], "mean": None,
-                          "std": None, "sample_rows": [],
-                          "deadline_exceeded": True})
-            results.append(entry)
-            continue
-        values = result.values
-        entry.update({
-            "path": result.estimates[0].path,
-            "estimates": [float(v) for v in values],
-            "mean": float(values.mean()),
-            "std": (float(values.std(ddof=1)) if len(values) > 1
-                    else None),
-            "sample_rows": [e.sample_rows for e in result.estimates],
-        })
-        results.append(entry)
+    results = [request_result_entry(request, result)
+               for request, result in zip(requests, batch.results)]
     payload = {
         "seed": seed,
         "executor": executor_name,
@@ -653,61 +596,6 @@ def _cmd_estimate_batch(args: argparse.Namespace) -> str:
     return json.dumps(payload, indent=indent)
 
 
-def _build_advise_table(name: str, spec: Any):
-    """One named table for the advisor: multi-column or workload-based."""
-    if not isinstance(spec, dict):
-        raise ReproError(f"table {name!r} must be a JSON object")
-    if "columns" in spec:
-        if "n" not in spec:
-            raise ReproError(
-                f"table {name!r} with 'columns' needs a row count 'n'")
-        try:
-            specs = [(str(cname), int(k), int(d))
-                     for cname, k, d in spec["columns"]]
-        except (TypeError, ValueError):
-            raise ReproError(
-                f"table {name!r} 'columns' must be [name, k, d] "
-                f"triples") from None
-        return make_multicolumn_table(
-            name, int(spec["n"]), specs,
-            page_size=int(spec.get("page_size", 8192)),
-            seed=int(spec.get("seed", 0)))
-    workload = _build_batch_workload(name, {**spec, "storage": True})
-    return workload["table"]
-
-
-def _build_advise_query(position: int, item: Any,
-                        tables: dict[str, Any]) -> Query:
-    if not isinstance(item, dict):
-        raise ReproError(f"query #{position} must be a JSON object")
-    table = item.get("table")
-    if table not in tables:
-        raise ReproError(
-            f"query #{position} references unknown table {table!r}; "
-            f"defined: {sorted(tables)}")
-    columns = item.get("columns")
-    if not isinstance(columns, list) or not columns:
-        raise ReproError(
-            f"query #{position} needs a non-empty 'columns' list")
-    return Query(
-        name=str(item.get("name", f"q{position}")), table=table,
-        columns=tuple(str(column) for column in columns),
-        selectivity=float(item.get("selectivity", 1.0)),
-        weight=float(item.get("weight", 1.0)))
-
-
-def _candidate_entry(candidate) -> dict[str, Any]:
-    return {
-        "name": candidate.name,
-        "table": candidate.table,
-        "key_columns": list(candidate.key_columns),
-        "compressed": candidate.compressed,
-        "algorithm": candidate.algorithm,
-        "size_bytes": candidate.size_bytes,
-        "estimated_cf": candidate.estimated_cf,
-    }
-
-
 def _cmd_advise(args: argparse.Namespace) -> str:
     spec = _load_batch_spec(args.spec)
     table_specs = spec.get("tables")
@@ -721,9 +609,9 @@ def _cmd_advise(args: argparse.Namespace) -> str:
     if bound is None:
         raise ReproError("advise spec needs 'storage_bound_bytes' "
                          "(or pass --storage-bound)")
-    tables = {name: _build_advise_table(name, tspec)
+    tables = {name: build_advise_table(name, tspec)
               for name, tspec in table_specs.items()}
-    queries = [_build_advise_query(position, item, tables)
+    queries = [build_advise_query(position, item, tables)
                for position, item in enumerate(query_specs)]
     algorithms = spec.get("algorithms", ["page"])
     fraction = (args.fraction if args.fraction is not None
@@ -783,7 +671,7 @@ def _cmd_advise(args: argparse.Namespace) -> str:
         "cost_after": result.cost_after,
         "improvement": result.improvement,
         "bytes_used": result.bytes_used,
-        "chosen": [_candidate_entry(c) for c in result.chosen],
+        "chosen": [candidate_entry(c) for c in result.chosen],
         "steps": list(result.steps),
     })
     indent = args.indent if args.indent and args.indent > 0 else None
@@ -855,6 +743,33 @@ def _cmd_worker(args: argparse.Namespace) -> str:
     except KeyboardInterrupt:
         pass
     return "worker stopped"
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    """Run the estimation HTTP service until interrupted."""
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host, port=args.port, seed=args.seed,
+        window=args.window, store_dir=args.store_dir,
+        executor=args.executor, workers=args.workers,
+        max_body_bytes=args.max_body_bytes,
+        max_batch_requests=args.max_batch_requests,
+        max_pending=args.max_pending,
+        max_concurrent=args.max_concurrent,
+        trace_path=args.trace, verbose=args.verbose)
+
+    def ready(address: tuple[str, int]) -> None:
+        # Machine-readable ready line; test harnesses wait on it the
+        # same way spawn_local_workers waits on repro-worker-ready.
+        print(f"repro-service-ready {address[0]}:{address[1]}",
+              flush=True)
+
+    try:
+        serve(config, ready=ready)
+    except KeyboardInterrupt:
+        pass
+    return "service stopped"
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -937,6 +852,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _cmd_cache(args)
         elif args.command == "worker":
             output = _cmd_worker(args)
+        elif args.command == "serve":
+            output = _cmd_serve(args)
         elif args.command == "lint":
             return _cmd_lint(args)
         elif args.command == "bounds":

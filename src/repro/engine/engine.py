@@ -192,14 +192,20 @@ class EstimationEngine:
                                 executor=runner.name)
             if isinstance(deadline, (int, float)):
                 deadline = Deadline.after(float(deadline))
+            # Per-batch store attribution: the store handle is shared
+            # across concurrent execute() calls, so diffing its global
+            # counters would charge each batch the union of all
+            # concurrent movement. Units instead mirror their own store
+            # I/O into this batch-local dict (thread-scoped sink inside
+            # the store), mirroring the batch-local EngineStats.
+            store_counters: dict[str, int] | None = (
+                {} if self.store is not None else None)
             context = UnitContext(cache=self.cache, stats=local,
                                   store=self.store, tracer=tracer,
                                   deadline=deadline,
                                   retry=self.retry_policy,
-                                  injector=self.injector)
-            store_before = (dict(self.store.counters)
-                            if tracer.enabled and self.store is not None
-                            else None)
+                                  injector=self.injector,
+                                  store_counters=store_counters)
             values = runner.run(units, context)
             estimates_by_node: list[tuple[SampleCFEstimate, ...]] = []
             failed_nodes: set[int] = set()
@@ -225,18 +231,18 @@ class EstimationEngine:
             self.stats.merge(local)
             if tracer.enabled:
                 absorb_engine_stats(tracer.metrics, self.stats)
-                if store_before is not None:
-                    after = self.store.counters
+                if store_counters:
                     for name in ("bytes_read", "bytes_written",
                                  "faults_injected", "quarantined"):
-                        moved = after.get(name, 0) \
-                            - store_before.get(name, 0)
+                        moved = store_counters.get(name, 0)
                         if moved:
                             tracer.metrics.counter(
                                 f"store.{name}").inc(moved)
+            stats = local.as_dict()
+            if store_counters is not None:
+                stats["store"] = dict(store_counters)
             if deadline is None:
-                return BatchResult(results=tuple(slots),
-                                   stats=local.as_dict())
+                return BatchResult(results=tuple(slots), stats=stats)
             degraded = context.degraded or set()
             outcomes = []
             for position, (unit, value) in enumerate(zip(units, values)):
@@ -254,11 +260,27 @@ class EstimationEngine:
                         status="done"))
             return PartialBatchResult(results=tuple(slots),
                                       outcomes=tuple(outcomes),
-                                      stats=local.as_dict())
+                                      stats=stats)
 
-    def estimate(self, request: EstimationRequest) -> RequestResult:
-        """Single-request convenience over :meth:`execute`."""
-        return self.execute([request]).results[0]
+    def estimate(self, request: EstimationRequest,
+                 deadline: "Deadline | float | None" = None,
+                 ) -> RequestResult:
+        """Single-request convenience over :meth:`execute`.
+
+        With a ``deadline``, a request whose units were skipped past
+        the budget raises a typed :class:`EstimationError` instead of
+        returning the bounded path's ``None`` slot — callers of this
+        facade get a result or an exception, never a null that crashes
+        later with an ``AttributeError``. Callers that want the
+        per-unit outcome accounting should use :meth:`execute`.
+        """
+        result = self.execute([request], deadline=deadline).results[0]
+        if result is None:
+            raise EstimationError(
+                "the request could not be evaluated before its "
+                "deadline expired; retry with a larger budget, or use "
+                "execute() for per-unit deadline outcomes")
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         store_note = (f", store={str(self.store.root)!r}"
@@ -282,9 +304,16 @@ def default_engine() -> EstimationEngine:
     always carry a concrete seed), so sharing one instance only shares
     the sample cache. Lazy init is lock-protected: two threads racing
     the first facade call must not build two engines and split the
-    cache.
+    cache. After initialization, reads take a lock-free fast path
+    (double-checked): a fully-constructed engine is published before
+    the lock is released, and the module-global read is atomic, so the
+    lock exists only to arbitrate the one-time construction — a
+    concurrent service must not serialize every facade call on it.
     """
     global _DEFAULT_ENGINE
+    engine = _DEFAULT_ENGINE
+    if engine is not None:
+        return engine
     with _DEFAULT_ENGINE_LOCK:
         if _DEFAULT_ENGINE is None:
             _DEFAULT_ENGINE = EstimationEngine(seed=0)

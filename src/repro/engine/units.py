@@ -74,6 +74,13 @@ class UnitContext:
     #: reuse or persistence, ran on a fallback path). ``None`` disables
     #: the per-unit tracking; counters still move either way.
     degraded: "set[int] | None" = field(default_factory=set)
+    #: Per-batch store-counter sink. The store handle is shared across
+    #: concurrent batches, so its handle-global ``counters`` cannot
+    #: attribute movement to one batch; when set, every store call on
+    #: this batch's unit path additionally mirrors its movement here
+    #: (see :meth:`SampleStore.attributed`), exactly like the
+    #: batch-local :class:`EngineStats`.
+    store_counters: "dict[str, int] | None" = None
 
 
 @dataclass(frozen=True)
@@ -127,9 +134,14 @@ def _with_store_retries(context: UnitContext, unit: "PlanUnit",
 
     policy = context.retry
     attempt = 0
+    store = context.store
+    sink = context.store_counters
     while True:
         try:
-            return fn()
+            if store is None or sink is None:
+                return fn()
+            with store.attributed(sink):
+                return fn()
         except TransientStoreError as exc:
             attempt += 1
             context.stats.add("retry_attempts")

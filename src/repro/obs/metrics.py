@@ -170,3 +170,19 @@ def absorb_engine_stats(registry: MetricsRegistry, stats: object,
     if callable(gauges):
         for name, value in gauges().items():
             registry.gauge(f"{prefix}gauges.{name}").set(value)
+
+
+def absorb_store_counters(registry: MetricsRegistry,
+                          counters: dict,
+                          prefix: str = "store.") -> None:
+    """Mirror a :class:`SampleStore` counter dict into ``registry``.
+
+    Same projection discipline as :func:`absorb_engine_stats`: the
+    store's own ``counters`` dict is authoritative, the registry is a
+    read-side rendering set to the absolute snapshot value via a
+    delta, so repeated absorbs are idempotent and a ``/stats``
+    endpoint can re-absorb on every scrape.
+    """
+    for name, value in counters.items():
+        counter = registry.counter(f"{prefix}{name}")
+        counter.inc(int(value) - counter.value)

@@ -1,0 +1,42 @@
+"""repro.service — estimation-as-a-service over one shared engine.
+
+A long-lived, stdlib-only HTTP front end (ROADMAP item 1): many
+concurrent clients hit one warm :class:`~repro.engine.engine.
+EstimationEngine`, one :class:`~repro.store.store.SampleStore`, one
+sample cache. The interesting mechanism is *multi-tenant
+micro-batching* (:mod:`repro.service.batching`): a short collection
+window coalesces concurrent clients' requests into a single
+shared-sample ``execute()`` plan — the engine's dedup then
+materializes each distinct (source, sampler, fraction, seed) sample
+once across clients — and demuxes per-client results back out.
+
+Endpoints (:mod:`repro.service.app`):
+
+* ``POST /estimate`` — one request, coalesced through the batcher;
+* ``POST /estimate-batch`` — a CLI-shaped batch spec, bit-identical
+  results to ``repro estimate-batch`` at the same spec seed;
+* ``POST /advise`` — what-if advisor runs, optionally streamed as
+  chunked per-round NDJSON events;
+* ``GET /health``, ``GET /stats``, ``GET/POST /cache`` — liveness,
+  engine/store/batcher counters, and store maintenance.
+
+Guardrails: per-request deadlines (typed 504), request-size limits
+(413), a bounded submission queue (429), and bounded concurrent
+execute slots (503) — degradation is always a typed error, never a
+wrong number.
+"""
+
+from repro.service.app import (EstimationService, ServiceConfig,
+                               make_server, serve)
+from repro.service.batching import MicroBatcher
+from repro.service.errors import (BadRequest, DeadlineExceeded,
+                                  PayloadTooLarge, ServiceError,
+                                  ServiceOverloaded, TooManyRequests)
+from repro.service.schemas import WorkloadCache
+
+__all__ = [
+    "EstimationService", "ServiceConfig", "make_server", "serve",
+    "MicroBatcher", "WorkloadCache",
+    "ServiceError", "BadRequest", "PayloadTooLarge", "TooManyRequests",
+    "ServiceOverloaded", "DeadlineExceeded",
+]

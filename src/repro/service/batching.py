@@ -1,0 +1,197 @@
+"""Multi-tenant micro-batching: coalesce concurrent clients' requests.
+
+The engine already does the hard part — ``execute()`` dedupes a batch
+into a shared-sample plan, and content-keyed seeding makes every
+request's result independent of what else rode in the batch. What a
+service needs on top is small: hold arriving submissions for a short
+collection window, run them as *one* engine batch, and hand each
+client back exactly its own slice. Cross-client duplicate specs then
+collapse inside the engine (one sample materialization, counted by
+``sample_cache_hits`` / ``samples_materialized``), which is the whole
+point of fronting one warm engine with many clients.
+
+Protocol (leader/follower):
+
+* a submitter finding no collection round open becomes the **leader**:
+  it opens the round, sleeps the window, then atomically drains the
+  queue (closing the round under the same lock, so late arrivals open
+  a fresh one), executes the coalesced batch, and publishes each
+  submission's result slice;
+* every other submitter is a **follower**: it appends to the open
+  round's queue and blocks on its own event until the leader (of
+  whatever round it landed in) publishes.
+
+Determinism: results are bit-identical to serial one-at-a-time
+submission because batch composition never influences a request's
+seeds (locked by the engine determinism suite, re-asserted
+service-shaped in ``tests/test_service.py``).
+
+Degradation is typed, never a wrong number: a full queue raises
+:class:`~repro.service.errors.TooManyRequests` (429) before enqueueing,
+and execute slots are bounded by a semaphore — leaders block on it
+(their clients are already waiting), while direct/unbatched paths use
+:meth:`try_execute_slot` and turn contention into a 503.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.service.errors import ServiceOverloaded, TooManyRequests
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import EstimationEngine
+    from repro.engine.requests import (EstimationRequest, RequestResult)
+
+
+@dataclass
+class _Submission:
+    """One client's requests plus the rendezvous for its results."""
+
+    requests: "tuple[EstimationRequest, ...]"
+    # repro-lint: ignore[RPL003] -- service-side rendezvous state: a
+    # submission lives only in the serving process for the span of one
+    # collection round, passed between handler threads and the round
+    # leader, never pickled or shipped (the engine's executors receive
+    # PlanUnit lists, not submissions).
+    done: threading.Event = field(default_factory=threading.Event)
+    results: "tuple[RequestResult | None, ...] | None" = None
+    stats: "dict | None" = None
+    coalesced_with: int = 0
+    error: BaseException | None = None
+
+
+class MicroBatcher:
+    """Collection-window request coalescing over one shared engine."""
+
+    def __init__(self, engine: "EstimationEngine",
+                 window: float = 0.02,
+                 max_pending: int = 256,
+                 max_concurrent: int = 4) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self.engine = engine
+        self.window = float(window)
+        self.max_pending = int(max_pending)
+        self._lock = threading.Lock()
+        self._queue: list[_Submission] = []
+        self._collecting = False
+        self._slots = threading.BoundedSemaphore(int(max_concurrent))
+        self.counters = {
+            "submissions": 0,
+            "submitted_requests": 0,
+            "rounds": 0,
+            "coalesced_rounds": 0,
+            "coalesced_submissions": 0,
+            "largest_round": 0,
+            "rejected_queue_full": 0,
+            "rejected_no_slot": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Execute-slot guardrail (shared with the service's direct paths)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def execute_slot(self) -> Iterator[None]:
+        """Blocking slot acquisition (for leaders: clients already wait)."""
+        self._slots.acquire()
+        try:
+            yield
+        finally:
+            self._slots.release()
+
+    @contextmanager
+    def try_execute_slot(self) -> Iterator[None]:
+        """Non-blocking slot acquisition for direct (unbatched) runs."""
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                self.counters["rejected_no_slot"] += 1
+            raise ServiceOverloaded(
+                "all execute slots are busy; retry shortly or submit "
+                "without a deadline to ride the shared batch")
+        try:
+            yield
+        finally:
+            self._slots.release()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, requests: "Sequence[EstimationRequest]",
+               ) -> _Submission:
+        """Run ``requests`` through a coalesced batch; block for results.
+
+        Returns the completed submission: ``results`` aligned with
+        ``requests``, ``stats`` the shared batch's counter snapshot,
+        and ``coalesced_with`` the number of *other* submissions that
+        shared the engine batch.
+        """
+        submission = _Submission(requests=tuple(requests))
+        with self._lock:
+            if len(self._queue) >= self.max_pending:
+                self.counters["rejected_queue_full"] += 1
+                raise TooManyRequests(
+                    f"the batching queue is full "
+                    f"({self.max_pending} pending submissions); "
+                    f"retry with backoff")
+            self.counters["submissions"] += 1
+            self.counters["submitted_requests"] += len(submission.requests)
+            self._queue.append(submission)
+            leader = not self._collecting
+            if leader:
+                self._collecting = True
+        if leader:
+            if self.window > 0:
+                time.sleep(self.window)
+            self._run_round()
+        submission.done.wait()
+        if submission.error is not None:
+            raise submission.error
+        return submission
+
+    def _run_round(self) -> None:
+        """Drain the open round atomically, execute, demux, publish."""
+        with self._lock:
+            round_submissions = self._queue
+            self._queue = []
+            # Closing the round under the same lock as the drain means
+            # a submitter can never land in a drained queue: it either
+            # made this round or opens the next one as its leader.
+            self._collecting = False
+            self.counters["rounds"] += 1
+            if len(round_submissions) > 1:
+                self.counters["coalesced_rounds"] += 1
+                self.counters["coalesced_submissions"] += \
+                    len(round_submissions)
+            self.counters["largest_round"] = max(
+                self.counters["largest_round"], len(round_submissions))
+        flat: list = []
+        for submission in round_submissions:
+            flat.extend(submission.requests)
+        try:
+            with self.execute_slot():
+                batch = self.engine.execute(flat)
+        except BaseException as exc:
+            for submission in round_submissions:
+                submission.error = exc
+                submission.done.set()
+            return
+        cursor = 0
+        for submission in round_submissions:
+            count = len(submission.requests)
+            submission.results = tuple(
+                batch.results[cursor:cursor + count])
+            submission.stats = batch.stats
+            submission.coalesced_with = len(round_submissions) - 1
+            cursor += count
+            submission.done.set()
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            counters = dict(self.counters)
+            counters["pending"] = len(self._queue)
+        return counters

@@ -1,0 +1,57 @@
+"""Typed service errors with HTTP status codes.
+
+Every service-level failure is a :class:`ServiceError` carrying the
+HTTP status and a stable machine-readable ``code``, so the handler
+layer renders degradation uniformly (a JSON error envelope, never a
+stack trace) and clients can branch on ``code`` without parsing
+messages. All of them derive from :class:`~repro.errors.ReproError`,
+keeping the library's one-base-class catch contract.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for HTTP-facing service failures."""
+
+    #: HTTP status the handler responds with.
+    status: int = 500
+    #: Stable machine-readable identifier for the error envelope.
+    code: str = "internal_error"
+
+
+class BadRequest(ServiceError):
+    """The request body is malformed or fails spec validation."""
+
+    status = 400
+    code = "bad_request"
+
+
+class PayloadTooLarge(ServiceError):
+    """The body or batch exceeds the configured size limits."""
+
+    status = 413
+    code = "payload_too_large"
+
+
+class TooManyRequests(ServiceError):
+    """The micro-batcher's submission queue is full (back off)."""
+
+    status = 429
+    code = "too_many_requests"
+
+
+class ServiceOverloaded(ServiceError):
+    """No execute slot is free for a direct (unbatched) run."""
+
+    status = 503
+    code = "service_overloaded"
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline expired before it could be evaluated."""
+
+    status = 504
+    code = "deadline_exceeded"

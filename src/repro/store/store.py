@@ -45,6 +45,7 @@ Guarantees:
 
 from __future__ import annotations
 
+import contextlib
 import errno
 import hashlib
 import json
@@ -181,6 +182,13 @@ class SampleStore:
         self.injector = injector if injector is not None \
             else injector_from_env()
         self._counter_lock = threading.Lock()
+        #: Per-thread attribution sink (see :meth:`attributed`): the
+        #: handle-global :attr:`counters` always move, and a thread
+        #: that entered an attribution scope additionally mirrors its
+        #: own movement into the scope's sink — which is how a batch
+        #: charges exactly its own store I/O when several batches
+        #: share this handle concurrently.
+        self._local = threading.local()
         #: Running size estimate this handle maintains so budgeted
         #: writes don't rescan the directory every time; ``None`` until
         #: the first budget check seeds it from a real scan.
@@ -237,8 +245,38 @@ class SampleStore:
         return FileLock(self.root / "locks" / f"{key}.lock")
 
     def _count(self, name: str, amount: int = 1) -> None:
+        sink = getattr(self._local, "sink", None)
         with self._counter_lock:
             self.counters[name] += amount
+            if sink is not None:
+                sink[name] = sink.get(name, 0) + amount
+
+    @contextlib.contextmanager
+    def attributed(self, sink: "dict[str, int] | None",
+                   ) -> Iterator[None]:
+        """Mirror this thread's counter movement into ``sink`` too.
+
+        Attribution is thread-scoped on purpose: a store handle shared
+        by concurrent batches (one engine, many ``execute()`` calls)
+        cannot attribute movement per batch from handle-global
+        counters — a before/after snapshot diff charges each batch the
+        *union* of all concurrent movement. Each unit's store I/O runs
+        on a thread that belongs to exactly one batch, so a
+        thread-local sink set around the store call charges exactly
+        that batch. ``None`` is a no-op so call sites don't branch.
+        Scopes nest (the previous sink is restored on exit); sink
+        updates share :attr:`_counter_lock`, so one sink dict may be
+        fed by many pool threads of the same batch.
+        """
+        if sink is None:
+            yield
+            return
+        previous = getattr(self._local, "sink", None)
+        self._local.sink = sink
+        try:
+            yield
+        finally:
+            self._local.sink = previous
 
     # ------------------------------------------------------------------
     # Fault hooks (no-ops unless an injector is armed)
